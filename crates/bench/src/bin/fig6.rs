@@ -1,0 +1,104 @@
+//! Figure 6 — IMB PingPong throughput on Open-MX, 64 kB–16 MB, comparing
+//! pin-once-per-communication against permanent pinning, with and without
+//! I/OAT copy offload.
+//!
+//! Run: `cargo run --release -p openmx-bench --bin fig6`
+
+use openmx_bench::paper::{DEGRADATION_FAST_PCT, FIG6_ANCHORS};
+use openmx_bench::pingpong::{figure_sizes, paper_cfg, pingpong_throughput};
+use openmx_bench::sweep::parallel_map;
+use openmx_bench::table::{fmt_size, Table};
+use openmx_core::PinningMode;
+
+fn main() {
+    let series = [
+        ("pin-per-comm", PinningMode::PinPerComm, false),
+        ("permanent", PinningMode::Permanent, false),
+        ("pin-per-comm + I/OAT", PinningMode::PinPerComm, true),
+        ("permanent + I/OAT", PinningMode::Permanent, true),
+    ];
+    let sizes = figure_sizes();
+    let jobs: Vec<(usize, u64)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| sizes.iter().map(move |&m| (si, m)))
+        .collect();
+    let points = parallel_map(jobs, |(si, msg)| {
+        let (_, mode, ioat) = series[si];
+        (si, pingpong_throughput(&paper_cfg(mode, ioat), msg))
+    });
+
+    let mut by_series: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
+    for (si, p) in points {
+        by_series[si].push(p.mib_per_sec);
+    }
+
+    let mut t = Table::new(
+        "Figure 6 — IMB PingPong throughput (MiB/s), Xeon E5460 + Myri-10G",
+        &[
+            "size",
+            series[0].0,
+            series[1].0,
+            series[2].0,
+            series[3].0,
+        ],
+    );
+    for (i, &msg) in sizes.iter().enumerate() {
+        t.row(vec![
+            fmt_size(msg),
+            format!("{:.0}", by_series[0][i]),
+            format!("{:.0}", by_series[1][i]),
+            format!("{:.0}", by_series[2][i]),
+            format!("{:.0}", by_series[3][i]),
+        ]);
+    }
+    t.emit(Some("fig6.csv"));
+
+    // Headline comparisons with the paper.
+    let last = sizes.len() - 1;
+    let deg = 100.0 * (1.0 - by_series[0][last] / by_series[1][last]);
+    let deg_ioat = 100.0 * (1.0 - by_series[2][last] / by_series[3][last]);
+    println!(
+        "pinning degradation at 16MiB: {:.1}% (no I/OAT), {:.1}% (I/OAT); paper: ~{}% on this host",
+        deg, deg_ioat, DEGRADATION_FAST_PCT
+    );
+    let mut cmp = Table::new(
+        "vs paper anchors (MiB/s, read off the published figure)",
+        &["size", "series", "measured", "paper"],
+    );
+    for (msg, a, b, c, d) in FIG6_ANCHORS {
+        let idx = sizes.iter().position(|&s| s == msg).expect("anchor size");
+        for (si, paper_v) in [(0usize, a), (1, b), (2, c), (3, d)] {
+            cmp.row(vec![
+                fmt_size(msg),
+                series[si].0.to_string(),
+                format!("{:.0}", by_series[si][idx]),
+                format!("{paper_v:.0}"),
+            ]);
+        }
+    }
+    cmp.emit(None);
+
+    // §4.1/§4.2's "up to 20% on slower processors": repeat the comparison
+    // on the slowest Table 1 host.
+    use openmx_core::CpuProfile;
+    let mut slow = Table::new(
+        "slow host check — Opteron 265 (paper: pinning costs up to ~20%)",
+        &["size", "pin-per-comm", "permanent", "degradation %"],
+    );
+    for msg in [1u64 << 20, 4 << 20, 16 << 20] {
+        let jobs = vec![PinningMode::PinPerComm, PinningMode::Permanent];
+        let vals = parallel_map(jobs, |mode| {
+            let mut cfg = paper_cfg(mode, false);
+            cfg.profile = CpuProfile::opteron_265();
+            pingpong_throughput(&cfg, msg).mib_per_sec
+        });
+        slow.row(vec![
+            fmt_size(msg),
+            format!("{:.0}", vals[0]),
+            format!("{:.0}", vals[1]),
+            format!("{:.1}", 100.0 * (1.0 - vals[0] / vals[1])),
+        ]);
+    }
+    slow.emit(None);
+}

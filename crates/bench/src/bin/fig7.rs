@@ -1,0 +1,84 @@
+//! Figure 7 — impact of overlapped pinning and the pinning cache on IMB
+//! PingPong throughput (no I/OAT): regular pinning vs overlapped pinning
+//! vs pinning cache vs overlapped pinning cache.
+//!
+//! Run: `cargo run --release -p openmx-bench --bin fig7`
+
+use openmx_bench::paper::FIG7_ANCHORS;
+use openmx_bench::pingpong::{figure_sizes, paper_cfg, pingpong_throughput};
+use openmx_bench::sweep::parallel_map;
+use openmx_bench::table::{fmt_size, Table};
+use openmx_core::PinningMode;
+
+fn main() {
+    let series = [
+        ("regular", PinningMode::PinPerComm),
+        ("overlapped", PinningMode::Overlapped),
+        ("cache", PinningMode::Cached),
+        ("overlapped+cache", PinningMode::OverlappedCached),
+    ];
+    let sizes = figure_sizes();
+    let jobs: Vec<(usize, u64)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| sizes.iter().map(move |&m| (si, m)))
+        .collect();
+    let points = parallel_map(jobs, |(si, msg)| {
+        let (_, mode) = series[si];
+        (si, pingpong_throughput(&paper_cfg(mode, false), msg))
+    });
+
+    let mut by_series: Vec<Vec<(f64, u64)>> = vec![Vec::new(); series.len()];
+    for (si, p) in points {
+        by_series[si].push((p.mib_per_sec, p.overlap_misses));
+    }
+
+    let mut t = Table::new(
+        "Figure 7 — IMB PingPong throughput (MiB/s): overlapped pinning & pinning cache",
+        &["size", series[0].0, series[1].0, series[2].0, series[3].0],
+    );
+    for (i, &msg) in sizes.iter().enumerate() {
+        t.row(vec![
+            fmt_size(msg),
+            format!("{:.0}", by_series[0][i].0),
+            format!("{:.0}", by_series[1][i].0),
+            format!("{:.0}", by_series[2][i].0),
+            format!("{:.0}", by_series[3][i].0),
+        ]);
+    }
+    t.emit(Some("fig7.csv"));
+
+    let last = sizes.len() - 1;
+    let base = by_series[0][last].0;
+    for (si, (name, _)) in series.iter().enumerate() {
+        let v = by_series[si][last].0;
+        println!(
+            "{name:<18} at 16MiB: {v:>6.0} MiB/s ({:+.1}% vs regular), overlap misses across sweep: {}",
+            100.0 * (v / base - 1.0),
+            by_series[si].iter().map(|p| p.1).sum::<u64>()
+        );
+    }
+    println!();
+
+    let mut cmp = Table::new(
+        "vs paper anchors (MiB/s, read off the published figure)",
+        &["size", "series", "measured", "paper"],
+    );
+    for (msg, a, b, c, d) in FIG7_ANCHORS {
+        let idx = sizes.iter().position(|&s| s == msg).expect("anchor size");
+        for (si, paper_v) in [(0usize, a), (1, b), (2, c), (3, d)] {
+            cmp.row(vec![
+                fmt_size(msg),
+                series[si].0.to_string(),
+                format!("{:.0}", by_series[si][idx].0),
+                format!("{paper_v:.0}"),
+            ]);
+        }
+    }
+    cmp.emit(None);
+    println!(
+        "expected shape (paper §4.2): both the cache and the overlap recover the\n\
+         ~5% pinning penalty; overlapped pinning helps exactly when the cache\n\
+         cannot (no buffer reuse), at negligible overhead."
+    );
+}

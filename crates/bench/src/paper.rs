@@ -1,0 +1,77 @@
+//! The published numbers from the paper, for side-by-side comparison in
+//! the harness output and EXPERIMENTS.md.
+
+/// One row of the paper's Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Row {
+    /// Host name.
+    pub host: &'static str,
+    /// Clock in GHz.
+    pub ghz: f64,
+    /// Base pin+unpin overhead, µs.
+    pub base_us: f64,
+    /// Per-page pin+unpin overhead, ns.
+    pub ns_per_page: f64,
+    /// Pinning throughput, GB/s.
+    pub gb_per_sec: f64,
+}
+
+/// Table 1 as published.
+pub const TABLE1: [Table1Row; 4] = [
+    Table1Row { host: "Opteron 265", ghz: 1.8, base_us: 4.2, ns_per_page: 720.0, gb_per_sec: 5.5 },
+    Table1Row { host: "Opteron 8347", ghz: 1.9, base_us: 2.2, ns_per_page: 330.0, gb_per_sec: 12.0 },
+    Table1Row { host: "Xeon E5435", ghz: 2.33, base_us: 2.3, ns_per_page: 250.0, gb_per_sec: 16.0 },
+    Table1Row { host: "Xeon E5460", ghz: 3.16, base_us: 1.3, ns_per_page: 150.0, gb_per_sec: 26.5 },
+];
+
+/// One row of the paper's Table 2: execution-time improvement (%) from
+/// the pinning cache and from overlapped pinning.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// % improvement with the pinning cache.
+    pub cache_pct: f64,
+    /// % improvement with overlapped pinning.
+    pub overlap_pct: f64,
+}
+
+/// Table 2 as published (IMB between 2 nodes + NPB is.C.4).
+pub const TABLE2: [Table2Row; 8] = [
+    Table2Row { name: "IMB SendRecv", cache_pct: 8.4, overlap_pct: 5.5 },
+    Table2Row { name: "IMB Allgatherv", cache_pct: 7.5, overlap_pct: 6.8 },
+    Table2Row { name: "IMB Broadcast", cache_pct: 4.4, overlap_pct: 2.0 },
+    Table2Row { name: "IMB Reduce", cache_pct: 7.6, overlap_pct: 0.2 },
+    Table2Row { name: "IMB Allreduce", cache_pct: 2.2, overlap_pct: -0.6 },
+    Table2Row { name: "IMB Reduce_scatter", cache_pct: 7.9, overlap_pct: -0.8 },
+    Table2Row { name: "IMB Exchange", cache_pct: -1.4, overlap_pct: -2.7 },
+    Table2Row { name: "NPB is.C.4", cache_pct: 4.2, overlap_pct: 1.9 },
+];
+
+/// Approximate series anchors read off Figure 6 (Xeon E5460, MiB/s):
+/// (message size, pin-per-comm, permanent, pin-per-comm + I/OAT,
+/// permanent + I/OAT).
+pub const FIG6_ANCHORS: [(u64, f64, f64, f64, f64); 3] = [
+    (64 * 1024, 530.0, 560.0, 560.0, 590.0),
+    (1 << 20, 930.0, 980.0, 1010.0, 1070.0),
+    (16 << 20, 1020.0, 1080.0, 1090.0, 1150.0),
+];
+
+/// Approximate series anchors read off Figure 7 (MiB/s):
+/// (message size, regular, overlapped, cache, overlapped cache).
+pub const FIG7_ANCHORS: [(u64, f64, f64, f64, f64); 3] = [
+    (64 * 1024, 530.0, 550.0, 555.0, 560.0),
+    (1 << 20, 930.0, 970.0, 975.0, 980.0),
+    (16 << 20, 1020.0, 1070.0, 1075.0, 1080.0),
+];
+
+/// §4.1: expected throughput degradation from pinning, by host class.
+pub const DEGRADATION_FAST_PCT: f64 = 5.0; // Xeon E5460
+/// §4.2: observed on slower machines.
+pub const DEGRADATION_SLOW_PCT: f64 = 20.0; // Opteron 265
+
+/// §4.3: overlap misses under regular load are below this rate.
+pub const OVERLAP_MISS_RATE_BOUND: f64 = 1e-4;
+
+/// §4.3: the overloaded-core collapse, MB/s.
+pub const OVERLOAD_COLLAPSE_MBPS: (f64, f64) = (1000.0, 50.0);

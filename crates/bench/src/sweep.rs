@@ -1,0 +1,42 @@
+//! Parallel parameter sweeps: each simulation is independent and
+//! deterministic, so points of a figure can run on separate threads
+//! (crossbeam scoped threads) and still produce identical results to a
+//! sequential run.
+
+/// Map `f` over `inputs` in parallel, preserving order. `f` must build
+/// everything it needs inside the call (simulations are not `Send`).
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let mut results: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, input) in results.iter_mut().zip(inputs) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(input));
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    results.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..32).collect(), |x: u64| x * x);
+        assert_eq!(out, (0..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_with_non_copy_outputs() {
+        let out = parallel_map(vec!["a", "bb", "ccc"], |s: &str| s.to_string());
+        assert_eq!(out, vec!["a", "bb", "ccc"]);
+    }
+}

@@ -1,0 +1,264 @@
+//! The kernel-side driver state: region table, notifier handling,
+//! pinned-page pressure (§3.1).
+//!
+//! The driver owns *all* pinning decisions. User space only ever sees the
+//! integer [`RegionId`]; whether the pages behind it are pinned right now
+//! is invisible above the system-call boundary. Invalidation arrives from
+//! the MMU notifier as [`simmem::NotifierEvent`]s and is resolved entirely
+//! in here — no upcall, no user-space synchronization.
+
+use simcore::SimTime;
+use simmem::{Memory, NotifierEvent};
+
+use crate::region::{DriverRegion, Segment};
+
+/// The integer descriptor user space holds for a declared region.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+/// Per-node driver state.
+pub struct Driver {
+    regions: Vec<Option<DriverRegion>>,
+    /// Ceiling on pinned pages; `None` = unlimited.
+    pinned_limit: Option<usize>,
+    /// Pages unpinned due to memory pressure (counter).
+    pressure_unpins: u64,
+    /// Regions invalidated by MMU notifier (counter).
+    notifier_invalidations: u64,
+}
+
+impl Driver {
+    /// An empty driver with an optional pinned-page ceiling.
+    pub fn new(pinned_limit: Option<usize>) -> Self {
+        Driver {
+            regions: Vec::new(),
+            pinned_limit,
+            pressure_unpins: 0,
+            notifier_invalidations: 0,
+        }
+    }
+
+    /// Declare a region (the only time segments cross the syscall
+    /// boundary). Never pins.
+    pub fn declare(&mut self, space: simmem::AsId, segments: &[Segment]) -> RegionId {
+        let region = DriverRegion::new(space, segments);
+        if let Some(idx) = self.regions.iter().position(Option::is_none) {
+            self.regions[idx] = Some(region);
+            RegionId(idx as u32)
+        } else {
+            self.regions.push(Some(region));
+            RegionId(self.regions.len() as u32 - 1)
+        }
+    }
+
+    /// Undeclare, releasing any pins. Returns pages released.
+    ///
+    /// # Panics
+    /// Panics if the region is still in use by a communication.
+    pub fn undeclare(&mut self, mem: &mut Memory, id: RegionId) -> u64 {
+        let mut region = self.regions[id.0 as usize]
+            .take()
+            .unwrap_or_else(|| panic!("undeclare of unknown region {id:?}"));
+        assert_eq!(region.use_count, 0, "undeclare of in-use region {id:?}");
+        region.unpin_all(mem)
+    }
+
+    /// Borrow a declared region.
+    pub fn region(&self, id: RegionId) -> &DriverRegion {
+        self.regions[id.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("unknown region {id:?}"))
+    }
+
+    /// Mutably borrow a declared region.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut DriverRegion {
+        self.regions[id.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("unknown region {id:?}"))
+    }
+
+    /// True if `id` names a declared region.
+    pub fn is_declared(&self, id: RegionId) -> bool {
+        self.regions
+            .get(id.0 as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// MMU-notifier callback: unpin every region whose pages intersect the
+    /// invalidated range. The regions stay declared — they will repin on
+    /// next use (possibly onto different frames). Returns the affected
+    /// region ids and how many pages each released.
+    pub fn handle_invalidate(
+        &mut self,
+        mem: &mut Memory,
+        event: &NotifierEvent,
+    ) -> Vec<(RegionId, u64)> {
+        let mut hit = Vec::new();
+        for (idx, slot) in self.regions.iter_mut().enumerate() {
+            let Some(region) = slot else { continue };
+            if region.space != event.space {
+                continue;
+            }
+            if region.unpinned() && !region.pinning_in_progress {
+                continue;
+            }
+            if region.layout.intersects(&event.range) {
+                let pages = region.unpin_all(mem);
+                self.notifier_invalidations += 1;
+                hit.push((RegionId(idx as u32), pages));
+            }
+        }
+        hit
+    }
+
+    /// Before pinning `needed` more pages, enforce the pinned-page ceiling
+    /// by unpinning idle (use_count == 0) regions, least recently used
+    /// first ("if there are too many pinned pages … it may also request
+    /// some unpinning", §3.1). Returns the regions it unpinned.
+    pub fn pressure_evict(
+        &mut self,
+        mem: &mut Memory,
+        needed: u64,
+        _now: SimTime,
+    ) -> Vec<(RegionId, u64)> {
+        let Some(limit) = self.pinned_limit else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while mem.frames().pinned_pages() as u64 + needed > limit as u64 {
+            // Idle pinned region with the oldest last_use.
+            let victim = self
+                .regions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+                .filter(|(_, r)| r.use_count == 0 && !r.unpinned())
+                .min_by_key(|(_, r)| r.last_use)
+                .map(|(i, _)| i);
+            let Some(idx) = victim else { break };
+            let region = self.regions[idx].as_mut().expect("victim exists");
+            let pages = region.unpin_all(mem);
+            self.pressure_unpins += pages;
+            evicted.push((RegionId(idx as u32), pages));
+        }
+        evicted
+    }
+
+    /// `(pressure_unpinned_pages, notifier_invalidations)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.pressure_unpins, self.notifier_invalidations)
+    }
+
+    /// Number of declared regions.
+    pub fn declared_count(&self) -> usize {
+        self.regions.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{Prot, VirtAddr, PAGE_SIZE};
+
+    fn setup() -> (Memory, simmem::AsId, VirtAddr) {
+        let mut mem = Memory::new(1024, 0);
+        let space = mem.create_space();
+        mem.register_notifier(space).unwrap();
+        let addr = mem.mmap(space, 32 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        (mem, space, addr)
+    }
+
+    #[test]
+    fn declare_ids_are_reused() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let a = d.declare(space, &[Segment { addr, len: PAGE_SIZE }]);
+        let b = d.declare(space, &[Segment { addr: addr.add(PAGE_SIZE), len: PAGE_SIZE }]);
+        assert_ne!(a, b);
+        d.undeclare(&mut mem, a);
+        let c = d.declare(space, &[Segment { addr, len: PAGE_SIZE }]);
+        assert_eq!(a, c);
+        assert_eq!(d.declared_count(), 2);
+    }
+
+    #[test]
+    fn invalidate_unpins_intersecting_regions_only() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let r1 = d.declare(space, &[Segment { addr, len: 4 * PAGE_SIZE }]);
+        let r2 = d.declare(space, &[Segment { addr: addr.add(8 * PAGE_SIZE), len: 4 * PAGE_SIZE }]);
+        d.region_mut(r1).pin_next_chunk(&mut mem, 100).unwrap();
+        d.region_mut(r2).pin_next_chunk(&mut mem, 100).unwrap();
+        assert_eq!(mem.frames().pinned_pages(), 8);
+
+        // munmap of the first buffer fires a notifier covering r1 only.
+        let events = mem.munmap(space, addr, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(events.len(), 1);
+        let hit = d.handle_invalidate(&mut mem, &events[0]);
+        assert_eq!(hit, vec![(r1, 4)]);
+        assert_eq!(mem.frames().pinned_pages(), 4);
+        assert!(d.region(r1).unpinned());
+        assert!(d.region(r2).fully_pinned());
+        // r1 stays *declared* — it may repin later (after a remap).
+        assert!(d.is_declared(r1));
+    }
+
+    #[test]
+    fn repin_after_invalidate_sees_new_mapping() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let r = d.declare(space, &[Segment { addr, len: 2 * PAGE_SIZE }]);
+        mem.write(space, addr, b"first").unwrap();
+        d.region_mut(r).pin_next_chunk(&mut mem, 100).unwrap();
+
+        // free + malloc-again at the same VA (same size reuses the range).
+        let events = mem.munmap(space, addr, 2 * PAGE_SIZE).unwrap();
+        for ev in &events {
+            d.handle_invalidate(&mut mem, ev);
+        }
+        let again = mem.mmap(space, 2 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert_eq!(again, addr);
+        mem.write(space, addr, b"second").unwrap();
+
+        // The driver repins on next use and reads the *new* data.
+        d.region_mut(r).pin_next_chunk(&mut mem, 100).unwrap();
+        let mut buf = [0u8; 6];
+        d.region(r).read(&mem, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"second");
+        d.region_mut(r).unpin_all(&mut mem);
+    }
+
+    #[test]
+    fn pressure_evicts_idle_lru_regions() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(Some(8));
+        let r1 = d.declare(space, &[Segment { addr, len: 4 * PAGE_SIZE }]);
+        let r2 = d.declare(space, &[Segment { addr: addr.add(4 * PAGE_SIZE), len: 4 * PAGE_SIZE }]);
+        d.region_mut(r1).pin_next_chunk(&mut mem, 100).unwrap();
+        d.region_mut(r1).last_use = SimTime::from_nanos(10);
+        d.region_mut(r2).pin_next_chunk(&mut mem, 100).unwrap();
+        d.region_mut(r2).last_use = SimTime::from_nanos(20);
+        assert_eq!(mem.frames().pinned_pages(), 8);
+
+        // Need 4 more pages: r1 (older) must go.
+        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30));
+        assert_eq!(evicted, vec![(r1, 4)]);
+        assert_eq!(mem.frames().pinned_pages(), 4);
+
+        // In-use regions are never victims.
+        d.region_mut(r2).use_count = 1;
+        let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40));
+        assert!(evicted.is_empty());
+        assert_eq!(d.stats().0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-use region")]
+    fn undeclare_in_use_panics() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let r = d.declare(space, &[Segment { addr, len: PAGE_SIZE }]);
+        d.region_mut(r).use_count = 1;
+        d.undeclare(&mut mem, r);
+    }
+}

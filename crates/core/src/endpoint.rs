@@ -1,0 +1,334 @@
+//! Endpoints: MX-style message matching (posted receives vs. unexpected
+//! messages) plus the receive-side eager reassembly buffers.
+//!
+//! Matching follows MX semantics: a posted receive carries `match_info`
+//! and a `mask`; an incoming message with key `k` matches when
+//! `k & mask == match_info & mask`. Both queues are FIFO, so matching is
+//! deterministic.
+
+use std::collections::{HashSet, VecDeque};
+
+use simmem::VirtAddr;
+
+use crate::engine::ProcId;
+use crate::wire::MsgId;
+
+/// Network-visible address of an endpoint (one per process).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EndpointAddr {
+    /// The owning process.
+    pub proc: ProcId,
+}
+
+/// Application-visible handle of a posted operation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestId(pub u64);
+
+/// A receive posted by the application, waiting for a message.
+#[derive(Clone, Copy, Debug)]
+pub struct PostedRecv {
+    /// Application handle.
+    pub req: RequestId,
+    /// Matching key.
+    pub match_info: u64,
+    /// Matching mask (`!0` = exact match).
+    pub mask: u64,
+    /// Destination buffer.
+    pub addr: VirtAddr,
+    /// Destination buffer capacity.
+    pub len: u64,
+}
+
+impl PostedRecv {
+    fn matches(&self, key: u64) -> bool {
+        key & self.mask == self.match_info & self.mask
+    }
+}
+
+/// Eager-message reassembly state (ring-buffer contents in real Open-MX).
+#[derive(Clone, Debug)]
+pub struct EagerRx {
+    /// Sender's transfer id.
+    pub msg: MsgId,
+    /// Sending endpoint.
+    pub src: EndpointAddr,
+    /// Matching key.
+    pub match_info: u64,
+    /// Full message length.
+    pub total_len: u64,
+    /// Reassembled bytes.
+    pub buffer: Vec<u8>,
+    /// Per-fragment received flags.
+    pub got: Vec<bool>,
+    /// Fragments still missing.
+    pub frags_left: u32,
+}
+
+impl EagerRx {
+    /// Fresh reassembly state for a message of `total_len` bytes in
+    /// `frag_count` fragments.
+    pub fn new(
+        msg: MsgId,
+        src: EndpointAddr,
+        match_info: u64,
+        total_len: u64,
+        frag_count: u32,
+    ) -> Self {
+        EagerRx {
+            msg,
+            src,
+            match_info,
+            total_len,
+            buffer: vec![0u8; total_len as usize],
+            got: vec![false; frag_count as usize],
+            frags_left: frag_count,
+        }
+    }
+
+    /// Absorb one fragment; duplicate fragments are ignored. Returns true
+    /// when the message became complete.
+    pub fn absorb(&mut self, frag: u32, offset: u64, data: &[u8]) -> bool {
+        let idx = frag as usize;
+        if self.got[idx] {
+            return false;
+        }
+        self.got[idx] = true;
+        self.frags_left -= 1;
+        let off = offset as usize;
+        self.buffer[off..off + data.len()].copy_from_slice(data);
+        self.frags_left == 0
+    }
+
+    /// True when all fragments arrived.
+    pub fn complete(&self) -> bool {
+        self.frags_left == 0
+    }
+}
+
+/// A message that arrived before its receive was posted.
+#[derive(Clone, Debug)]
+pub enum Unexpected {
+    /// Eager message (possibly still reassembling).
+    Eager(EagerRx),
+    /// Rendezvous announcement.
+    Rndv {
+        /// Sender transfer id.
+        msg: MsgId,
+        /// Sending endpoint.
+        src: EndpointAddr,
+        /// Matching key.
+        match_info: u64,
+        /// Announced message length.
+        total_len: u64,
+    },
+    /// Intra-node (shared-memory) message, data already materialized.
+    Shm {
+        /// Sender transfer id.
+        msg: MsgId,
+        /// Sending endpoint.
+        src: EndpointAddr,
+        /// Matching key.
+        match_info: u64,
+        /// Message bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl Unexpected {
+    /// The matching key of this message.
+    pub fn match_info(&self) -> u64 {
+        match self {
+            Unexpected::Eager(e) => e.match_info,
+            Unexpected::Rndv { match_info, .. } | Unexpected::Shm { match_info, .. } => {
+                *match_info
+            }
+        }
+    }
+
+    /// The sender transfer id.
+    pub fn msg_id(&self) -> MsgId {
+        match self {
+            Unexpected::Eager(e) => e.msg,
+            Unexpected::Rndv { msg, .. } | Unexpected::Shm { msg, .. } => *msg,
+        }
+    }
+}
+
+/// One process's endpoint: matching queues and duplicate suppression.
+pub struct Endpoint {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+    /// Eager/rndv messages already fully handled — duplicates (from
+    /// retransmission) of these are re-acked and dropped.
+    completed: HashSet<MsgId>,
+}
+
+impl Default for Endpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Endpoint {
+    /// An endpoint with empty queues.
+    pub fn new() -> Self {
+        Endpoint {
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            completed: HashSet::new(),
+        }
+    }
+
+    /// Post a receive. If an unexpected message matches (FIFO order), it is
+    /// removed and returned; otherwise the receive queues.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> Option<Unexpected> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|u| recv.matches(u.match_info()))
+        {
+            return self.unexpected.remove(pos);
+        }
+        self.posted.push_back(recv);
+        None
+    }
+
+    /// An incoming message with key `key` claims the first matching posted
+    /// receive, removing it.
+    pub fn match_incoming(&mut self, key: u64) -> Option<PostedRecv> {
+        let pos = self.posted.iter().position(|p| p.matches(key))?;
+        self.posted.remove(pos)
+    }
+
+    /// Queue a message that found no posted receive.
+    pub fn push_unexpected(&mut self, msg: Unexpected) {
+        self.unexpected.push_back(msg);
+    }
+
+    /// Find an in-progress unexpected eager reassembly by sender msg id.
+    pub fn unexpected_eager_mut(&mut self, msg: MsgId) -> Option<&mut EagerRx> {
+        self.unexpected.iter_mut().find_map(|u| match u {
+            Unexpected::Eager(e) if e.msg == msg => Some(e),
+            _ => None,
+        })
+    }
+
+    /// True if an unexpected rndv with this id is already queued
+    /// (duplicate-rndv suppression).
+    pub fn has_unexpected(&self, msg: MsgId) -> bool {
+        self.unexpected.iter().any(|u| u.msg_id() == msg)
+    }
+
+    /// Record a fully handled message id for duplicate suppression.
+    pub fn mark_completed(&mut self, msg: MsgId) {
+        self.completed.insert(msg);
+    }
+
+    /// Was this message id already fully handled?
+    pub fn is_completed(&self, msg: MsgId) -> bool {
+        self.completed.contains(&msg)
+    }
+
+    /// Queue depths `(posted, unexpected)` — for tests and stats.
+    pub fn depths(&self) -> (usize, usize) {
+        (self.posted.len(), self.unexpected.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(p: u32) -> EndpointAddr {
+        EndpointAddr { proc: ProcId(p) }
+    }
+
+    fn recv(req: u64, match_info: u64, mask: u64) -> PostedRecv {
+        PostedRecv {
+            req: RequestId(req),
+            match_info,
+            mask,
+            addr: VirtAddr(0x1000),
+            len: 64,
+        }
+    }
+
+    #[test]
+    fn exact_matching_fifo() {
+        let mut ep = Endpoint::new();
+        assert!(ep.post_recv(recv(1, 42, !0)).is_none());
+        assert!(ep.post_recv(recv(2, 42, !0)).is_none());
+        let m = ep.match_incoming(42).unwrap();
+        assert_eq!(m.req, RequestId(1), "first posted matches first");
+        let m = ep.match_incoming(42).unwrap();
+        assert_eq!(m.req, RequestId(2));
+        assert!(ep.match_incoming(42).is_none());
+    }
+
+    #[test]
+    fn masked_matching() {
+        let mut ep = Endpoint::new();
+        // Match only on the low 32 bits (e.g. tag, ignoring source).
+        ep.post_recv(recv(1, 0x0000_0000_0000_0007, 0x0000_0000_ffff_ffff));
+        assert!(ep.match_incoming(0xdead_beef_0000_0007).is_some());
+        assert!(ep.match_incoming(0xdead_beef_0000_0008).is_none());
+    }
+
+    #[test]
+    fn unexpected_claimed_by_later_post() {
+        let mut ep = Endpoint::new();
+        ep.push_unexpected(Unexpected::Rndv {
+            msg: MsgId(5),
+            src: addr(1),
+            match_info: 9,
+            total_len: 1 << 20,
+        });
+        let got = ep.post_recv(recv(1, 9, !0)).expect("should claim rndv");
+        assert_eq!(got.msg_id(), MsgId(5));
+        assert_eq!(ep.depths(), (0, 0));
+    }
+
+    #[test]
+    fn unexpected_fifo_order() {
+        let mut ep = Endpoint::new();
+        for i in 0..3 {
+            ep.push_unexpected(Unexpected::Shm {
+                msg: MsgId(i),
+                src: addr(1),
+                match_info: 9,
+                data: vec![],
+            });
+        }
+        let got = ep.post_recv(recv(1, 9, !0)).unwrap();
+        assert_eq!(got.msg_id(), MsgId(0));
+    }
+
+    #[test]
+    fn eager_reassembly() {
+        let mut e = EagerRx::new(MsgId(1), addr(0), 7, 10, 3);
+        assert!(!e.absorb(0, 0, &[1, 2, 3, 4]));
+        assert!(!e.absorb(2, 8, &[9, 10]));
+        // Duplicate is idempotent.
+        assert!(!e.absorb(0, 0, &[1, 2, 3, 4]));
+        assert!(e.absorb(1, 4, &[5, 6, 7, 8]));
+        assert!(e.complete());
+        assert_eq!(e.buffer, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn completed_dedup() {
+        let mut ep = Endpoint::new();
+        assert!(!ep.is_completed(MsgId(3)));
+        ep.mark_completed(MsgId(3));
+        assert!(ep.is_completed(MsgId(3)));
+    }
+
+    #[test]
+    fn find_unexpected_eager_in_progress() {
+        let mut ep = Endpoint::new();
+        ep.push_unexpected(Unexpected::Eager(EagerRx::new(MsgId(4), addr(2), 1, 100, 2)));
+        assert!(ep.unexpected_eager_mut(MsgId(4)).is_some());
+        assert!(ep.unexpected_eager_mut(MsgId(5)).is_none());
+        assert!(ep.has_unexpected(MsgId(4)));
+    }
+}

@@ -1,0 +1,1513 @@
+//! Event handlers: the MXoE protocol state machine, on-demand pinning,
+//! overlap-miss recovery, and completion plumbing.
+
+use simcore::{Priority, SimDuration};
+use simmem::VirtAddr;
+
+use super::xfer::{
+    Block, EagerRxMatched, EagerTx, NotifyPending, PendingCopy, PinAction, PinPlan, PinWaiter,
+    RecvXfer, SendXfer, ShmParked,
+};
+use super::{AppEvent, Cluster, Event, OverlapHint, ProcId, SyscallAction, TimerToken, Work};
+use crate::driver::RegionId;
+use crate::endpoint::{EagerRx, EndpointAddr, PostedRecv, RequestId, Unexpected};
+use crate::region::Segment;
+use crate::wire::{Frame, MsgId, PullId, WireMsg};
+
+/// The process whose core a sliced work item belongs to.
+fn work_owner(w: &Work) -> ProcId {
+    match w {
+        Work::EagerCopyOut { owner, .. } => *owner,
+        Work::EagerDeliver { owner, .. } => *owner,
+        Work::ShmSend { owner, .. } => *owner,
+        Work::ShmDeliver { owner, .. } => *owner,
+        _ => unreachable!("only copy works are sliced"),
+    }
+}
+
+impl Cluster {
+    pub(crate) fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::FrameArrival(frame) => self.on_frame_arrival(frame),
+            Event::CoreDone { node, core } => self.on_core_done(node, core),
+            Event::IoatDone { node, token } => self.on_ioat_done(node, token),
+            Event::Timer(token) => self.on_timer(token),
+        }
+    }
+
+    // ================== CPU completion plumbing ==================
+
+    fn on_core_done(&mut self, node: usize, core: usize) {
+        // Hold the core while the handler runs so that follow-up work it
+        // submits (next pin chunk, next compute slice) is considered
+        // before already-queued lower-priority items start.
+        let (_id, work) = self.nodes[node].cores[core].complete(self.now);
+        self.handle_work(work);
+        if let Some(c) = self.nodes[node].cores[core].resume(self.now) {
+            self.queue.schedule(c.at, Event::CoreDone { node, core });
+        }
+    }
+
+    fn handle_work(&mut self, work: Work) {
+        match work {
+            Work::Syscall { proc, action } => self.on_syscall(proc, action),
+            Work::PinChunk { node, region } => self.on_pin_chunk(node, region),
+            Work::UnpinRegion {
+                node,
+                region,
+                undeclare,
+            } => self.on_unpin_region(node, region, undeclare),
+            Work::BhFrame(frame) => self.on_bh_frame(frame),
+            Work::Compute {
+                proc,
+                token,
+                remaining,
+            } => {
+                if remaining.is_zero() {
+                    self.notify_app(proc, AppEvent::ComputeDone(token));
+                } else {
+                    let slice = Cluster::COMPUTE_SLICE.min(remaining);
+                    self.submit_proc_work(
+                        proc,
+                        slice,
+                        Work::Compute {
+                            proc,
+                            token,
+                            remaining: remaining - slice,
+                        },
+                    );
+                }
+            }
+            Work::EagerCopyOut { msg, req, .. } => self.on_eager_copy_out(msg, req),
+            Work::EagerDeliver { msg, .. } => self.on_eager_deliver(msg),
+            Work::ShmSend { msg, req, .. } => self.on_shm_send(msg, req),
+            Work::ShmDeliver { msg, .. } => self.on_shm_deliver(msg),
+            Work::Slice { then, remaining } => {
+                if remaining.is_zero() {
+                    self.handle_work(*then);
+                } else {
+                    let proc = work_owner(&then);
+                    let slice = Cluster::COMPUTE_SLICE.min(remaining);
+                    self.submit_proc_work(
+                        proc,
+                        slice,
+                        Work::Slice {
+                            then,
+                            remaining: remaining - slice,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // ================== syscalls ==================
+
+    fn on_syscall(&mut self, proc: ProcId, action: SyscallAction) {
+        match action {
+            SyscallAction::Isend {
+                req,
+                peer,
+                match_info,
+                segments,
+                hint,
+            } => self.start_send(proc, req, peer, match_info, segments, hint),
+            SyscallAction::Irecv {
+                req,
+                match_info,
+                mask,
+                addr,
+                len,
+                hint,
+            } => self.start_recv(proc, req, match_info, mask, addr, len, hint),
+        }
+    }
+
+    fn start_send(
+        &mut self,
+        proc: ProcId,
+        req: RequestId,
+        peer: ProcId,
+        match_info: u64,
+        segments: Vec<Segment>,
+        hint: OverlapHint,
+    ) {
+        let len: u64 = segments.iter().map(|s| s.len).sum();
+        let src_node = self.procs[proc.0 as usize].node;
+        let dst_node = self.procs[peer.0 as usize].node;
+        if src_node == dst_node {
+            self.start_shm_send(proc, req, peer, match_info, &segments, len);
+        } else if len < self.cfg.eager_threshold {
+            self.start_eager_send(proc, req, peer, match_info, &segments, len);
+        } else {
+            self.start_rndv_send(proc, req, peer, match_info, segments, len, hint);
+        }
+    }
+
+    /// Gather the bytes of a segment vector through a process's page
+    /// tables (the user-context copy of the eager/shm paths).
+    fn read_segments(&mut self, proc: ProcId, segments: &[Segment], len: u64) -> Vec<u8> {
+        let idx = proc.0 as usize;
+        let node = self.procs[idx].node;
+        let space = self.procs[idx].space;
+        let mut data = vec![0u8; len as usize];
+        let mut cursor = 0usize;
+        for seg in segments {
+            self.nodes[node]
+                .mem
+                .read(space, seg.addr, &mut data[cursor..cursor + seg.len as usize])
+                .expect("send source fault");
+            cursor += seg.len as usize;
+        }
+        data
+    }
+
+    // ================== shared-memory (intra-node) path ==================
+
+    fn start_shm_send(
+        &mut self,
+        proc: ProcId,
+        req: RequestId,
+        peer: ProcId,
+        match_info: u64,
+        segments: &[Segment],
+        len: u64,
+    ) {
+        let msg = self.alloc_msg();
+        let node = self.procs[proc.0 as usize].node;
+        let data = self.read_segments(proc, segments, len);
+        self.xfers.shm.insert(
+            msg,
+            ShmParked {
+                src: self.addr_of(proc),
+                peer,
+                match_info,
+                data,
+                dst: None,
+            },
+        );
+        let cost = SimDuration::from_nanos(500) + self.cfg.profile.memcpy_cost(len);
+        self.submit_sliced_proc_work(proc, cost, Work::ShmSend { owner: proc, msg, req });
+        self.nodes[node].counters.bump("shm_msgs_tx");
+    }
+
+    fn on_shm_send(&mut self, msg: MsgId, req: RequestId) {
+        let parked = self.xfers.shm.get_mut(&msg).expect("shm xfer");
+        let (src, peer, match_info) = (parked.src, parked.peer, parked.match_info);
+        let total = parked.data.len() as u64;
+        self.notify_app(src.proc, AppEvent::SendDone(req));
+        // Deliver to the peer endpoint (receiver-side copy still pending).
+        let pidx = peer.0 as usize;
+        match self.procs[pidx].endpoint.match_incoming(match_info) {
+            Some(posted) => {
+                self.xfers.recv_hints.remove(&posted.req);
+                self.shm_matched(msg, peer, posted, total)
+            }
+            None => {
+                let parked = self.xfers.shm.remove(&msg).expect("shm xfer");
+                self.procs[pidx].endpoint.push_unexpected(Unexpected::Shm {
+                    msg,
+                    src,
+                    match_info,
+                    data: parked.data,
+                });
+            }
+        }
+    }
+
+    fn shm_matched(&mut self, msg: MsgId, receiver: ProcId, posted: PostedRecv, total: u64) {
+        let copy_len = total.min(posted.len);
+        let parked = self.xfers.shm.get_mut(&msg).expect("shm xfer");
+        parked.dst = Some((posted.req, receiver, posted.addr, copy_len));
+        let cost = self.cfg.profile.memcpy_cost(copy_len);
+        self.submit_sliced_proc_work(receiver, cost, Work::ShmDeliver { owner: receiver, msg });
+    }
+
+    fn on_shm_deliver(&mut self, msg: MsgId) {
+        let parked = self.xfers.shm.remove(&msg).expect("shm xfer");
+        let (req, proc, addr, copy_len) = parked.dst.expect("matched");
+        let idx = proc.0 as usize;
+        let node = self.procs[idx].node;
+        let space = self.procs[idx].space;
+        let events = self.nodes[node]
+            .mem
+            .write(space, addr, &parked.data[..copy_len as usize])
+            .expect("shm deliver fault");
+        self.dispatch_notifier_events(node, &events);
+        self.notify_app(proc, AppEvent::RecvDone(req, copy_len));
+    }
+
+    // ================== eager path ==================
+
+    fn start_eager_send(
+        &mut self,
+        proc: ProcId,
+        req: RequestId,
+        peer: ProcId,
+        match_info: u64,
+        segments: &[Segment],
+        len: u64,
+    ) {
+        let msg = self.alloc_msg();
+        let node = self.procs[proc.0 as usize].node;
+        let data = self.read_segments(proc, segments, len);
+        self.xfers.eager_tx.insert(
+            msg,
+            EagerTx {
+                proc,
+                peer: self.addr_of(peer),
+                match_info,
+                total_len: len,
+                data,
+                timer: None,
+                retries: 0,
+            },
+        );
+        let frags = simnet::frame::frame_count(len, self.cfg.net.mtu);
+        let cost = self.cfg.profile.memcpy_cost(len) + self.cfg.profile.tx_setup.times(frags);
+        self.submit_sliced_proc_work(proc, cost, Work::EagerCopyOut { owner: proc, msg, req });
+        self.nodes[node].counters.bump("eager_msgs_tx");
+    }
+
+    fn on_eager_copy_out(&mut self, msg: MsgId, req: RequestId) {
+        self.transmit_eager_frames(msg);
+        let timeout = self.cfg.retransmit_timeout;
+        let timer = self.arm_timer(timeout, TimerToken::EagerRetrans(msg));
+        let tx = self.xfers.eager_tx.get_mut(&msg).expect("eager tx");
+        tx.timer = Some(timer);
+        let proc = tx.proc;
+        // MX eager semantics: the send completes locally once the data has
+        // been copied out of the user buffer.
+        self.notify_app(proc, AppEvent::SendDone(req));
+    }
+
+    fn transmit_eager_frames(&mut self, msg: MsgId) {
+        let tx = self.xfers.eager_tx.get(&msg).expect("eager tx");
+        let (proc, peer, match_info, total) = (tx.proc, tx.peer, tx.match_info, tx.total_len);
+        let chunk = self.frame_payload();
+        let frag_count = simnet::frame::frame_count(total, self.cfg.net.mtu) as u32;
+        let mut frames = Vec::new();
+        for frag in 0..frag_count {
+            let offset = frag as u64 * chunk;
+            let flen = chunk.min(total - offset);
+            let data = self.xfers.eager_tx[&msg].data[offset as usize..(offset + flen) as usize]
+                .to_vec();
+            frames.push(self.frame(
+                proc,
+                peer,
+                WireMsg::Eager {
+                    msg,
+                    match_info,
+                    frag,
+                    frag_count,
+                    total_len: total,
+                    offset,
+                    data,
+                },
+            ));
+        }
+        for f in frames {
+            self.transmit(f);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_eager_frame(
+        &mut self,
+        src: EndpointAddr,
+        dst: ProcId,
+        msg: MsgId,
+        match_info: u64,
+        frag: u32,
+        frag_count: u32,
+        total_len: u64,
+        offset: u64,
+        data: Vec<u8>,
+    ) {
+        let idx = dst.0 as usize;
+        if self.procs[idx].endpoint.is_completed(msg) {
+            // Duplicate of a finished message: just re-ack.
+            let ack = self.frame(dst, src, WireMsg::EagerAck { msg });
+            self.transmit(ack);
+            return;
+        }
+        // Matched, still reassembling?
+        if let Some(m) = self.xfers.eager_rx.get_mut(&msg) {
+            if m.rx.absorb(frag, offset, &data) {
+                let cost = self.cfg.profile.memcpy_cost(m.copy_len);
+                let proc = m.proc;
+                self.submit_sliced_proc_work(proc, cost, Work::EagerDeliver { owner: proc, msg });
+            }
+            return;
+        }
+        // Unexpected, still reassembling?
+        if let Some(u) = self.procs[idx].endpoint.unexpected_eager_mut(msg) {
+            u.absorb(frag, offset, &data);
+            return;
+        }
+        // First frame of a new message.
+        let mut rx = EagerRx::new(msg, src, match_info, total_len, frag_count);
+        let complete = rx.absorb(frag, offset, &data);
+        match self.procs[idx].endpoint.match_incoming(match_info) {
+            Some(posted) => {
+                self.xfers.recv_hints.remove(&posted.req);
+                let copy_len = total_len.min(posted.len);
+                self.xfers.eager_rx.insert(
+                    msg,
+                    EagerRxMatched {
+                        rx,
+                        req: posted.req,
+                        proc: dst,
+                        addr: posted.addr,
+                        copy_len,
+                    },
+                );
+                if complete {
+                    let cost = self.cfg.profile.memcpy_cost(copy_len);
+                    self.submit_sliced_proc_work(dst, cost, Work::EagerDeliver { owner: dst, msg });
+                }
+            }
+            None => {
+                self.procs[idx]
+                    .endpoint
+                    .push_unexpected(Unexpected::Eager(rx));
+            }
+        }
+    }
+
+    fn on_eager_deliver(&mut self, msg: MsgId) {
+        let m = self.xfers.eager_rx.remove(&msg).expect("matched eager rx");
+        let idx = m.proc.0 as usize;
+        let node = self.procs[idx].node;
+        let space = self.procs[idx].space;
+        let events = self.nodes[node]
+            .mem
+            .write(space, m.addr, &m.rx.buffer[..m.copy_len as usize])
+            .expect("eager deliver fault");
+        self.dispatch_notifier_events(node, &events);
+        self.procs[idx].endpoint.mark_completed(msg);
+        let ack = self.frame(m.proc, m.rx.src, WireMsg::EagerAck { msg });
+        self.transmit(ack);
+        self.notify_app(m.proc, AppEvent::RecvDone(m.req, m.copy_len));
+    }
+
+    // ================== rendezvous send side ==================
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_rndv_send(
+        &mut self,
+        proc: ProcId,
+        req: RequestId,
+        peer: ProcId,
+        match_info: u64,
+        segments: Vec<Segment>,
+        len: u64,
+        hint: OverlapHint,
+    ) {
+        let node = self.procs[proc.0 as usize].node;
+        let msg = self.alloc_msg();
+        let (region, owned) = self.acquire_region(proc, segments);
+        let target = self.pin_target(node, region, len);
+        self.xfers.send.insert(
+            msg,
+            SendXfer {
+                req,
+                proc,
+                peer: self.addr_of(peer),
+                match_info,
+                region,
+                node,
+                total_len: len,
+                owned,
+                pull_seen: false,
+                rndv_timer: None,
+                retries: 0,
+            },
+        );
+        self.nodes[node].counters.bump("rndv_msgs_tx");
+        if hint.resolve(self.cfg.pinning.overlaps()) {
+            let presync = self.cfg.presync_pages.min(target);
+            if presync > 0 {
+                let sat = self.ensure_pinned(
+                    node,
+                    proc,
+                    region,
+                    target,
+                    Some(PinWaiter {
+                        threshold_pages: presync,
+                        action: PinAction::SendRndv(msg),
+                    }),
+                );
+                if sat {
+                    self.send_rndv(msg);
+                }
+            } else {
+                self.ensure_pinned(node, proc, region, target, None);
+                self.send_rndv(msg);
+            }
+        } else {
+            let sat = self.ensure_pinned(
+                node,
+                proc,
+                region,
+                target,
+                Some(PinWaiter {
+                    threshold_pages: target,
+                    action: PinAction::SendRndv(msg),
+                }),
+            );
+            if sat {
+                self.send_rndv(msg);
+            }
+        }
+    }
+
+    fn send_rndv(&mut self, msg: MsgId) {
+        let x = self.xfers.send.get_mut(&msg).expect("send xfer");
+        let (proc, peer, match_info, total_len) = (x.proc, x.peer, x.match_info, x.total_len);
+        self.cancel_timer(self.xfers.send[&msg].rndv_timer);
+        let f = self.frame(
+            proc,
+            peer,
+            WireMsg::Rndv {
+                msg,
+                match_info,
+                total_len,
+            },
+        );
+        self.transmit(f);
+        let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::RndvRetrans(msg));
+        self.xfers.send.get_mut(&msg).expect("send xfer").rndv_timer = Some(t);
+        let node = self.xfers.send[&msg].node;
+        self.trace_event(node, "rndv_tx", format!("msg {msg:?} len {total_len}"));
+    }
+
+    fn on_pull_req(&mut self, msg: MsgId, pull: PullId, block: u32, frame_mask: u64, xfer_len: u64) {
+        let Some(x) = self.xfers.send.get_mut(&msg) else {
+            self.counters.bump("pull_req_stale");
+            return;
+        };
+        if !x.pull_seen {
+            x.pull_seen = true;
+            let t = x.rndv_timer.take();
+            self.cancel_timer(t);
+        }
+        let x = &self.xfers.send[&msg];
+        let (node, region, proc, peer, total_len) =
+            (x.node, x.region, x.proc, x.peer, x.total_len);
+        // The receiver may have truncated the transfer to its posted size.
+        let limit = total_len.min(xfer_len);
+        let chunk = self.frame_payload();
+        let block_base = block as u64 * self.cfg.pull_block;
+        let block_len = self.cfg.pull_block.min(limit - block_base);
+        let nframes = block_len.div_ceil(chunk) as u32;
+        let mut replies = Vec::new();
+        let mut missed = false;
+        {
+            let n = &self.nodes[node];
+            let r = n.driver.region(region);
+            for f in 0..nframes {
+                if frame_mask & (1u64 << f) == 0 {
+                    continue;
+                }
+                let off = block_base + f as u64 * chunk;
+                let flen = chunk.min(limit - off);
+                let mut data = vec![0u8; flen as usize];
+                match r.read(&n.mem, off, &mut data) {
+                    Ok(()) => replies.push((f, off, data)),
+                    Err(_) => {
+                        // Sender-side overlap miss: the pull request beat
+                        // the pin cursor. Drop this frame; the receiver
+                        // re-requests it.
+                        missed = true;
+                    }
+                }
+            }
+        }
+        if missed {
+            self.nodes[node].counters.bump("overlap_miss_tx");
+            // Make sure pinning is (still) progressing toward the end.
+            let target = self.pin_target(node, region, limit);
+            self.ensure_pinned(node, proc, region, target, None);
+        }
+        for (f, off, data) in replies {
+            let frame = self.frame(
+                proc,
+                peer,
+                WireMsg::PullReply {
+                    pull,
+                    block,
+                    frame: f,
+                    offset: off,
+                    data,
+                },
+            );
+            self.transmit(frame);
+        }
+    }
+
+    fn on_notify(&mut self, src: EndpointAddr, dst: ProcId, msg: MsgId) {
+        // Always ack so the receiver can quiesce, even for duplicates.
+        let ack = self.frame(dst, src, WireMsg::NotifyAck { msg });
+        self.transmit(ack);
+        let Some(x) = self.xfers.send.remove(&msg) else {
+            return; // duplicate notify
+        };
+        self.cancel_timer(x.rndv_timer);
+        self.release_region(x.proc, x.node, x.region, x.owned);
+        self.trace_event(x.node, "send_done", format!("msg {msg:?}"));
+        self.notify_app(x.proc, AppEvent::SendDone(x.req));
+    }
+
+    // ================== rendezvous receive side ==================
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_recv(
+        &mut self,
+        proc: ProcId,
+        req: RequestId,
+        match_info: u64,
+        mask: u64,
+        addr: VirtAddr,
+        len: u64,
+        hint: OverlapHint,
+    ) {
+        self.xfers.recv_hints.insert(req, hint);
+        let posted = PostedRecv {
+            req,
+            match_info,
+            mask,
+            addr,
+            len,
+        };
+        let idx = proc.0 as usize;
+        match self.procs[idx].endpoint.post_recv(posted) {
+            None => {}
+            Some(Unexpected::Eager(rx)) => {
+                self.xfers.recv_hints.remove(&req);
+                let msg = rx.msg;
+                let copy_len = rx.total_len.min(len);
+                let complete = rx.complete();
+                self.xfers.eager_rx.insert(
+                    msg,
+                    EagerRxMatched {
+                        rx,
+                        req,
+                        proc,
+                        addr,
+                        copy_len,
+                    },
+                );
+                if complete {
+                    let cost = self.cfg.profile.memcpy_cost(copy_len);
+                    self.submit_sliced_proc_work(proc, cost, Work::EagerDeliver { owner: proc, msg });
+                }
+            }
+            Some(Unexpected::Rndv {
+                msg,
+                src,
+                total_len,
+                ..
+            }) => {
+                self.start_recv_xfer(proc, src, msg, total_len, posted);
+            }
+            Some(Unexpected::Shm { msg, src, data, .. }) => {
+                self.xfers.recv_hints.remove(&req);
+                let total = data.len() as u64;
+                self.xfers.shm.insert(
+                    msg,
+                    ShmParked {
+                        src,
+                        peer: proc,
+                        match_info,
+                        data,
+                        dst: None,
+                    },
+                );
+                self.shm_matched(msg, proc, posted, total);
+            }
+        }
+    }
+
+    fn start_recv_xfer(
+        &mut self,
+        proc: ProcId,
+        src: EndpointAddr,
+        msg: MsgId,
+        total_len: u64,
+        posted: PostedRecv,
+    ) {
+        let node = self.procs[proc.0 as usize].node;
+        let xfer_len = total_len.min(posted.len);
+        // Cached modes key the region on the full posted buffer so repeat
+        // receives hit; per-comm modes declare exactly what is needed
+        // ("no need to pin an entire region if only part of it is used").
+        let reg_len = if self.cfg.pinning.caches() {
+            posted.len
+        } else {
+            xfer_len
+        };
+        let (region, owned) =
+            self.acquire_region(proc, vec![Segment { addr: posted.addr, len: reg_len }]);
+        let target = self.pin_target(node, region, xfer_len);
+        let pull = self.alloc_pull();
+        let chunk = self.frame_payload();
+        let nblocks = xfer_len.div_ceil(self.cfg.pull_block);
+        let mut blocks = Vec::with_capacity(nblocks as usize);
+        let mut frames_total = 0u64;
+        for b in 0..nblocks {
+            let base = b * self.cfg.pull_block;
+            let blen = self.cfg.pull_block.min(xfer_len - base);
+            let frames = blen.div_ceil(chunk) as u32;
+            assert!(frames <= 64, "pull_block too large for the frame mask");
+            frames_total += frames as u64;
+            blocks.push(Block {
+                frames,
+                received: 0,
+                requested: false,
+                requested_at: self.now,
+            });
+        }
+        let timer = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
+        self.xfers.recv.insert(
+            pull,
+            RecvXfer {
+                req: posted.req,
+                proc,
+                peer: src,
+                msg,
+                region,
+                node,
+                owned,
+                xfer_len,
+                blocks,
+                next_block: 0,
+                ioat_pending: 0,
+                frames_placed: 0,
+                frames_total,
+                stall_timer: Some(timer),
+                retries: 0,
+            },
+        );
+        self.xfers.recv_by_msg.insert(msg, pull);
+        self.trace_event(node, "rndv_rx", format!("msg {msg:?} len {xfer_len}"));
+        let hint = self
+            .xfers
+            .recv_hints
+            .remove(&posted.req)
+            .unwrap_or_default();
+        if hint.resolve(self.cfg.pinning.overlaps()) {
+            let presync = self.cfg.presync_pages.min(target);
+            if presync > 0 {
+                let sat = self.ensure_pinned(
+                    node,
+                    proc,
+                    region,
+                    target,
+                    Some(PinWaiter {
+                        threshold_pages: presync,
+                        action: PinAction::RecvStart(pull),
+                    }),
+                );
+                if sat {
+                    self.recv_start(pull);
+                }
+            } else {
+                self.ensure_pinned(node, proc, region, target, None);
+                self.recv_start(pull);
+            }
+        } else {
+            let sat = self.ensure_pinned(
+                node,
+                proc,
+                region,
+                target,
+                Some(PinWaiter {
+                    threshold_pages: target,
+                    action: PinAction::RecvStart(pull),
+                }),
+            );
+            if sat {
+                self.recv_start(pull);
+            }
+        }
+    }
+
+    /// Send the initial window of pull requests.
+    fn recv_start(&mut self, pull: PullId) {
+        let window = self.cfg.pull_window;
+        for _ in 0..window {
+            if !self.request_next_block(pull) {
+                break;
+            }
+        }
+    }
+
+    /// Request the next unrequested block, if any. Returns false when all
+    /// blocks have been requested.
+    fn request_next_block(&mut self, pull: PullId) -> bool {
+        let Some(x) = self.xfers.recv.get_mut(&pull) else {
+            return false;
+        };
+        let b = x.next_block;
+        if b as u64 >= x.blocks.len() as u64 {
+            return false;
+        }
+        x.next_block += 1;
+        x.blocks[b as usize].requested = true;
+        x.blocks[b as usize].requested_at = self.now;
+        let mask = x.blocks[b as usize].missing_mask();
+        let (proc, peer, msg, xfer_len) = (x.proc, x.peer, x.msg, x.xfer_len);
+        if self.trace.is_some() {
+            let node = self.procs[proc.0 as usize].node;
+            self.trace_event(node, "pull_req", format!("msg {:?} block {b}", msg.0));
+        }
+        let f = self.frame(
+            proc,
+            peer,
+            WireMsg::PullReq {
+                pull,
+                msg,
+                block: b,
+                frame_mask: mask,
+                xfer_len,
+            },
+        );
+        self.transmit(f);
+        true
+    }
+
+    /// Re-request the missing frames of one block.
+    fn rerequest_block(&mut self, pull: PullId, block: u32) {
+        let Some(x) = self.xfers.recv.get_mut(&pull) else {
+            return;
+        };
+        let blk = &mut x.blocks[block as usize];
+        let mask = blk.missing_mask();
+        if mask == 0 {
+            return;
+        }
+        blk.requested_at = self.now;
+        let (proc, peer, msg, xfer_len) = (x.proc, x.peer, x.msg, x.xfer_len);
+        let f = self.frame(
+            proc,
+            peer,
+            WireMsg::PullReq {
+                pull,
+                msg,
+                block,
+                frame_mask: mask,
+                xfer_len,
+            },
+        );
+        self.transmit(f);
+    }
+
+    fn on_rndv(&mut self, src: EndpointAddr, dst: ProcId, msg: MsgId, match_info: u64, total_len: u64) {
+        let idx = dst.0 as usize;
+        // Duplicate suppression: already matched, queued, or finished.
+        if self.procs[idx].endpoint.is_completed(msg)
+            || self.xfers.recv_by_msg.contains_key(&msg)
+            || self.procs[idx].endpoint.has_unexpected(msg)
+        {
+            return;
+        }
+        match self.procs[idx].endpoint.match_incoming(match_info) {
+            Some(posted) => self.start_recv_xfer(dst, src, msg, total_len, posted),
+            None => self.procs[idx].endpoint.push_unexpected(Unexpected::Rndv {
+                msg,
+                src,
+                match_info,
+                total_len,
+            }),
+        }
+    }
+
+    fn on_pull_reply(
+        &mut self,
+        _dst: ProcId,
+        pull: PullId,
+        block: u32,
+        frame: u32,
+        offset: u64,
+        data: Vec<u8>,
+    ) {
+        let Some(x) = self.xfers.recv.get_mut(&pull) else {
+            return; // stale (transfer already finished)
+        };
+        let bit = 1u64 << frame;
+        if x.blocks[block as usize].received & bit != 0 {
+            return; // duplicate frame
+        }
+        let (node, region, proc) = (x.node, x.region, x.proc);
+        let len = data.len() as u64;
+
+        // The decisive check of the overlapped design: has the pin cursor
+        // passed the touched pages? If not, drop the packet (§3.3) and let
+        // re-request recover it once pinning catches up.
+        let pinned = self.nodes[node]
+            .driver
+            .region(region)
+            .pinned_through(offset, len);
+        if !pinned {
+            self.nodes[node].counters.bump("overlap_miss_rx");
+            self.nodes[node].counters.bump("frames_dropped_unpinned");
+            if self.trace.is_some() {
+                self.trace_event(node, "overlap_miss", format!("pull {:?} offset {offset}", pull.0));
+            }
+            let x = self.xfers.recv.get(&pull).expect("recv xfer");
+            let (xfer_len, proc) = (x.xfer_len, x.proc);
+            let target = self.pin_target(node, region, xfer_len);
+            self.ensure_pinned(node, proc, region, target, None);
+            return;
+        }
+
+        if self.cfg.use_ioat {
+            let token = self.next_ioat_token;
+            self.next_ioat_token += 1;
+            let done = self.nodes[node].ioat.submit(self.now, len);
+            self.queue.schedule(done, Event::IoatDone { node, token });
+            self.xfers.ioat.insert(
+                token,
+                PendingCopy {
+                    pull,
+                    block,
+                    frame,
+                    offset,
+                    data,
+                },
+            );
+            let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+            x.ioat_pending += 1;
+            x.blocks[block as usize].received |= bit;
+        } else {
+            let n = &mut self.nodes[node];
+            let r = n.driver.region(region);
+            r.write(&mut n.mem, offset, &data).expect("pinned write");
+            let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+            x.blocks[block as usize].received |= bit;
+            x.frames_placed += 1;
+        }
+
+        self.after_pull_progress(pull, block, proc);
+    }
+
+    /// Common post-processing after any pull progress: next block request,
+    /// optimistic re-requests, stall-timer reset, completion check.
+    fn after_pull_progress(&mut self, pull: PullId, block: u32, _proc: ProcId) {
+        let Some(x) = self.xfers.recv.get_mut(&pull) else {
+            return;
+        };
+        // Block finished -> keep the pipeline full.
+        if x.blocks[block as usize].complete() {
+            if self.trace.is_some() {
+                let node = self.xfers.recv[&pull].node;
+                self.trace_event(node, "block_done", format!("pull {:?} block {block}", pull.0));
+            }
+            self.request_next_block(pull);
+        }
+        // Optimistic re-request (§4.3): receiving a frame of block `b`
+        // while an *earlier* block still has holes and has not been
+        // re-requested recently means those frames were dropped.
+        let guard = self.rerequest_guard();
+        let mut rerequests = Vec::new();
+        if self.cfg.optimistic_rerequest {
+            let x = self.xfers.recv.get(&pull).expect("recv xfer");
+            for (i, blk) in x.blocks.iter().enumerate() {
+                if (i as u32) < block
+                    && blk.requested
+                    && !blk.complete()
+                    && self.now.saturating_duration_since(blk.requested_at) > guard
+                {
+                    rerequests.push(i as u32);
+                }
+            }
+        }
+        for b in rerequests {
+            let x = self.xfers.recv.get(&pull).expect("recv xfer");
+            self.nodes[x.node].counters.bump("pull_rereq_optimistic");
+            self.rerequest_block(pull, b);
+        }
+        // Progress: push the stall timer out.
+        let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+        let t = x.stall_timer.take();
+        self.cancel_timer(t);
+        let timer = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
+        let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+        x.stall_timer = Some(timer);
+        if x.data_done() {
+            self.finish_recv(pull);
+        }
+    }
+
+    fn on_ioat_done(&mut self, node: usize, token: u64) {
+        let Some(copy) = self.xfers.ioat.remove(&token) else {
+            return;
+        };
+        let Some(x) = self.xfers.recv.get_mut(&copy.pull) else {
+            return; // transfer failed/aborted while the copy was in flight
+        };
+        x.ioat_pending -= 1;
+        let (region, proc) = (x.region, x.proc);
+        let pull = copy.pull;
+        let n = &mut self.nodes[node];
+        let r = n.driver.region(region);
+        match r.write(&mut n.mem, copy.offset, &copy.data) {
+            Ok(()) => {
+                let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+                x.frames_placed += 1;
+            }
+            Err(_) => {
+                // Region was invalidated mid-copy: treat the frame as lost.
+                n.counters.bump("ioat_landing_miss");
+                let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+                x.blocks[copy.block as usize].received &= !(1u64 << copy.frame);
+            }
+        }
+        self.after_pull_progress(pull, copy.block, proc);
+    }
+
+    fn finish_recv(&mut self, pull: PullId) {
+        let x = self.xfers.recv.remove(&pull).expect("recv xfer");
+        self.xfers.recv_by_msg.remove(&x.msg);
+        self.cancel_timer(x.stall_timer);
+        self.procs[x.proc.0 as usize].endpoint.mark_completed(x.msg);
+        let notify = self.frame(x.proc, x.peer, WireMsg::Notify { msg: x.msg });
+        self.transmit(notify);
+        let timer = self.arm_timer(
+            self.cfg.retransmit_timeout,
+            TimerToken::NotifyRetrans(x.msg),
+        );
+        self.xfers.notify_pending.insert(
+            x.msg,
+            NotifyPending {
+                proc: x.proc,
+                peer: x.peer,
+                timer,
+                retries: 0,
+            },
+        );
+        debug_assert_eq!(x.frames_placed, x.frames_total, "placed every frame");
+        self.release_region(x.proc, x.node, x.region, x.owned);
+        self.trace_event(x.node, "recv_done", format!("msg {:?} len {}", x.msg, x.xfer_len));
+        self.notify_app(x.proc, AppEvent::RecvDone(x.req, x.xfer_len));
+    }
+
+    fn on_notify_ack(&mut self, msg: MsgId) {
+        if let Some(p) = self.xfers.notify_pending.remove(&msg) {
+            self.queue.cancel(p.timer);
+        }
+    }
+
+    // ================== frame reception ==================
+
+    fn on_frame_arrival(&mut self, frame: Frame) {
+        let dst = frame.dst.proc;
+        let node = self.procs[dst.0 as usize].node;
+        let duration = self.bh_duration(node, &frame.msg);
+        self.nodes[node].counters.bump("frames_rx");
+        let bh = self.nodes[node].bh_core;
+        self.submit_work(node, bh, Priority::BottomHalf, duration, Work::BhFrame(frame));
+    }
+
+    fn bh_duration(&self, node: usize, msg: &WireMsg) -> SimDuration {
+        let p = &self.cfg.profile;
+        match msg {
+            WireMsg::Eager { data, .. } => p.pkt_processing + p.memcpy_cost(data.len() as u64),
+            WireMsg::PullReply { data, .. } => {
+                p.pkt_processing
+                    + if self.cfg.use_ioat {
+                        self.nodes[node].ioat.submit_cost()
+                    } else {
+                        p.memcpy_cost(data.len() as u64)
+                    }
+            }
+            _ => p.pkt_processing,
+        }
+    }
+
+    fn on_bh_frame(&mut self, frame: Frame) {
+        let src = frame.src;
+        let dst = frame.dst.proc;
+        match frame.msg {
+            WireMsg::Eager {
+                msg,
+                match_info,
+                frag,
+                frag_count,
+                total_len,
+                offset,
+                data,
+            } => self.on_eager_frame(
+                src, dst, msg, match_info, frag, frag_count, total_len, offset, data,
+            ),
+            WireMsg::EagerAck { msg } => {
+                if let Some(tx) = self.xfers.eager_tx.remove(&msg) {
+                    self.cancel_timer(tx.timer);
+                }
+            }
+            WireMsg::Rndv {
+                msg,
+                match_info,
+                total_len,
+            } => self.on_rndv(src, dst, msg, match_info, total_len),
+            WireMsg::PullReq {
+                pull,
+                msg,
+                block,
+                frame_mask,
+                xfer_len,
+            } => self.on_pull_req(msg, pull, block, frame_mask, xfer_len),
+            WireMsg::PullReply {
+                pull,
+                block,
+                frame,
+                offset,
+                data,
+            } => self.on_pull_reply(dst, pull, block, frame, offset, data),
+            WireMsg::Notify { msg } => self.on_notify(src, dst, msg),
+            WireMsg::NotifyAck { msg } => self.on_notify_ack(msg),
+        }
+    }
+
+    // ================== region acquisition & release ==================
+
+    /// Get a region for a segment vector: through the user-space cache in
+    /// cached modes, freshly declared otherwise. Bumps `use_count`.
+    fn acquire_region(&mut self, proc: ProcId, segments: Vec<Segment>) -> (RegionId, bool) {
+        let idx = proc.0 as usize;
+        let node = self.procs[idx].node;
+        let space = self.procs[idx].space;
+        let (rid, owned) = if self.cfg.pinning.caches() {
+            match self.procs[idx].cache.lookup(&segments) {
+                crate::cache::CacheOutcome::Hit(rid) => {
+                    self.nodes[node].counters.bump("cache_hit");
+                    (rid, false)
+                }
+                crate::cache::CacheOutcome::Miss => {
+                    self.nodes[node].counters.bump("cache_miss");
+                    let rid = self.nodes[node].driver.declare(space, &segments);
+                    if let Some(victim) = self.procs[idx].cache.insert(segments, rid) {
+                        self.evict_cached_region(proc, node, victim);
+                    }
+                    (rid, false)
+                }
+            }
+        } else {
+            (self.nodes[node].driver.declare(space, &segments), true)
+        };
+        let now = self.now;
+        let r = self.nodes[node].driver.region_mut(rid);
+        r.use_count += 1;
+        r.last_use = now;
+        (rid, owned)
+    }
+
+    /// LRU-evicted cache entry: undeclare now if idle, else defer.
+    fn evict_cached_region(&mut self, proc: ProcId, node: usize, victim: RegionId) {
+        self.nodes[node].counters.bump("cache_evictions");
+        if self.nodes[node].driver.region(victim).use_count == 0 {
+            let pages = self.nodes[node].driver.region(victim).pinned_pages();
+            let cost = self.cfg.profile.unpin_cost(pages);
+            self.submit_kernel_work(
+                proc,
+                cost,
+                Work::UnpinRegion {
+                    node,
+                    region: victim,
+                    undeclare: true,
+                },
+            );
+        } else {
+            self.xfers.deferred_undeclare.insert((node, victim.0));
+        }
+    }
+
+    /// Drop one communication's use of a region; schedule unpin/undeclare
+    /// when appropriate.
+    fn release_region(&mut self, proc: ProcId, node: usize, region: RegionId, owned: bool) {
+        let now = self.now;
+        let r = self.nodes[node].driver.region_mut(region);
+        assert!(r.use_count > 0, "release of unused region");
+        r.use_count -= 1;
+        r.last_use = now;
+        let idle = r.use_count == 0;
+        let pages = r.pinned_pages();
+        if idle && (owned || self.xfers.deferred_undeclare.remove(&(node, region.0))) {
+            self.xfers.pin_plans.remove(&(node, region.0));
+            let cost = self.cfg.profile.unpin_cost(pages);
+            self.submit_kernel_work(
+                proc,
+                cost,
+                Work::UnpinRegion {
+                    node,
+                    region,
+                    undeclare: true,
+                },
+            );
+        }
+    }
+
+    fn on_unpin_region(&mut self, node: usize, region: RegionId, undeclare: bool) {
+        if !self.nodes[node].driver.is_declared(region) {
+            return;
+        }
+        // A late communication may have re-acquired the region (cached
+        // modes only re-use via the cache, which no longer knows it, so
+        // this only guards pathological interleavings).
+        if self.nodes[node].driver.region(region).use_count > 0 {
+            return;
+        }
+        let n = &mut self.nodes[node];
+        let pages = n.driver.region_mut(region).unpin_all(&mut n.mem);
+        n.counters.add("unpin_pages", pages);
+        if undeclare {
+            n.driver.undeclare(&mut n.mem, region);
+        }
+        self.xfers.pin_plans.remove(&(node, region.0));
+    }
+
+    // ================== on-demand pinning machinery ==================
+
+    /// Pages needed to cover the first `len` bytes of `region`.
+    pub(crate) fn pin_target(&self, node: usize, region: RegionId, len: u64) -> u64 {
+        let r = self.nodes[node].driver.region(region);
+        let len = len.min(r.layout.total_len());
+        let (_, last) = r.layout.page_index_span(0, len);
+        last + 1
+    }
+
+    /// Ensure the region's pin cursor is heading for `target_pages`.
+    /// Returns true if `waiter`'s threshold is already satisfied (the
+    /// caller runs the action itself); otherwise the waiter queues.
+    pub(crate) fn ensure_pinned(
+        &mut self,
+        node: usize,
+        proc: ProcId,
+        region: RegionId,
+        target_pages: u64,
+        waiter: Option<PinWaiter>,
+    ) -> bool {
+        let cursor = self.nodes[node].driver.region(region).pinned_pages();
+        let plan = self
+            .xfers
+            .pin_plans
+            .entry((node, region.0))
+            .or_insert_with(|| PinPlan::new(proc));
+        plan.target = plan.target.max(target_pages);
+        plan.proc = proc;
+        let satisfied = waiter.is_none_or(|w| cursor >= w.threshold_pages);
+        if let Some(w) = waiter {
+            if !satisfied {
+                plan.waiters.push(w);
+            }
+        }
+        let target = plan.target;
+        let in_progress = plan.in_progress;
+        if cursor < target && !in_progress {
+            self.xfers
+                .pin_plans
+                .get_mut(&(node, region.0))
+                .expect("plan")
+                .in_progress = true;
+            self.submit_pin_chunk(node, proc, region, cursor, target);
+        } else if cursor >= target {
+            // Nothing to pin; a waiterless plan can go away.
+            let plan = self.xfers.pin_plans.get_mut(&(node, region.0)).expect("plan");
+            if plan.waiters.is_empty() && !plan.in_progress {
+                self.xfers.pin_plans.remove(&(node, region.0));
+            }
+        }
+        satisfied
+    }
+
+    fn submit_pin_chunk(
+        &mut self,
+        node: usize,
+        proc: ProcId,
+        region: RegionId,
+        cursor: u64,
+        target: u64,
+    ) {
+        let pages = self.cfg.pin_chunk_pages.min(target - cursor);
+        // Enforce the pinned-pages ceiling before growing the pin set.
+        let now = self.now;
+        {
+            let n = &mut self.nodes[node];
+            let evicted = n.driver.pressure_evict(&mut n.mem, pages, now);
+            for (rid, p) in &evicted {
+                n.counters.add("pressure_unpinned_pages", *p);
+                let _ = rid;
+            }
+        }
+        let duration = self.cfg.profile.pin_cost(pages, cursor == 0);
+        self.submit_kernel_work(proc, duration, Work::PinChunk { node, region });
+    }
+
+    fn on_pin_chunk(&mut self, node: usize, region: RegionId) {
+        if !self.nodes[node].driver.is_declared(region) {
+            self.xfers.pin_plans.remove(&(node, region.0));
+            return;
+        }
+        let Some(plan) = self.xfers.pin_plans.get(&(node, region.0)) else {
+            return; // plan cancelled (transfer completed/aborted)
+        };
+        let (target, proc) = (plan.target, plan.proc);
+        let cursor = self.nodes[node].driver.region(region).pinned_pages();
+        if cursor >= target {
+            self.finish_pin_plan(node, region, cursor);
+            return;
+        }
+        let want = self.cfg.pin_chunk_pages.min(target - cursor);
+        let result = {
+            let n = &mut self.nodes[node];
+            let r = n.driver.region_mut(region);
+            r.pin_next_chunk(&mut n.mem, want)
+        };
+        match result {
+            Err(_) => {
+                self.xfers.pin_plans.remove(&(node, region.0));
+                self.nodes[node].counters.bump("pin_failures");
+                self.fail_region_users(node, region, "pinning failed (invalid region)");
+            }
+            Ok(progress) => {
+                self.nodes[node]
+                    .counters
+                    .add("pin_pages", progress.pages_pinned);
+                self.nodes[node].counters.bump("pin_chunks");
+                let cursor = self.nodes[node].driver.region(region).pinned_pages();
+                if self.trace.is_some() {
+                    self.trace_event(
+                        node,
+                        "pin",
+                        format!("region {:?} cursor {} pages", region.0, cursor),
+                    );
+                }
+                // Fire satisfied waiters.
+                let fired: Vec<PinAction> = {
+                    let plan = self
+                        .xfers
+                        .pin_plans
+                        .get_mut(&(node, region.0))
+                        .expect("plan");
+                    let mut fired = Vec::new();
+                    plan.waiters.retain(|w| {
+                        if cursor >= w.threshold_pages {
+                            fired.push(w.action);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    fired
+                };
+                for action in fired {
+                    self.run_pin_action(action);
+                }
+                let target = self
+                    .xfers
+                    .pin_plans
+                    .get(&(node, region.0))
+                    .map(|p| p.target)
+                    .unwrap_or(0);
+                if cursor < target {
+                    self.submit_pin_chunk(node, proc, region, cursor, target);
+                } else {
+                    self.finish_pin_plan(node, region, cursor);
+                }
+            }
+        }
+    }
+
+    fn finish_pin_plan(&mut self, node: usize, region: RegionId, _cursor: u64) {
+        if let Some(plan) = self.xfers.pin_plans.get_mut(&(node, region.0)) {
+            plan.in_progress = false;
+            if plan.waiters.is_empty() {
+                self.xfers.pin_plans.remove(&(node, region.0));
+            }
+        }
+    }
+
+    fn run_pin_action(&mut self, action: PinAction) {
+        match action {
+            PinAction::SendRndv(msg) => {
+                if self.xfers.send.contains_key(&msg) {
+                    self.send_rndv(msg);
+                }
+            }
+            PinAction::RecvStart(pull) => {
+                if self.xfers.recv.contains_key(&pull) {
+                    self.recv_start(pull);
+                }
+            }
+        }
+    }
+
+    /// After an MMU-notifier invalidation, any transfer still using the
+    /// region needs its pin plan restarted (repin on demand).
+    pub(crate) fn restart_pin_plan_if_needed(&mut self, node: usize, region: RegionId) {
+        let mut need: Option<(ProcId, u64)> = None;
+        for x in self.xfers.send.values() {
+            if x.node == node && x.region == region {
+                let t = self.pin_target(node, region, x.total_len);
+                let cur = need.map_or(0, |(_, t)| t);
+                need = Some((x.proc, t.max(cur)));
+            }
+        }
+        for x in self.xfers.recv.values() {
+            if x.node == node && x.region == region {
+                let t = self.pin_target(node, region, x.xfer_len);
+                let cur = need.map_or(0, |(_, t)| t);
+                need = Some((x.proc, t.max(cur)));
+            }
+        }
+        if let Some((proc, target)) = need {
+            self.ensure_pinned(node, proc, region, target, None);
+        }
+    }
+
+    /// Abort every transfer that depends on a region whose pinning failed.
+    fn fail_region_users(&mut self, node: usize, region: RegionId, reason: &'static str) {
+        let sends: Vec<MsgId> = self
+            .xfers
+            .send
+            .iter()
+            .filter(|(_, x)| x.node == node && x.region == region)
+            .map(|(m, _)| *m)
+            .collect();
+        for msg in sends {
+            self.fail_send(msg, reason);
+        }
+        let recvs: Vec<PullId> = self
+            .xfers
+            .recv
+            .iter()
+            .filter(|(_, x)| x.node == node && x.region == region)
+            .map(|(p, _)| *p)
+            .collect();
+        for pull in recvs {
+            self.fail_recv(pull, reason);
+        }
+    }
+
+    fn fail_send(&mut self, msg: MsgId, reason: &'static str) {
+        let Some(x) = self.xfers.send.remove(&msg) else {
+            return;
+        };
+        self.cancel_timer(x.rndv_timer);
+        self.release_region(x.proc, x.node, x.region, x.owned);
+        self.nodes[x.node].counters.bump("requests_failed");
+        self.notify_app(x.proc, AppEvent::Failed(x.req, reason));
+    }
+
+    fn fail_recv(&mut self, pull: PullId, reason: &'static str) {
+        let Some(x) = self.xfers.recv.remove(&pull) else {
+            return;
+        };
+        self.xfers.recv_by_msg.remove(&x.msg);
+        self.cancel_timer(x.stall_timer);
+        self.release_region(x.proc, x.node, x.region, x.owned);
+        self.nodes[x.node].counters.bump("requests_failed");
+        self.notify_app(x.proc, AppEvent::Failed(x.req, reason));
+    }
+
+    // ================== timers ==================
+
+    fn on_timer(&mut self, token: TimerToken) {
+        match token {
+            TimerToken::RndvRetrans(msg) => {
+                let Some(x) = self.xfers.send.get_mut(&msg) else {
+                    return;
+                };
+                if x.pull_seen {
+                    return;
+                }
+                x.retries += 1;
+                if x.retries > self.max_retries {
+                    self.fail_send(msg, "rendezvous timed out");
+                    return;
+                }
+                self.nodes[self.xfers.send[&msg].node]
+                    .counters
+                    .bump("rndv_retrans");
+                self.send_rndv(msg);
+            }
+            TimerToken::EagerRetrans(msg) => {
+                let Some(tx) = self.xfers.eager_tx.get_mut(&msg) else {
+                    return;
+                };
+                tx.retries += 1;
+                if tx.retries > self.max_retries {
+                    self.xfers.eager_tx.remove(&msg);
+                    self.counters.bump("eager_abandoned");
+                    return;
+                }
+                self.counters.bump("eager_retrans");
+                self.transmit_eager_frames(msg);
+                let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::EagerRetrans(msg));
+                self.xfers.eager_tx.get_mut(&msg).expect("eager tx").timer = Some(t);
+            }
+            TimerToken::PullStall(pull) => {
+                let Some(x) = self.xfers.recv.get_mut(&pull) else {
+                    return;
+                };
+                x.retries += 1;
+                if x.retries > self.max_retries {
+                    self.fail_recv(pull, "pull transfer stalled");
+                    return;
+                }
+                self.nodes[self.xfers.recv[&pull].node]
+                    .counters
+                    .bump("pull_stall_timeouts");
+                // Re-request everything outstanding.
+                let stalled: Vec<u32> = {
+                    let x = &self.xfers.recv[&pull];
+                    x.blocks
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| b.requested && !b.complete())
+                        .map(|(i, _)| i as u32)
+                        .collect()
+                };
+                for b in stalled {
+                    self.rerequest_block(pull, b);
+                }
+                let timer = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
+                let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+                x.stall_timer = Some(timer);
+            }
+            TimerToken::NotifyRetrans(msg) => {
+                let Some(p) = self.xfers.notify_pending.get_mut(&msg) else {
+                    return;
+                };
+                p.retries += 1;
+                if p.retries > self.max_retries {
+                    self.xfers.notify_pending.remove(&msg);
+                    self.counters.bump("notify_abandoned");
+                    return;
+                }
+                let (proc, peer) = (p.proc, p.peer);
+                self.counters.bump("notify_retrans");
+                let f = self.frame(proc, peer, WireMsg::Notify { msg });
+                self.transmit(f);
+                let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::NotifyRetrans(msg));
+                self.xfers
+                    .notify_pending
+                    .get_mut(&msg)
+                    .expect("notify pending")
+                    .timer = t;
+            }
+        }
+    }
+
+    fn rerequest_guard(&self) -> SimDuration {
+        // Enough for a round trip plus one block's serialization: frames
+        // still legitimately in flight are not "missing" yet.
+        self.cfg.net.latency * 4
+            + self
+                .cfg
+                .net
+                .bandwidth
+                .time_for_bytes(self.cfg.pull_block * 2)
+    }
+}

@@ -1,0 +1,582 @@
+//! The cluster engine: nodes, cores, NICs, drivers, processes, and the
+//! deterministic event loop tying them together.
+//!
+//! One [`Cluster`] is one experiment: a set of nodes on a fabric, each with
+//! its own memory subsystem ([`simmem::Memory`]), cores
+//! ([`simcore::CpuCore`]), I/OAT engine, Open-MX driver and endpoints.
+//! Applications implement [`Process`] and interact through [`Ctx`] —
+//! `malloc`/`free`, `isend`/`irecv`, `compute` — while the engine charges
+//! every cost (system calls, pinning chunks, per-frame bottom-half work,
+//! memory copies, wire time) to the right resource at the right instant.
+//!
+//! The event loop is strictly deterministic: stable event ordering, seeded
+//! RNG, `BTreeMap` state tables. Running the same configuration twice
+//! produces byte-identical traces.
+
+mod ctx;
+mod handlers;
+mod xfer;
+
+pub use ctx::Ctx;
+
+use simcore::{
+    Counters, CpuCore, EventId, EventQueue, Priority, SimDuration, SimRng, SimTime, Work as CpuWork,
+};
+use simmem::{AsId, Memory, SimHeap};
+use simnet::{IoatEngine, Network, NodeId, TxOutcome};
+
+use crate::cache::RegionCache;
+use crate::config::OpenMxConfig;
+use crate::driver::{Driver, RegionId};
+use crate::endpoint::{Endpoint, EndpointAddr, RequestId};
+use crate::wire::{Frame, MsgId, PullId, WireMsg};
+use xfer::XferTables;
+
+/// Identifies a simulated process (rank).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// Per-request control over overlapped pinning — the paper's §5 proposal
+/// to "only enable decoupled/overlapped pinning for blocking operations":
+/// a blocking `MPI_Send` gains from overlap (the caller waits anyway),
+/// while an overlap-aware application computing concurrently may prefer
+/// the simple synchronous path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverlapHint {
+    /// Follow the configured [`PinningMode`](crate::PinningMode).
+    #[default]
+    Auto,
+    /// Overlap this request's pinning even in a non-overlapping mode
+    /// (cache behaviour still follows the mode).
+    Force,
+    /// Pin synchronously before the initiating message for this request.
+    Disable,
+}
+
+impl OverlapHint {
+    /// Resolve against the mode's default.
+    pub fn resolve(self, mode_overlaps: bool) -> bool {
+        match self {
+            OverlapHint::Auto => mode_overlaps,
+            OverlapHint::Force => true,
+            OverlapHint::Disable => false,
+        }
+    }
+}
+
+/// Events delivered to a [`Process`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppEvent {
+    /// A send request completed (buffer reusable).
+    SendDone(RequestId),
+    /// A receive completed; the payload length actually delivered.
+    RecvDone(RequestId, u64),
+    /// A request aborted (e.g. pinning failed on an invalid region).
+    Failed(RequestId, &'static str),
+    /// A `compute` phase finished (token echoes the caller's).
+    ComputeDone(u64),
+}
+
+/// A simulated application process.
+///
+/// Implementations are state machines: `start` runs once at time zero;
+/// `on_event` runs at each request/compute completion. All interaction
+/// goes through the [`Ctx`].
+pub trait Process {
+    /// Called once when the simulation starts.
+    fn start(&mut self, ctx: &mut Ctx<'_>);
+    /// Called on each completion event for this process.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: AppEvent);
+}
+
+/// Engine events.
+pub(crate) enum Event {
+    /// A frame reached its destination NIC (raise interrupt).
+    FrameArrival(Frame),
+    /// The running work chunk on (node, core) finished.
+    CoreDone { node: usize, core: usize },
+    /// An I/OAT copy finished on `node`.
+    IoatDone { node: usize, token: u64 },
+    /// A protocol timer fired.
+    Timer(TimerToken),
+}
+
+/// Timer identities (payload of [`Event::Timer`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TimerToken {
+    /// Sender rendezvous retransmit.
+    RndvRetrans(MsgId),
+    /// Sender eager retransmit.
+    EagerRetrans(MsgId),
+    /// Receiver pull stall (lost replies / lost requests).
+    PullStall(PullId),
+    /// Receiver notify retransmit.
+    NotifyRetrans(MsgId),
+}
+
+/// CPU work payloads.
+pub(crate) enum Work {
+    /// System-call half of an application call.
+    Syscall { proc: ProcId, action: SyscallAction },
+    /// Pin the next chunk of a region (on-demand pinning).
+    PinChunk { node: usize, region: RegionId },
+    /// Unpin (and maybe undeclare) a region at transfer end.
+    UnpinRegion {
+        node: usize,
+        region: RegionId,
+        undeclare: bool,
+    },
+    /// Bottom-half processing of one received frame.
+    BhFrame(Frame),
+    /// Application compute phase (one bounded slice; long phases are
+    /// chunked so kernel work can interleave, like timer preemption).
+    Compute {
+        proc: ProcId,
+        token: u64,
+        remaining: SimDuration,
+    },
+    /// Sender-side eager copy into the static pinned buffer + tx setup.
+    EagerCopyOut {
+        owner: ProcId,
+        msg: MsgId,
+        req: RequestId,
+    },
+    /// Receiver-side copy from the eager ring to the user buffer.
+    EagerDeliver { owner: ProcId, msg: MsgId },
+    /// Intra-node send copy (shared memory path).
+    ShmSend {
+        owner: ProcId,
+        msg: MsgId,
+        req: RequestId,
+    },
+    /// Intra-node receive copy.
+    ShmDeliver { owner: ProcId, msg: MsgId },
+    /// One bounded slice of a longer work item; `then` fires when the
+    /// whole chain has been charged (keeps long copies preemptible at
+    /// slice granularity).
+    Slice {
+        then: Box<Work>,
+        remaining: SimDuration,
+    },
+}
+
+/// Deferred syscall bodies.
+pub(crate) enum SyscallAction {
+    Isend {
+        req: RequestId,
+        peer: ProcId,
+        match_info: u64,
+        segments: Vec<crate::region::Segment>,
+        hint: OverlapHint,
+    },
+    Irecv {
+        req: RequestId,
+        match_info: u64,
+        mask: u64,
+        addr: simmem::VirtAddr,
+        len: u64,
+        hint: OverlapHint,
+    },
+}
+
+/// One simulated host.
+pub(crate) struct Node {
+    pub mem: Memory,
+    pub cores: Vec<CpuCore<Work>>,
+    pub ioat: IoatEngine,
+    pub driver: Driver,
+    pub counters: Counters,
+    /// Core the NIC's interrupt bottom half is bound to.
+    pub bh_core: usize,
+}
+
+/// One simulated process (rank) and its kernel-side identity.
+pub(crate) struct ProcSlot {
+    pub node: usize,
+    pub core: usize,
+    pub space: AsId,
+    pub heap: SimHeap,
+    pub endpoint: Endpoint,
+    pub cache: RegionCache,
+    pub app: Option<Box<dyn Process>>,
+    pub stopped: bool,
+}
+
+/// One line of the event trace (used by the timeline harness).
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// Node index.
+    pub node: usize,
+    /// Short event tag.
+    pub kind: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The simulation engine. See the module docs.
+pub struct Cluster {
+    pub(crate) cfg: OpenMxConfig,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) net: Network,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) procs: Vec<ProcSlot>,
+    pub(crate) xfers: XferTables,
+    pub(crate) next_msg: u64,
+    pub(crate) next_pull: u64,
+    pub(crate) next_req: u64,
+    pub(crate) next_ioat_token: u64,
+    pub(crate) counters: Counters,
+    pub(crate) trace: Option<Vec<TraceEntry>>,
+    pub(crate) now: SimTime,
+    /// Max protocol retries before a request fails.
+    pub(crate) max_retries: u32,
+}
+
+impl Cluster {
+    /// Maximum uninterrupted compute slice (the scheduler tick).
+    pub(crate) const COMPUTE_SLICE: SimDuration = SimDuration::from_micros(100);
+
+    /// Build a cluster of `node_count` hosts with the given configuration.
+    pub fn new(cfg: OpenMxConfig, node_count: usize) -> Self {
+        assert!(node_count >= 1);
+        assert!(cfg.cores_per_node >= 1);
+        let rng = SimRng::new(cfg.seed);
+        let net = Network::new(node_count, cfg.net.clone(), rng.derive_stream("net"));
+        let nodes = (0..node_count)
+            .map(|_| Node {
+                mem: Memory::new(cfg.frames_per_node, cfg.swap_per_node),
+                cores: (0..cfg.cores_per_node).map(|_| CpuCore::new()).collect(),
+                ioat: IoatEngine::default_chipset(),
+                driver: Driver::new(cfg.pinned_pages_limit),
+                counters: Counters::new(),
+                bh_core: 0,
+            })
+            .collect();
+        Cluster {
+            cfg,
+            queue: EventQueue::new(),
+            net,
+            nodes,
+            procs: Vec::new(),
+            xfers: XferTables::default(),
+            next_msg: 0,
+            next_pull: 0,
+            next_req: 0,
+            next_ioat_token: 0,
+            counters: Counters::new(),
+            trace: None,
+            now: SimTime::ZERO,
+            max_retries: 16,
+        }
+    }
+
+    /// Add a process on `node`. Its endpoint opens immediately: the driver
+    /// attaches an MMU notifier to the new address space (if enabled).
+    pub fn add_process(&mut self, node: usize, app: Box<dyn Process>) -> ProcId {
+        let procs_on_node = self.procs.iter().filter(|p| p.node == node).count();
+        let n = &mut self.nodes[node];
+        let space = n.mem.create_space();
+        if self.cfg.use_mmu_notifiers {
+            n.mem.register_notifier(space).expect("fresh space");
+        }
+        let ncores = n.cores.len();
+        let core = if self.cfg.colocate_with_bh || ncores == 1 {
+            n.bh_core
+        } else {
+            1 + procs_on_node % (ncores - 1)
+        };
+        let slot = ProcSlot {
+            node,
+            core,
+            space,
+            heap: SimHeap::new(space),
+            endpoint: Endpoint::new(),
+            cache: RegionCache::new(if self.cfg.pinning.caches() {
+                self.cfg.cache_capacity
+            } else {
+                0
+            }),
+            app: Some(app),
+            stopped: false,
+        };
+        self.procs.push(slot);
+        ProcId(self.procs.len() as u32 - 1)
+    }
+
+    /// Record a full event trace (timeline harness).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Run: start every process, then drain events until quiescence or
+    /// `deadline`. Returns the final simulated time.
+    pub fn run(&mut self, deadline: Option<SimTime>) -> SimTime {
+        for p in 0..self.procs.len() {
+            let proc = ProcId(p as u32);
+            let mut app = self.procs[p].app.take().expect("app present");
+            let mut ctx = Ctx::new(self, proc);
+            app.start(&mut ctx);
+            self.procs[p].app = Some(app);
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            if let Some(d) = deadline {
+                if t > d {
+                    self.now = d;
+                    break;
+                }
+            }
+            self.now = t;
+            self.dispatch(ev);
+        }
+        self.now
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of processes.
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Global engine counters (merged with per-node counters).
+    pub fn counters(&self) -> Counters {
+        let mut all = self.counters.clone();
+        for n in &self.nodes {
+            all.merge(&n.counters);
+        }
+        all
+    }
+
+    /// Per-node counters.
+    pub fn node_counters(&self, node: usize) -> &Counters {
+        &self.nodes[node].counters
+    }
+
+    /// Region cache hit/miss stats of one process.
+    pub fn cache_stats(&self, proc: ProcId) -> (u64, u64) {
+        self.procs[proc.0 as usize].cache.stats()
+    }
+
+    /// Fabric statistics.
+    pub fn net_stats(&self) -> simnet::NetStats {
+        self.net.stats()
+    }
+
+    /// Peak pages simultaneously pinned on `node`.
+    pub fn pinned_peak(&self, node: usize) -> usize {
+        self.nodes[node].mem.frames().pinned_peak()
+    }
+
+    /// Read a process's memory after (or during) a run — for result
+    /// verification by tests and harnesses.
+    pub fn read_proc(&mut self, proc: ProcId, addr: simmem::VirtAddr, len: u64) -> Vec<u8> {
+        let idx = proc.0 as usize;
+        let node = self.procs[idx].node;
+        let space = self.procs[idx].space;
+        let mut buf = vec![0u8; len as usize];
+        self.nodes[node]
+            .mem
+            .read(space, addr, &mut buf)
+            .expect("read_proc fault");
+        buf
+    }
+
+    /// The node a process runs on.
+    pub fn node_of(&self, proc: ProcId) -> usize {
+        self.procs[proc.0 as usize].node
+    }
+
+    // ---- internal helpers shared by ctx & handlers -------------------
+
+    pub(crate) fn alloc_req(&mut self) -> RequestId {
+        self.next_req += 1;
+        RequestId(self.next_req)
+    }
+
+    pub(crate) fn alloc_msg(&mut self) -> MsgId {
+        self.next_msg += 1;
+        MsgId(self.next_msg)
+    }
+
+    pub(crate) fn alloc_pull(&mut self) -> PullId {
+        self.next_pull += 1;
+        PullId(self.next_pull)
+    }
+
+    pub(crate) fn trace_event(&mut self, node: usize, kind: &'static str, detail: String) {
+        let now = self.now;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEntry {
+                time: now,
+                node,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// Submit CPU work on (node, core); schedules the completion event if
+    /// the core was idle.
+    pub(crate) fn submit_work(
+        &mut self,
+        node: usize,
+        core: usize,
+        priority: Priority,
+        duration: SimDuration,
+        work: Work,
+    ) {
+        let completion = self.nodes[node].cores[core].submit(
+            self.now,
+            CpuWork {
+                duration,
+                priority,
+                payload: work,
+            },
+        );
+        if let Some(c) = completion {
+            self.queue.schedule(c.at, Event::CoreDone { node, core });
+        }
+    }
+
+    /// Submit work on a process's application core at Task priority.
+    pub(crate) fn submit_proc_work(&mut self, proc: ProcId, duration: SimDuration, work: Work) {
+        let p = &self.procs[proc.0 as usize];
+        let (node, core) = (p.node, p.core);
+        self.submit_work(node, core, Priority::Task, duration, work);
+    }
+
+    /// Submit Task work on a process's core, sliced into bounded chunks
+    /// so interrupts and kernel work interleave during long copies.
+    pub(crate) fn submit_sliced_proc_work(
+        &mut self,
+        proc: ProcId,
+        duration: SimDuration,
+        work: Work,
+    ) {
+        if duration <= Self::COMPUTE_SLICE {
+            self.submit_proc_work(proc, duration, work);
+        } else {
+            self.submit_proc_work(
+                proc,
+                Self::COMPUTE_SLICE,
+                Work::Slice {
+                    then: Box::new(work),
+                    remaining: duration - Self::COMPUTE_SLICE,
+                },
+            );
+        }
+    }
+
+    /// Submit kernel-context work (pinning, unpinning) on a process's
+    /// core: ahead of queued user work, below the bottom half.
+    pub(crate) fn submit_kernel_work(&mut self, proc: ProcId, duration: SimDuration, work: Work) {
+        let p = &self.procs[proc.0 as usize];
+        let (node, core) = (p.node, p.core);
+        self.submit_work(node, core, Priority::Kernel, duration, work);
+    }
+
+    /// Hand a frame to the fabric; schedules its arrival (or counts the
+    /// drop — recovery is the protocol's problem).
+    pub(crate) fn transmit(&mut self, frame: Frame) {
+        let src_node = self.procs[frame.src.proc.0 as usize].node;
+        let dst_node = self.procs[frame.dst.proc.0 as usize].node;
+        assert_ne!(src_node, dst_node, "intra-node traffic uses the shm path");
+        let payload = frame.msg.payload_len();
+        match self.net.transmit(
+            self.now,
+            NodeId(src_node as u32),
+            NodeId(dst_node as u32),
+            payload,
+        ) {
+            TxOutcome::Delivered { at } => {
+                self.queue.schedule(at, Event::FrameArrival(frame));
+            }
+            TxOutcome::Dropped(reason) => {
+                self.nodes[src_node].counters.bump(match reason {
+                    simnet::DropReason::RandomLoss => "net_frames_lost",
+                    simnet::DropReason::QueueOverflow => "net_frames_overflowed",
+                });
+            }
+        }
+    }
+
+    /// Arm a protocol timer.
+    pub(crate) fn arm_timer(&mut self, after: SimDuration, token: TimerToken) -> EventId {
+        self.queue.schedule(self.now + after, Event::Timer(token))
+    }
+
+    /// Disarm a timer if still pending.
+    pub(crate) fn cancel_timer(&mut self, id: Option<EventId>) {
+        if let Some(id) = id {
+            self.queue.cancel(id);
+        }
+    }
+
+    /// Deliver an application event, letting the process issue new calls.
+    pub(crate) fn notify_app(&mut self, proc: ProcId, event: AppEvent) {
+        let idx = proc.0 as usize;
+        if self.procs[idx].stopped {
+            return;
+        }
+        let mut app = self.procs[idx].app.take().expect("app present");
+        let mut ctx = Ctx::new(self, proc);
+        app.on_event(&mut ctx, event);
+        self.procs[idx].app = Some(app);
+    }
+
+    /// Route MMU-notifier events to the node's driver (if notifiers are
+    /// enabled) and restart pinning for any region a transfer still needs.
+    pub(crate) fn dispatch_notifier_events(
+        &mut self,
+        node: usize,
+        events: &[simmem::NotifierEvent],
+    ) {
+        if !self.cfg.use_mmu_notifiers {
+            return;
+        }
+        let mut affected = Vec::new();
+        for ev in events {
+            let n = &mut self.nodes[node];
+            let hit = n.driver.handle_invalidate(&mut n.mem, ev);
+            for (rid, pages) in hit {
+                n.counters.bump("notifier_invalidations");
+                n.counters.add("notifier_unpinned_pages", pages);
+                affected.push(rid);
+            }
+        }
+        for rid in affected {
+            self.trace_event(node, "invalidate", format!("region {rid:?} unpinned"));
+            // In-use regions must repin: restart their pin plan.
+            self.restart_pin_plan_if_needed(node, rid);
+        }
+    }
+
+    /// The endpoint address of a process.
+    pub(crate) fn addr_of(&self, proc: ProcId) -> EndpointAddr {
+        EndpointAddr { proc }
+    }
+
+    /// Frame payload capacity of the fabric.
+    pub(crate) fn frame_payload(&self) -> u64 {
+        simnet::frame::max_payload(self.cfg.net.mtu)
+    }
+
+    /// Build a control frame.
+    pub(crate) fn frame(&self, src: ProcId, dst: EndpointAddr, msg: WireMsg) -> Frame {
+        Frame {
+            src: self.addr_of(src),
+            dst,
+            msg,
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! In-flight transfer state machines.
+//!
+//! These are plain data; all transitions live in the engine's handlers.
+//! Tables are `BTreeMap`s so iteration order (and therefore the whole
+//! simulation) is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simcore::{EventId, SimTime};
+use simmem::VirtAddr;
+
+use crate::driver::RegionId;
+use crate::endpoint::{EagerRx, EndpointAddr, RequestId};
+use crate::engine::{OverlapHint, ProcId};
+use crate::wire::{MsgId, PullId};
+
+/// Sender-side state of an in-flight eager message (kept for
+/// retransmission until the ack arrives; the app already saw SendDone).
+pub(crate) struct EagerTx {
+    pub proc: ProcId,
+    pub peer: EndpointAddr,
+    pub match_info: u64,
+    pub total_len: u64,
+    pub data: Vec<u8>,
+    pub timer: Option<EventId>,
+    pub retries: u32,
+}
+
+/// Receiver-side state of a *matched* eager message still reassembling.
+pub(crate) struct EagerRxMatched {
+    pub rx: EagerRx,
+    pub req: RequestId,
+    pub proc: ProcId,
+    pub addr: VirtAddr,
+    /// Bytes to copy to the user buffer (min of sent and posted length).
+    pub copy_len: u64,
+}
+
+/// Sender-side state of a rendezvous (large-message) transfer.
+pub(crate) struct SendXfer {
+    pub req: RequestId,
+    pub proc: ProcId,
+    pub peer: EndpointAddr,
+    pub match_info: u64,
+    pub region: RegionId,
+    pub node: usize,
+    pub total_len: u64,
+    /// This transfer owns the region (non-cached modes): unpin + undeclare
+    /// at completion.
+    pub owned: bool,
+    /// A pull request arrived — the rendezvous got through.
+    pub pull_seen: bool,
+    pub rndv_timer: Option<EventId>,
+    pub retries: u32,
+}
+
+/// One pull block's progress on the receive side.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Block {
+    /// Frames in this block.
+    pub frames: u32,
+    /// Bitmask of frames received (bit i = frame i).
+    pub received: u64,
+    /// Has the first request for this block been sent?
+    pub requested: bool,
+    /// When this block was last (re)requested.
+    pub requested_at: SimTime,
+}
+
+impl Block {
+    /// True when every frame arrived.
+    pub fn complete(&self) -> bool {
+        self.received.count_ones() == self.frames
+    }
+
+    /// Bitmask of the frames still missing.
+    pub fn missing_mask(&self) -> u64 {
+        let full = if self.frames == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.frames) - 1
+        };
+        full & !self.received
+    }
+}
+
+/// Receiver-side state of a rendezvous transfer (one pull transaction).
+pub(crate) struct RecvXfer {
+    pub req: RequestId,
+    pub proc: ProcId,
+    /// The sender.
+    pub peer: EndpointAddr,
+    /// Sender's transfer id (names the sender-side region in pull reqs).
+    pub msg: MsgId,
+    pub region: RegionId,
+    pub node: usize,
+    pub owned: bool,
+    /// Bytes actually transferred (min of sent and posted length).
+    pub xfer_len: u64,
+    pub blocks: Vec<Block>,
+    /// Next block index to request for the first time.
+    pub next_block: u32,
+    /// I/OAT copies still in flight.
+    pub ioat_pending: u32,
+    /// Frames fully placed in memory.
+    pub frames_placed: u64,
+    pub frames_total: u64,
+    pub stall_timer: Option<EventId>,
+    pub retries: u32,
+}
+
+impl RecvXfer {
+    /// All frames received (masks full)?
+    pub fn all_received(&self) -> bool {
+        self.blocks.iter().all(Block::complete)
+    }
+
+    /// Transfer is done when everything is received *and* placed.
+    pub fn data_done(&self) -> bool {
+        self.all_received() && self.ioat_pending == 0
+    }
+}
+
+/// Receiver-side notify retransmission state (survives the RecvXfer).
+pub(crate) struct NotifyPending {
+    pub proc: ProcId,
+    pub peer: EndpointAddr,
+    pub timer: EventId,
+    pub retries: u32,
+}
+
+/// A held I/OAT copy: bytes parked until the DMA engine finishes.
+pub(crate) struct PendingCopy {
+    pub pull: PullId,
+    pub block: u32,
+    pub frame: u32,
+    pub offset: u64,
+    pub data: Vec<u8>,
+}
+
+/// What to do when a region's pin cursor reaches a threshold.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PinAction {
+    /// Send the rendezvous for this send transfer.
+    SendRndv(MsgId),
+    /// Send the initial window of pull requests for this receive transfer.
+    RecvStart(PullId),
+}
+
+/// A waiter on pin progress.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PinWaiter {
+    /// Fire when the cursor reaches this many pages.
+    pub threshold_pages: u64,
+    pub action: PinAction,
+}
+
+/// Per-region on-demand pin plan.
+pub(crate) struct PinPlan {
+    /// Pin cursor goal (pages).
+    pub target: u64,
+    /// A PinChunk work item is queued or running.
+    pub in_progress: bool,
+    pub waiters: Vec<PinWaiter>,
+    /// Process whose core is charged for the pin work.
+    pub proc: ProcId,
+}
+
+impl PinPlan {
+    pub fn new(proc: ProcId) -> Self {
+        PinPlan {
+            target: 0,
+            in_progress: false,
+            waiters: Vec::new(),
+            proc,
+        }
+    }
+}
+
+/// Intra-node (shared-memory) message parked between send-copy and
+/// receive-copy.
+pub(crate) struct ShmParked {
+    pub src: EndpointAddr,
+    /// Destination process.
+    pub peer: ProcId,
+    pub match_info: u64,
+    pub data: Vec<u8>,
+    /// Set when matched: (receiver request, receiver proc, dst, copy_len).
+    pub dst: Option<(RequestId, ProcId, VirtAddr, u64)>,
+}
+
+/// All in-flight state, keyed deterministically.
+#[derive(Default)]
+pub(crate) struct XferTables {
+    pub eager_tx: BTreeMap<MsgId, EagerTx>,
+    pub eager_rx: BTreeMap<MsgId, EagerRxMatched>,
+    pub send: BTreeMap<MsgId, SendXfer>,
+    pub recv: BTreeMap<PullId, RecvXfer>,
+    /// Route duplicate rndv / notify-ack to the pull transaction.
+    pub recv_by_msg: BTreeMap<MsgId, PullId>,
+    pub notify_pending: BTreeMap<MsgId, NotifyPending>,
+    pub shm: BTreeMap<MsgId, ShmParked>,
+    /// Pin plans keyed by (node, region).
+    pub pin_plans: BTreeMap<(usize, u32), PinPlan>,
+    /// Parked I/OAT copies keyed by token.
+    pub ioat: BTreeMap<u64, PendingCopy>,
+    /// Cache-evicted regions that were still in use at eviction time:
+    /// undeclare them when their last use drains.
+    pub deferred_undeclare: BTreeSet<(usize, u32)>,
+    /// Per-posted-receive overlap hints, consumed when the rendezvous
+    /// matches (the posting may complete long before the rndv arrives).
+    pub recv_hints: BTreeMap<RequestId, OverlapHint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mask_arithmetic() {
+        let mut b = Block {
+            frames: 8,
+            received: 0,
+            requested: false,
+            requested_at: SimTime::ZERO,
+        };
+        assert!(!b.complete());
+        assert_eq!(b.missing_mask(), 0xff);
+        b.received |= 1 << 3;
+        assert_eq!(b.missing_mask(), 0xf7);
+        b.received = 0xff;
+        assert!(b.complete());
+        assert_eq!(b.missing_mask(), 0);
+    }
+
+    #[test]
+    fn block_with_64_frames() {
+        let b = Block {
+            frames: 64,
+            received: u64::MAX - 1,
+            requested: true,
+            requested_at: SimTime::ZERO,
+        };
+        assert!(!b.complete());
+        assert_eq!(b.missing_mask(), 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! User regions and the decoupled pin state machine.
+//!
+//! A *user region* is the driver-side object behind the integer descriptor
+//! user space manipulates: a vector of `(addr, len)` segments in one
+//! address space (§3.2 — regions may be vectorial). Declaration never pins
+//! anything. The driver pins **on demand**, in page chunks and in region
+//! order, which is what makes overlapped pinning possible: the in-order
+//! data transfer only ever needs the pages behind the *pin cursor*.
+//!
+//! Accessors take the byte-offset view: `read`/`write` at a region offset
+//! translate to physical frames of the pinned pages, and fail with
+//! [`RegionAccessError::NotPinned`] when the cursor has not reached the
+//! touched pages — the overlap-miss case the engine turns into a packet
+//! drop.
+
+use simcore::SimTime;
+use simmem::{AsId, MemError, Memory, Pfn, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
+
+/// One contiguous piece of a (possibly vectorial) user region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Segment {
+    /// Start address (need not be page aligned).
+    pub addr: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Segment {
+    /// Pages covering this segment.
+    pub fn page_range(&self) -> VpnRange {
+        VpnRange::covering(self.addr, self.len)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SegMeta {
+    seg: Segment,
+    /// Byte offset of this segment within the region.
+    byte_start: u64,
+    /// Index of the segment's first page in the flattened page list.
+    page_start: u64,
+}
+
+/// The immutable shape of a region: segments plus derived page geometry.
+#[derive(Clone, Debug)]
+pub struct RegionLayout {
+    segs: Vec<SegMeta>,
+    total_len: u64,
+    total_pages: u64,
+}
+
+impl RegionLayout {
+    /// Build a layout from segments (empty segments are dropped).
+    ///
+    /// # Panics
+    /// Panics if the region has zero total length.
+    pub fn new(segments: &[Segment]) -> Self {
+        let mut segs = Vec::with_capacity(segments.len());
+        let mut byte_start = 0u64;
+        let mut page_start = 0u64;
+        for seg in segments.iter().filter(|s| s.len > 0) {
+            let pages = seg.page_range().len();
+            segs.push(SegMeta {
+                seg: *seg,
+                byte_start,
+                page_start,
+            });
+            byte_start += seg.len;
+            page_start += pages;
+        }
+        assert!(byte_start > 0, "empty region");
+        RegionLayout {
+            segs,
+            total_len: byte_start,
+            total_pages: page_start,
+        }
+    }
+
+    /// Total bytes across all segments.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Total pages in the flattened page list.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// The segments of this region.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.segs.iter().map(|m| m.seg)
+    }
+
+    /// The virtual page behind flattened page index `idx`.
+    pub fn vpn_of_page(&self, idx: u64) -> Vpn {
+        let m = self
+            .segs
+            .iter()
+            .rev()
+            .find(|m| m.page_start <= idx)
+            .expect("page index out of range");
+        let rel = idx - m.page_start;
+        debug_assert!(rel < m.seg.page_range().len(), "page index out of range");
+        Vpn(m.seg.addr.page_floor().vpn().0 + rel)
+    }
+
+    /// Visit the `(page_index, vpn, page_offset, chunk_len)` pieces
+    /// covering region bytes `[offset, offset + len)`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the region.
+    pub fn for_each_chunk(
+        &self,
+        offset: u64,
+        len: u64,
+        mut f: impl FnMut(u64, Vpn, u64, u64),
+    ) {
+        assert!(
+            offset + len <= self.total_len,
+            "region access out of bounds: {offset}+{len} > {}",
+            self.total_len
+        );
+        let mut remaining = len;
+        let mut off = offset;
+        for m in &self.segs {
+            if remaining == 0 {
+                break;
+            }
+            let seg_end = m.byte_start + m.seg.len;
+            if off >= seg_end {
+                continue;
+            }
+            let rel = off - m.byte_start;
+            let in_seg = (m.seg.len - rel).min(remaining);
+            let base_vpn = m.seg.addr.page_floor().vpn();
+            for (vpn, page_off, n) in simmem::page_chunks(m.seg.addr.add(rel), in_seg) {
+                let page_idx = m.page_start + (vpn.0 - base_vpn.0);
+                f(page_idx, vpn, page_off, n);
+            }
+            off += in_seg;
+            remaining -= in_seg;
+        }
+        debug_assert_eq!(remaining, 0);
+    }
+
+    /// The flattened page indexes covering bytes `[offset, offset+len)`,
+    /// as an inclusive range `(first, last)`.
+    pub fn page_index_span(&self, offset: u64, len: u64) -> (u64, u64) {
+        assert!(len > 0, "empty span");
+        let mut first = u64::MAX;
+        let mut last = 0;
+        self.for_each_chunk(offset, len, |idx, _, _, _| {
+            first = first.min(idx);
+            last = last.max(idx);
+        });
+        (first, last)
+    }
+
+    /// True if any page of the region falls in `range` of space `space`
+    /// (MMU-notifier routing test).
+    pub fn intersects(&self, range: &VpnRange) -> bool {
+        self.segs.iter().any(|m| m.seg.page_range().overlaps(range))
+    }
+}
+
+/// Errors from region accessors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionAccessError {
+    /// The touched pages are beyond the pin cursor (overlap miss) or the
+    /// region is not pinned at all.
+    NotPinned,
+}
+
+/// Pin progress report from [`DriverRegion::pin_next_chunk`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PinProgress {
+    /// Pages pinned by this chunk.
+    pub pages_pinned: u64,
+    /// True when the whole region is now pinned.
+    pub complete: bool,
+    /// True if this chunk was the first of the region (pays the base cost).
+    pub first_chunk: bool,
+}
+
+/// A declared region inside the driver, with its decoupled pin state.
+#[derive(Debug)]
+pub struct DriverRegion {
+    /// Geometry.
+    pub layout: RegionLayout,
+    /// Owning address space.
+    pub space: AsId,
+    /// Physical frames of pages `0..pfns.len()` — the pin cursor.
+    pfns: Vec<Pfn>,
+    /// Active communications using this region.
+    pub use_count: u32,
+    /// Last time a communication used this region (pressure LRU).
+    pub last_use: SimTime,
+    /// A pin pass is currently queued/running on a core.
+    pub pinning_in_progress: bool,
+}
+
+impl DriverRegion {
+    /// Declare a region (no pinning).
+    pub fn new(space: AsId, segments: &[Segment]) -> Self {
+        DriverRegion {
+            layout: RegionLayout::new(segments),
+            space,
+            pfns: Vec::new(),
+            use_count: 0,
+            last_use: SimTime::ZERO,
+            pinning_in_progress: false,
+        }
+    }
+
+    /// Pages pinned so far (the cursor).
+    pub fn pinned_pages(&self) -> u64 {
+        self.pfns.len() as u64
+    }
+
+    /// True when every page is pinned.
+    pub fn fully_pinned(&self) -> bool {
+        self.pinned_pages() == self.layout.total_pages()
+    }
+
+    /// True when no page is pinned.
+    pub fn unpinned(&self) -> bool {
+        self.pfns.is_empty()
+    }
+
+    /// Pin up to `max_pages` further pages in region order.
+    ///
+    /// On failure (unmapped page, OOM) the region's previously pinned pages
+    /// are *released* and the error is surfaced — the paper's "declaration
+    /// succeeds, pinning fails at communication time, request aborts".
+    pub fn pin_next_chunk(
+        &mut self,
+        mem: &mut Memory,
+        max_pages: u64,
+    ) -> Result<PinProgress, MemError> {
+        let first_chunk = self.pfns.is_empty();
+        let cursor = self.pfns.len() as u64;
+        let end = (cursor + max_pages).min(self.layout.total_pages());
+        for idx in cursor..end {
+            let vpn = self.layout.vpn_of_page(idx);
+            match mem.pin_user_pages(self.space, vpn.base(), PAGE_SIZE) {
+                Ok((pfns, _cow_events)) => {
+                    debug_assert_eq!(pfns.len(), 1);
+                    self.pfns.push(pfns[0]);
+                }
+                Err(e) => {
+                    self.unpin_all(mem);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(PinProgress {
+            pages_pinned: end - cursor,
+            complete: end == self.layout.total_pages(),
+            first_chunk,
+        })
+    }
+
+    /// Release all pins. Returns the number of pages released.
+    pub fn unpin_all(&mut self, mem: &mut Memory) -> u64 {
+        let n = self.pfns.len() as u64;
+        mem.unpin_pages(&self.pfns);
+        self.pfns.clear();
+        self.pinning_in_progress = false;
+        n
+    }
+
+    /// True if bytes `[offset, offset+len)` lie entirely behind the pin
+    /// cursor (safe for the driver to access).
+    pub fn pinned_through(&self, offset: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        if offset + len > self.layout.total_len() {
+            return false;
+        }
+        let (_, last) = self.layout.page_index_span(offset, len);
+        last < self.pfns.len() as u64
+    }
+
+    /// Driver read of region bytes into `buf` (pull-reply construction on
+    /// the send side). Fails if the range is not pinned yet.
+    pub fn read(
+        &self,
+        mem: &Memory,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), RegionAccessError> {
+        if !self.pinned_through(offset, buf.len() as u64) {
+            return Err(RegionAccessError::NotPinned);
+        }
+        let mut cursor = 0usize;
+        self.layout
+            .for_each_chunk(offset, buf.len() as u64, |idx, _vpn, page_off, n| {
+                let pfn = self.pfns[idx as usize];
+                mem.read_phys(pfn, page_off, &mut buf[cursor..cursor + n as usize]);
+                cursor += n as usize;
+            });
+        Ok(())
+    }
+
+    /// Driver write of `data` into region bytes (pull-reply landing on the
+    /// receive side). Fails if the range is not pinned yet.
+    pub fn write(
+        &self,
+        mem: &mut Memory,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), RegionAccessError> {
+        if !self.pinned_through(offset, data.len() as u64) {
+            return Err(RegionAccessError::NotPinned);
+        }
+        let mut cursor = 0usize;
+        self.layout
+            .for_each_chunk(offset, data.len() as u64, |idx, _vpn, page_off, n| {
+                let pfn = self.pfns[idx as usize];
+                mem.write_phys(pfn, page_off, &data[cursor..cursor + n as usize]);
+                cursor += n as usize;
+            });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::Prot;
+
+    fn setup(pages: u64) -> (Memory, AsId, VirtAddr) {
+        let mut mem = Memory::new(4096, 0);
+        let space = mem.create_space();
+        let addr = mem.mmap(space, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        (mem, space, addr)
+    }
+
+    #[test]
+    fn layout_geometry_contiguous() {
+        let (_m, _s, addr) = setup(4);
+        let l = RegionLayout::new(&[Segment { addr, len: 4 * PAGE_SIZE }]);
+        assert_eq!(l.total_len(), 4 * PAGE_SIZE);
+        assert_eq!(l.total_pages(), 4);
+        assert_eq!(l.vpn_of_page(0), addr.vpn());
+        assert_eq!(l.vpn_of_page(3), Vpn(addr.vpn().0 + 3));
+    }
+
+    #[test]
+    fn layout_unaligned_segment_spans_extra_page() {
+        let (_m, _s, addr) = setup(4);
+        // 2 pages of bytes starting mid-page covers 3 pages.
+        let l = RegionLayout::new(&[Segment { addr: addr.add(100), len: 2 * PAGE_SIZE }]);
+        assert_eq!(l.total_pages(), 3);
+        assert_eq!(l.vpn_of_page(0), addr.vpn());
+    }
+
+    #[test]
+    fn layout_vectorial() {
+        let (_m, _s, addr) = setup(10);
+        let l = RegionLayout::new(&[
+            Segment { addr, len: PAGE_SIZE },
+            Segment { addr: addr.add(5 * PAGE_SIZE), len: 2 * PAGE_SIZE },
+        ]);
+        assert_eq!(l.total_len(), 3 * PAGE_SIZE);
+        assert_eq!(l.total_pages(), 3);
+        assert_eq!(l.vpn_of_page(1), Vpn(addr.vpn().0 + 5));
+        // Byte PAGE_SIZE (first byte of segment 2) maps to page index 1.
+        assert_eq!(l.page_index_span(PAGE_SIZE, 1), (1, 1));
+        assert_eq!(l.page_index_span(0, 3 * PAGE_SIZE), (0, 2));
+    }
+
+    #[test]
+    fn chunked_pinning_moves_cursor() {
+        let (mut mem, space, addr) = setup(10);
+        let mut r = DriverRegion::new(space, &[Segment { addr, len: 10 * PAGE_SIZE }]);
+        assert!(r.unpinned());
+        let p = r.pin_next_chunk(&mut mem, 4).unwrap();
+        assert_eq!(p, PinProgress { pages_pinned: 4, complete: false, first_chunk: true });
+        assert_eq!(r.pinned_pages(), 4);
+        assert!(r.pinned_through(0, 4 * PAGE_SIZE));
+        assert!(!r.pinned_through(0, 4 * PAGE_SIZE + 1));
+        let p = r.pin_next_chunk(&mut mem, 100).unwrap();
+        assert_eq!(p, PinProgress { pages_pinned: 6, complete: true, first_chunk: false });
+        assert!(r.fully_pinned());
+        assert_eq!(mem.frames().pinned_pages(), 10);
+        assert_eq!(r.unpin_all(&mut mem), 10);
+        assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_through_pins() {
+        let (mut mem, space, addr) = setup(4);
+        let mut r = DriverRegion::new(space, &[Segment { addr: addr.add(64), len: 2 * PAGE_SIZE }]);
+        r.pin_next_chunk(&mut mem, 100).unwrap();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
+        r.write(&mut mem, 0, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        r.read(&mem, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        // And the application sees it through its own page tables.
+        let mut app = vec![0u8; data.len()];
+        mem.read(space, addr.add(64), &mut app).unwrap();
+        assert_eq!(app, data);
+    }
+
+    #[test]
+    fn access_beyond_cursor_is_overlap_miss() {
+        let (mut mem, space, addr) = setup(8);
+        let mut r = DriverRegion::new(space, &[Segment { addr, len: 8 * PAGE_SIZE }]);
+        r.pin_next_chunk(&mut mem, 2).unwrap();
+        let mut buf = [0u8; 16];
+        // Inside the cursor: fine.
+        r.read(&mem, PAGE_SIZE, &mut buf).unwrap();
+        // Beyond: miss.
+        assert_eq!(
+            r.read(&mem, 3 * PAGE_SIZE, &mut buf),
+            Err(RegionAccessError::NotPinned)
+        );
+        assert_eq!(
+            r.write(&mut mem, 7 * PAGE_SIZE, &[0; 8]),
+            Err(RegionAccessError::NotPinned)
+        );
+        r.unpin_all(&mut mem);
+    }
+
+    #[test]
+    fn pin_failure_on_unmapped_segment_aborts() {
+        let mut mem = Memory::new(64, 0);
+        let space = mem.create_space();
+        // Declared over an address that was never mapped: declaration is
+        // fine, pinning fails (paper §3.1).
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment { addr: VirtAddr(0x4000_0000), len: 2 * PAGE_SIZE }],
+        );
+        assert!(matches!(
+            r.pin_next_chunk(&mut mem, 10),
+            Err(MemError::BadAddress(_))
+        ));
+        assert!(r.unpinned());
+        assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn partial_pin_failure_rolls_back_all_pins() {
+        let mut mem = Memory::new(64, 0);
+        let space = mem.create_space();
+        let addr = mem.mmap(space, 2 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        // Region claims 4 pages but only 2 are mapped.
+        let mut r = DriverRegion::new(space, &[Segment { addr, len: 4 * PAGE_SIZE }]);
+        let p = r.pin_next_chunk(&mut mem, 2).unwrap();
+        assert_eq!(p.pages_pinned, 2);
+        assert!(r.pin_next_chunk(&mut mem, 2).is_err());
+        assert!(r.unpinned(), "failed pin releases earlier pins");
+        assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn intersects_notifier_ranges() {
+        let (_m, _s, addr) = setup(10);
+        let l = RegionLayout::new(&[
+            Segment { addr, len: PAGE_SIZE },
+            Segment { addr: addr.add(5 * PAGE_SIZE), len: PAGE_SIZE },
+        ]);
+        let v = addr.vpn().0;
+        assert!(l.intersects(&VpnRange::new(Vpn(v), Vpn(v + 1))));
+        assert!(!l.intersects(&VpnRange::new(Vpn(v + 1), Vpn(v + 5))));
+        assert!(l.intersects(&VpnRange::new(Vpn(v + 5), Vpn(v + 6))));
+    }
+
+    #[test]
+    fn zero_len_access_is_trivially_pinned() {
+        let (_m, space, addr) = setup(2);
+        let r = DriverRegion::new(space, &[Segment { addr, len: PAGE_SIZE }]);
+        assert!(r.pinned_through(0, 0));
+        assert!(!r.pinned_through(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_region_rejected() {
+        RegionLayout::new(&[]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Intel MPI Benchmarks (IMB) kernels and the job runner.
+//!
+//! Each kernel builds the same communication pattern IMB-MPI1 measures:
+//! a warmup phase, then `iters` timed repetitions of the collective. The
+//! runner reports the average per-iteration time (max across ranks, as
+//! IMB does) and end-to-end data checks where the pattern allows them.
+
+use openmx_core::engine::{Cluster, ProcId};
+use openmx_core::OpenMxConfig;
+use simcore::{SimDuration, SimTime};
+
+use crate::collectives::JobBuilder;
+use crate::script::{new_recorder, RankRecord, Script, ScriptProcess};
+
+/// The IMB kernels reproduced from the paper's Table 2 (plus PingPong for
+/// Figs. 6–7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ImbKernel {
+    /// IMB PingPong (2 ranks).
+    PingPong,
+    /// IMB Sendrecv (periodic chain).
+    SendRecv,
+    /// IMB Allgatherv.
+    Allgatherv,
+    /// IMB Bcast.
+    Bcast,
+    /// IMB Reduce.
+    Reduce,
+    /// IMB Allreduce.
+    Allreduce,
+    /// IMB Reduce_scatter.
+    ReduceScatter,
+    /// IMB Exchange.
+    Exchange,
+}
+
+impl ImbKernel {
+    /// Kernel name as IMB prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImbKernel::PingPong => "PingPong",
+            ImbKernel::SendRecv => "SendRecv",
+            ImbKernel::Allgatherv => "Allgatherv",
+            ImbKernel::Bcast => "Broadcast",
+            ImbKernel::Reduce => "Reduce",
+            ImbKernel::Allreduce => "Allreduce",
+            ImbKernel::ReduceScatter => "Reduce_scatter",
+            ImbKernel::Exchange => "Exchange",
+        }
+    }
+
+    /// All Table 2 kernels, in the paper's row order.
+    pub fn table2() -> [ImbKernel; 7] {
+        [
+            ImbKernel::SendRecv,
+            ImbKernel::Allgatherv,
+            ImbKernel::Bcast,
+            ImbKernel::Reduce,
+            ImbKernel::Allreduce,
+            ImbKernel::ReduceScatter,
+            ImbKernel::Exchange,
+        ]
+    }
+
+    /// Append one repetition of this kernel to the job.
+    fn append(self, b: &mut JobBuilder, bufs: &KernelBufs, msg: u64) {
+        let n = b.n;
+        match self {
+            ImbKernel::PingPong => b.pingpong(bufs.a, bufs.b, msg),
+            ImbKernel::SendRecv => b.sendrecv_ring(bufs.a, bufs.b, msg),
+            ImbKernel::Allgatherv => {
+                let counts = vec![msg; n];
+                b.allgatherv(bufs.a, bufs.b, &counts);
+            }
+            ImbKernel::Bcast => b.bcast(0, bufs.a, msg),
+            ImbKernel::Reduce => b.reduce(0, bufs.a, bufs.b, msg),
+            ImbKernel::Allreduce => b.allreduce(bufs.a, bufs.b, msg),
+            ImbKernel::ReduceScatter => {
+                let counts = vec![msg / n as u64; n];
+                b.reduce_scatter(bufs.a, bufs.b, &counts);
+            }
+            ImbKernel::Exchange => b.exchange(bufs.a, bufs.b, msg),
+        }
+    }
+}
+
+struct KernelBufs {
+    a: usize,
+    b: usize,
+}
+
+/// Build the full IMB job: warmup + timed iterations.
+/// Returns the scripts and the step index where timing starts.
+pub fn imb_job(
+    kernel: ImbKernel,
+    ranks: usize,
+    msg: u64,
+    warmup: u32,
+    iters: u32,
+) -> (Vec<Script>, usize) {
+    let mut b = JobBuilder::new(ranks);
+    // Buffers sized to hold the largest kernel footprint (allgatherv
+    // assembles n pieces).
+    let big = msg * ranks as u64 + 4096;
+    let a = b.alloc(big, |r| Some(r as u8));
+    let bb = b.alloc(big, |_| None);
+    let bufs = KernelBufs { a, b: bb };
+    for _ in 0..warmup {
+        kernel.append(&mut b, &bufs, msg);
+    }
+    b.barrier();
+    let mark = b.mark();
+    for _ in 0..iters {
+        kernel.append(&mut b, &bufs, msg);
+    }
+    (b.scripts, mark)
+}
+
+/// Where each rank runs: block distribution over nodes, as mpirun does
+/// with slots (`ppn` ranks per node).
+pub fn rank_node(rank: usize, ppn: usize) -> usize {
+    rank / ppn
+}
+
+/// Instantiate a cluster, run the per-rank scripts, return the cluster and
+/// records. Ranks map to ProcIds in order.
+pub fn run_job(
+    cfg: &OpenMxConfig,
+    nodes: usize,
+    ppn: usize,
+    scripts: Vec<Script>,
+) -> (Cluster, Vec<RankRecord>) {
+    let ranks = scripts.len();
+    assert!(ranks <= nodes * ppn, "not enough slots");
+    let recorder = new_recorder(ranks);
+    let mut cl = Cluster::new(cfg.clone(), nodes);
+    let ids: Vec<ProcId> = (0..ranks as u32).map(ProcId).collect();
+    for (rank, script) in scripts.into_iter().enumerate() {
+        let p = ScriptProcess::new(rank, ids.clone(), script, recorder.clone());
+        let pid = cl.add_process(rank_node(rank, ppn), Box::new(p));
+        assert_eq!(pid, ids[rank]);
+    }
+    cl.run(Some(SimTime::from_nanos(600_000_000_000)));
+    let records = recorder.borrow().clone();
+    (cl, records)
+}
+
+/// Result of one IMB measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ImbResult {
+    /// Average time per timed iteration (max over ranks, IMB-style).
+    pub avg_iter: SimDuration,
+    /// Whole-job wall time (used for Table 2's execution-time deltas).
+    pub total: SimDuration,
+}
+
+/// Run one IMB kernel measurement.
+pub fn run_imb(
+    cfg: &OpenMxConfig,
+    nodes: usize,
+    ppn: usize,
+    kernel: ImbKernel,
+    msg: u64,
+    warmup: u32,
+    iters: u32,
+) -> ImbResult {
+    let ranks = if kernel == ImbKernel::PingPong {
+        2
+    } else {
+        nodes * ppn
+    };
+    let (scripts, mark) = imb_job(kernel, ranks, msg, warmup, iters);
+    let (_cl, records) = run_job(cfg, nodes, ppn, scripts);
+    summarize(&records, mark, iters)
+}
+
+/// Reduce rank records to an [`ImbResult`].
+pub fn summarize(records: &[RankRecord], mark: usize, iters: u32) -> ImbResult {
+    for (r, rec) in records.iter().enumerate() {
+        assert!(
+            rec.failures.is_empty(),
+            "rank {r} had failures: {:?}",
+            rec.failures
+        );
+        assert!(rec.finished.is_some(), "rank {r} did not finish");
+    }
+    // Timed window: from the barrier step (mark) to the end, max over
+    // ranks at both edges.
+    let start = records
+        .iter()
+        .map(|r| r.step_done[mark - 1])
+        .max()
+        .expect("ranks");
+    let end = records
+        .iter()
+        .map(|r| r.finished.expect("finished"))
+        .max()
+        .expect("ranks");
+    let window = end.duration_since(start);
+    ImbResult {
+        avg_iter: window / iters as u64,
+        total: end.duration_since(SimTime::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmx_core::PinningMode;
+
+    fn cfg(mode: PinningMode) -> OpenMxConfig {
+        OpenMxConfig::with_mode(mode)
+    }
+
+    #[test]
+    fn pingpong_kernel_runs_and_times() {
+        let r = run_imb(
+            &cfg(PinningMode::Cached),
+            2,
+            1,
+            ImbKernel::PingPong,
+            1 << 20,
+            2,
+            5,
+        );
+        // 2 x 1 MiB per iteration at ~1 GiB/s: the round trip must be
+        // around 2 ms (very loose sanity bounds).
+        let us = r.avg_iter.as_micros_f64();
+        assert!((1000.0..5000.0).contains(&us), "avg_iter = {us} us");
+    }
+
+    #[test]
+    fn all_table2_kernels_complete_on_two_nodes() {
+        for kernel in ImbKernel::table2() {
+            let r = run_imb(
+                &cfg(PinningMode::OverlappedCached),
+                2,
+                1,
+                kernel,
+                256 * 1024,
+                1,
+                3,
+            );
+            assert!(
+                r.avg_iter > SimDuration::ZERO,
+                "{} produced zero time",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_complete_with_two_ranks_per_node() {
+        for kernel in [ImbKernel::SendRecv, ImbKernel::Allreduce, ImbKernel::Exchange] {
+            let r = run_imb(
+                &cfg(PinningMode::Cached),
+                2,
+                2,
+                kernel,
+                128 * 1024,
+                1,
+                2,
+            );
+            assert!(r.avg_iter > SimDuration::ZERO, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn cache_beats_pin_per_comm_on_sendrecv() {
+        let base = run_imb(
+            &cfg(PinningMode::PinPerComm),
+            2,
+            1,
+            ImbKernel::SendRecv,
+            1 << 20,
+            2,
+            8,
+        );
+        let cached = run_imb(
+            &cfg(PinningMode::Cached),
+            2,
+            1,
+            ImbKernel::SendRecv,
+            1 << 20,
+            2,
+            8,
+        );
+        assert!(
+            cached.avg_iter < base.avg_iter,
+            "cache {:?} should beat pin-per-comm {:?}",
+            cached.avg_iter,
+            base.avg_iter
+        );
+    }
+
+    #[test]
+    fn rank_node_block_distribution() {
+        assert_eq!(rank_node(0, 2), 0);
+        assert_eq!(rank_node(1, 2), 0);
+        assert_eq!(rank_node(2, 2), 1);
+        assert_eq!(rank_node(3, 2), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # openmx-mpi — an MPI-flavoured layer over the Open-MX simulation
+//!
+//! The paper evaluates its pinning optimizations through Open MPI running
+//! the Intel MPI Benchmarks and NAS Parallel Benchmarks. This crate
+//! recreates that software layer on top of [`openmx_core`]:
+//!
+//! * [`script`] — the execution model: per-rank programs of steps
+//!   (post-all / wait-all), with send/recv/compute/realloc operations and
+//!   a shared recorder for timing and verification;
+//! * [`collectives`] — broadcast, reduce, allreduce, allgatherv,
+//!   reduce_scatter, alltoallv, sendrecv, exchange and barrier, compiled
+//!   to step-aligned per-rank scripts (binomial trees / rings, matching
+//!   the Open MPI tuned defaults of the paper's era);
+//! * [`imb`] — the IMB kernels of Table 2 plus PingPong (Figs. 6–7), with
+//!   the IMB measurement methodology (warmup, timed window, max-over-ranks);
+//! * [`npb`] — the NPB IS (integer sort) communication kernel, the paper's
+//!   large-message application benchmark.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod imb;
+pub mod npb;
+pub mod script;
+
+pub use collectives::JobBuilder;
+pub use imb::{imb_job, run_imb, run_job, summarize, ImbKernel, ImbResult};
+pub use npb::{is_job, IsConfig};
+pub use script::{new_recorder, Op, RankRecord, Recorder, Script, ScriptProcess, Step};

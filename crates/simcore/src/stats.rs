@@ -1,0 +1,368 @@
+//! Statistics utilities used by the measurement harness.
+//!
+//! * [`OnlineStats`] — Welford's single-pass mean/variance,
+//! * [`Histogram`] — log2-bucketed latency histogram with percentiles,
+//! * [`linear_fit`] — ordinary least squares, used to recover the paper's
+//!   Table 1 "base + per-page" pinning-cost decomposition from sweep data,
+//! * [`Counters`] — named saturating event counters (overlap misses, drops).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Convenience: add a duration observation in microseconds.
+    pub fn push_duration_us(&mut self, d: SimDuration) {
+        self.push(d.as_micros_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator); 0 with fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.stddev(),
+            self.min.min(self.max),
+            self.max.max(self.min)
+        )
+    }
+}
+
+/// Log2-bucketed histogram of nanosecond durations.
+///
+/// Bucket `i` holds values in `[2^i, 2^(i+1))`; bucket 0 holds `{0, 1}` ns.
+/// Percentiles are answered at bucket resolution (upper bound), which is
+/// plenty for latency-distribution reporting.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = if ns <= 1 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1).
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "invalid quantile {q}");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return SimDuration::from_nanos(upper);
+            }
+        }
+        SimDuration::MAX
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+/// Ordinary least-squares fit `y = a + b·x`. Returns `(a, b)`.
+///
+/// Used to recover the Table 1 decomposition: pin cost observed for several
+/// page counts, fitted to `base + per_page · pages`.
+///
+/// # Panics
+/// Panics with fewer than two distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// A named set of saturating event counters.
+///
+/// The Open-MX engine uses this for the §4.3 instrumentation: overlap
+/// misses, packet drops, retransmissions, cache hits/misses, …
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        let c = self.map.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Increment counter `name` by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        xs.iter().for_each(|&x| all.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| a.push(x));
+        xs[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        // Median of 1..=1000 us lies in the bucket containing 500 us.
+        let med = h.quantile(0.5).as_nanos();
+        assert!(med >= 500_000, "median bucket upper bound {med}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        let mean = h.mean().as_nanos();
+        assert!((500_000..=501_000).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn histogram_zero_and_merge() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::ZERO);
+        a.record(SimDuration::from_nanos(1));
+        let mut b = Histogram::new();
+        b.record(SimDuration::from_nanos(1 << 20));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn linear_fit_recovers_coefficients() {
+        // y = 1.3 + 0.15 x, the paper's Xeon E5460 pin cost in us/page.
+        let pts: Vec<(f64, f64)> = (1..=64)
+            .map(|p| (p as f64, 1.3 + 0.15 * p as f64))
+            .collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 1.3).abs() < 1e-9, "a = {a}");
+        assert!((b - 0.15).abs() < 1e-9, "b = {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn linear_fit_rejects_constant_x() {
+        linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut c = Counters::new();
+        c.bump("overlap_miss");
+        c.add("overlap_miss", 2);
+        c.bump("drops");
+        assert_eq!(c.get("overlap_miss"), 3);
+        assert_eq!(c.get("absent"), 0);
+        let mut d = Counters::new();
+        d.add("drops", 5);
+        c.merge(&d);
+        assert_eq!(c.get("drops"), 6);
+        let names: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["drops", "overlap_miss"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Addresses, pages, and ranges.
+//!
+//! The substrate uses 4 KiB pages like the paper's x86 hosts. Virtual
+//! addresses are per-address-space; physical frame numbers ([`Pfn`]) index
+//! the node-wide frame pool.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Page size in bytes (4 KiB, as on the paper's x86 hosts).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual address within one address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A virtual page number (`VirtAddr >> PAGE_SHIFT`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical frame number indexing the node's frame pool.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pfn(pub u32);
+
+impl VirtAddr {
+    /// The page containing this address.
+    #[inline]
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// True if page-aligned.
+    #[inline]
+    pub fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Round down to the page boundary.
+    #[inline]
+    pub fn page_floor(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Round up to the next page boundary.
+    #[inline]
+    pub fn page_ceil(self) -> VirtAddr {
+        VirtAddr(
+            self.0
+                .checked_add(PAGE_SIZE - 1)
+                .expect("address overflow")
+                & !(PAGE_SIZE - 1),
+        )
+    }
+
+    /// Offset this address by `n` bytes.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn add(self, n: u64) -> VirtAddr {
+        VirtAddr(self.0.checked_add(n).expect("address overflow"))
+    }
+}
+
+impl Vpn {
+    /// First byte of this page.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Next page.
+    #[inline]
+    pub fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// A half-open range of virtual pages `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VpnRange {
+    /// First page in the range.
+    pub start: Vpn,
+    /// One past the last page.
+    pub end: Vpn,
+}
+
+impl VpnRange {
+    /// Construct; empty ranges are allowed (start == end).
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: Vpn, end: Vpn) -> Self {
+        assert!(start <= end, "inverted VpnRange");
+        VpnRange { start, end }
+    }
+
+    /// The smallest page range covering the byte range `[addr, addr+len)`.
+    /// A zero-length byte range yields an empty page range.
+    pub fn covering(addr: VirtAddr, len: u64) -> Self {
+        if len == 0 {
+            return VpnRange::new(addr.vpn(), addr.vpn());
+        }
+        let start = addr.page_floor().vpn();
+        let end = addr.add(len - 1).page_floor().vpn().next();
+        VpnRange::new(start, end)
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `vpn` lies inside.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.start <= vpn && vpn < self.end
+    }
+
+    /// True if the two ranges share at least one page.
+    pub fn overlaps(&self, other: &VpnRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection, empty if disjoint.
+    pub fn intersect(&self, other: &VpnRange) -> VpnRange {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start <= end {
+            VpnRange::new(start, end)
+        } else {
+            VpnRange::new(start, start)
+        }
+    }
+
+    /// Iterate pages in order.
+    pub fn iter(&self) -> impl Iterator<Item = Vpn> {
+        (self.start.0..self.end.0).map(Vpn)
+    }
+
+    /// As a raw `Range<u64>` of page numbers.
+    pub fn as_raw(&self) -> Range<u64> {
+        self.start.0..self.end.0
+    }
+}
+
+/// Split a byte range `[addr, addr+len)` into per-page `(vpn, offset,
+/// len_in_page)` chunks — the shape every copy loop in the stack needs.
+pub fn page_chunks(addr: VirtAddr, len: u64) -> impl Iterator<Item = (Vpn, u64, u64)> {
+    let mut cur = addr;
+    let mut remaining = len;
+    std::iter::from_fn(move || {
+        if remaining == 0 {
+            return None;
+        }
+        let vpn = cur.vpn();
+        let off = cur.page_offset();
+        let in_page = (PAGE_SIZE - off).min(remaining);
+        cur = cur.add(in_page);
+        remaining -= in_page;
+        Some((vpn, off, in_page))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offsets() {
+        let a = VirtAddr(0x12345);
+        assert_eq!(a.vpn(), Vpn(0x12));
+        assert_eq!(a.page_offset(), 0x345);
+        assert!(!a.is_page_aligned());
+        assert_eq!(a.page_floor(), VirtAddr(0x12000));
+        assert_eq!(a.page_ceil(), VirtAddr(0x13000));
+        assert!(VirtAddr(0x13000).is_page_aligned());
+        assert_eq!(VirtAddr(0x13000).page_ceil(), VirtAddr(0x13000));
+    }
+
+    #[test]
+    fn covering_ranges() {
+        // One byte -> one page.
+        let r = VpnRange::covering(VirtAddr(0x1000), 1);
+        assert_eq!((r.start, r.end), (Vpn(1), Vpn(2)));
+        // Exactly one page.
+        let r = VpnRange::covering(VirtAddr(0x1000), PAGE_SIZE);
+        assert_eq!((r.start, r.end), (Vpn(1), Vpn(2)));
+        // One byte past a page boundary -> two pages.
+        let r = VpnRange::covering(VirtAddr(0x1000), PAGE_SIZE + 1);
+        assert_eq!((r.start, r.end), (Vpn(1), Vpn(3)));
+        // Unaligned start crossing a boundary.
+        let r = VpnRange::covering(VirtAddr(0x1fff), 2);
+        assert_eq!((r.start, r.end), (Vpn(1), Vpn(3)));
+        // Empty.
+        let r = VpnRange::covering(VirtAddr(0x1234), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_set_ops() {
+        let a = VpnRange::new(Vpn(10), Vpn(20));
+        let b = VpnRange::new(Vpn(15), Vpn(25));
+        let c = VpnRange::new(Vpn(20), Vpn(30));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // half-open: touching is not overlapping
+        let i = a.intersect(&b);
+        assert_eq!((i.start, i.end), (Vpn(15), Vpn(20)));
+        assert!(a.intersect(&c).is_empty());
+        assert_eq!(a.len(), 10);
+        assert!(a.contains(Vpn(10)));
+        assert!(!a.contains(Vpn(20)));
+    }
+
+    #[test]
+    fn page_chunks_cover_exactly() {
+        let chunks: Vec<_> = page_chunks(VirtAddr(0x1f00), 0x300).collect();
+        assert_eq!(
+            chunks,
+            vec![(Vpn(1), 0xf00, 0x100), (Vpn(2), 0, 0x200)]
+        );
+        let total: u64 = chunks.iter().map(|c| c.2).sum();
+        assert_eq!(total, 0x300);
+        assert_eq!(page_chunks(VirtAddr(0), 0).count(), 0);
+    }
+
+    #[test]
+    fn page_chunks_large_span() {
+        let len = 3 * PAGE_SIZE + 17;
+        let chunks: Vec<_> = page_chunks(VirtAddr(0x2010), len).collect();
+        let total: u64 = chunks.iter().map(|c| c.2).sum();
+        assert_eq!(total, len);
+        // Interior chunks are full pages.
+        for c in &chunks[1..chunks.len() - 1] {
+            assert_eq!(c.2, PAGE_SIZE);
+            assert_eq!(c.1, 0);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for the memory substrate.
+
+use std::fmt;
+
+use crate::addr::VirtAddr;
+
+/// Errors surfaced by [`crate::Memory`] operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// The physical frame pool is exhausted.
+    OutOfMemory,
+    /// Access to an address with no VMA backing it (SIGSEGV-equivalent).
+    BadAddress(VirtAddr),
+    /// Write access to a read-only mapping.
+    ProtectionFault(VirtAddr),
+    /// Operation on an unknown or destroyed address space.
+    NoSuchSpace,
+    /// mmap request could not find a free virtual range.
+    OutOfVirtualSpace,
+    /// The page is pinned and may not be swapped or migrated.
+    PagePinned(VirtAddr),
+    /// The page is not resident (e.g. migrate of a non-present page).
+    NotResident(VirtAddr),
+    /// Overlapping fixed-address mmap.
+    RangeBusy(VirtAddr),
+    /// Swap space exhausted.
+    OutOfSwap,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory => write!(f, "out of physical memory"),
+            MemError::BadAddress(a) => write!(f, "bad address {a:?}"),
+            MemError::ProtectionFault(a) => write!(f, "protection fault at {a:?}"),
+            MemError::NoSuchSpace => write!(f, "no such address space"),
+            MemError::OutOfVirtualSpace => write!(f, "virtual address space exhausted"),
+            MemError::PagePinned(a) => write!(f, "page at {a:?} is pinned"),
+            MemError::NotResident(a) => write!(f, "page at {a:?} is not resident"),
+            MemError::RangeBusy(a) => write!(f, "range at {a:?} is already mapped"),
+            MemError::OutOfSwap => write!(f, "swap space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

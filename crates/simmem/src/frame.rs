@@ -1,0 +1,282 @@
+//! The physical frame pool with byte-backed frames.
+//!
+//! Every frame carries real bytes so the whole stack can be checked for
+//! end-to-end data integrity (a registration cache that goes stale produces
+//! *observable corruption* in tests, exactly the failure mode the paper's
+//! MMU-notifier design eliminates).
+//!
+//! Reference counting mirrors Linux `struct page`:
+//! * `refcount` — how many mappings / pinners hold the frame alive,
+//! * `pin_count` — how many of those references are DMA pins
+//!   (`get_user_pages`). A pinned frame may not be swapped or migrated,
+//!   and it survives `munmap` until the last pinner releases it.
+
+use crate::addr::{Pfn, PAGE_SIZE};
+use crate::error::MemError;
+
+struct Frame {
+    data: Box<[u8]>,
+    refcount: u32,
+    pin_count: u32,
+}
+
+/// Fixed-capacity pool of physical frames.
+pub struct FrameAllocator {
+    frames: Vec<Option<Frame>>,
+    free: Vec<Pfn>,
+    allocated: usize,
+    pinned_pages: usize,
+    /// High-water mark of simultaneously pinned pages.
+    pinned_peak: usize,
+}
+
+impl FrameAllocator {
+    /// A pool of `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        let free = (0..capacity as u32).rev().map(Pfn).collect();
+        FrameAllocator {
+            frames: (0..capacity).map(|_| None).collect(),
+            free,
+            allocated: 0,
+            pinned_pages: 0,
+            pinned_peak: 0,
+        }
+    }
+
+    /// Allocate a zeroed frame with refcount 1.
+    pub fn alloc(&mut self) -> Result<Pfn, MemError> {
+        let pfn = self.free.pop().ok_or(MemError::OutOfMemory)?;
+        let slot = &mut self.frames[pfn.0 as usize];
+        debug_assert!(slot.is_none());
+        *slot = Some(Frame {
+            data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+            refcount: 1,
+            pin_count: 0,
+        });
+        self.allocated += 1;
+        Ok(pfn)
+    }
+
+    fn frame(&self, pfn: Pfn) -> &Frame {
+        self.frames[pfn.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("use of freed frame {pfn:?}"))
+    }
+
+    fn frame_mut(&mut self, pfn: Pfn) -> &mut Frame {
+        self.frames[pfn.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("use of freed frame {pfn:?}"))
+    }
+
+    /// Take an additional reference (new mapping sharing the frame).
+    pub fn get(&mut self, pfn: Pfn) {
+        self.frame_mut(pfn).refcount += 1;
+    }
+
+    /// Drop a reference; the frame is freed when the count reaches zero.
+    ///
+    /// # Panics
+    /// Panics if the frame is freed while still pinned with its last
+    /// reference — pinners hold their own reference, so this indicates a
+    /// refcounting bug in the caller.
+    pub fn put(&mut self, pfn: Pfn) {
+        let f = self.frame_mut(pfn);
+        assert!(f.refcount > 0, "refcount underflow on {pfn:?}");
+        f.refcount -= 1;
+        if f.refcount == 0 {
+            assert_eq!(f.pin_count, 0, "freeing pinned frame {pfn:?}");
+            self.frames[pfn.0 as usize] = None;
+            self.free.push(pfn);
+            self.allocated -= 1;
+        }
+    }
+
+    /// Pin the frame for DMA: takes a reference *and* raises the pin count.
+    pub fn pin(&mut self, pfn: Pfn) {
+        let f = self.frame_mut(pfn);
+        f.refcount += 1;
+        f.pin_count += 1;
+        self.pinned_pages += 1;
+        self.pinned_peak = self.pinned_peak.max(self.pinned_pages);
+    }
+
+    /// Release a DMA pin (drops the pinner's reference too).
+    pub fn unpin(&mut self, pfn: Pfn) {
+        {
+            let f = self.frame_mut(pfn);
+            assert!(f.pin_count > 0, "unpin of unpinned frame {pfn:?}");
+            f.pin_count -= 1;
+        }
+        self.pinned_pages -= 1;
+        self.put(pfn);
+    }
+
+    /// True if the frame has at least one DMA pin.
+    pub fn is_pinned(&self, pfn: Pfn) -> bool {
+        self.frame(pfn).pin_count > 0
+    }
+
+    /// Current reference count (for tests/assertions).
+    pub fn refcount(&self, pfn: Pfn) -> u32 {
+        self.frame(pfn).refcount
+    }
+
+    /// Read bytes from the frame at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the access crosses the frame boundary or targets a freed
+    /// frame — both are driver bugs, not recoverable conditions.
+    pub fn read(&self, pfn: Pfn, offset: u64, buf: &mut [u8]) {
+        let f = self.frame(pfn);
+        let off = offset as usize;
+        buf.copy_from_slice(&f.data[off..off + buf.len()]);
+    }
+
+    /// Write bytes into the frame at `offset`.
+    pub fn write(&mut self, pfn: Pfn, offset: u64, data: &[u8]) {
+        let f = self.frame_mut(pfn);
+        let off = offset as usize;
+        f.data[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copy a whole frame's contents onto another frame (COW break,
+    /// migration).
+    pub fn copy_frame(&mut self, src: Pfn, dst: Pfn) {
+        assert_ne!(src, dst);
+        let mut tmp = vec![0u8; PAGE_SIZE as usize];
+        self.read(src, 0, &mut tmp);
+        self.write(dst, 0, &tmp);
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of free frames.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of page pins currently outstanding (counts multiplicity).
+    pub fn pinned_pages(&self) -> usize {
+        self.pinned_pages
+    }
+
+    /// High-water mark of outstanding pins.
+    pub fn pinned_peak(&self) -> usize {
+        self.pinned_peak
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut fa = FrameAllocator::new(4);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fa.allocated(), 2);
+        fa.put(a);
+        assert_eq!(fa.allocated(), 1);
+        let c = fa.alloc().unwrap();
+        assert_eq!(c, a, "freed frame is reused");
+        fa.put(b);
+        fa.put(c);
+        assert_eq!(fa.allocated(), 0);
+        assert_eq!(fa.free_frames(), 4);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut fa = FrameAllocator::new(1);
+        let _a = fa.alloc().unwrap();
+        assert!(matches!(fa.alloc(), Err(MemError::OutOfMemory)));
+    }
+
+    #[test]
+    fn frames_are_zeroed_on_alloc() {
+        let mut fa = FrameAllocator::new(2);
+        let a = fa.alloc().unwrap();
+        fa.write(a, 0, &[0xff; 16]);
+        fa.put(a);
+        let b = fa.alloc().unwrap();
+        assert_eq!(b, a);
+        let mut buf = [0xaa; 16];
+        fa.read(b, 0, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn pin_keeps_frame_alive_past_unmap() {
+        let mut fa = FrameAllocator::new(2);
+        let a = fa.alloc().unwrap(); // mapping ref
+        fa.write(a, 100, b"payload");
+        fa.pin(a); // DMA pin
+        fa.put(a); // mapping goes away (munmap)
+        assert_eq!(fa.allocated(), 1, "pinned frame survives");
+        let mut buf = [0u8; 7];
+        fa.read(a, 100, &mut buf);
+        assert_eq!(&buf, b"payload");
+        fa.unpin(a);
+        assert_eq!(fa.allocated(), 0);
+    }
+
+    #[test]
+    fn pin_statistics() {
+        let mut fa = FrameAllocator::new(4);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        fa.pin(a);
+        fa.pin(b);
+        fa.pin(a); // double pin of the same frame counts twice
+        assert_eq!(fa.pinned_pages(), 3);
+        assert_eq!(fa.pinned_peak(), 3);
+        fa.unpin(a);
+        fa.unpin(b);
+        assert_eq!(fa.pinned_pages(), 1);
+        assert_eq!(fa.pinned_peak(), 3);
+        assert!(fa.is_pinned(a));
+        fa.unpin(a);
+        assert!(!fa.is_pinned(a));
+    }
+
+    #[test]
+    fn copy_frame_copies_bytes() {
+        let mut fa = FrameAllocator::new(2);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        fa.write(a, 0, b"hello");
+        fa.copy_frame(a, b);
+        let mut buf = [0u8; 5];
+        fa.read(b, 0, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "use of freed frame")]
+    fn use_after_free_is_caught() {
+        let mut fa = FrameAllocator::new(1);
+        let a = fa.alloc().unwrap();
+        fa.put(a);
+        let mut buf = [0u8; 1];
+        fa.read(a, 0, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of unpinned frame")]
+    fn unbalanced_unpin_is_caught() {
+        let mut fa = FrameAllocator::new(1);
+        let a = fa.alloc().unwrap();
+        fa.unpin(a);
+    }
+}

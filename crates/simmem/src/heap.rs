@@ -1,0 +1,196 @@
+//! A glibc-flavoured `malloc`/`free` facade over [`Memory`].
+//!
+//! The pinning-cache story depends on allocator behaviour, so we model the
+//! two regimes that matter (and that the paper's §5 discussion draws on):
+//!
+//! * **Large allocations** (≥ `mmap_threshold`, default 128 KiB as in
+//!   glibc) map and unmap directly. `free` therefore reaches the kernel —
+//!   and fires MMU-notifier invalidations — which is precisely when the
+//!   paper says kernel hooks are "reliable and only called when a large
+//!   region is actually unmapped".
+//! * **Small allocations** recycle arena chunks in user space; `free`
+//!   never reaches the kernel, so no invalidation fires (and none is
+//!   needed — small messages go through the eager path, not user regions).
+//!
+//! Freed large blocks are requested again at the same virtual address by
+//! equal-sized `malloc`s (first-fit gap search), reproducing the
+//! free-then-realloc-same-buffer pattern the pinning cache optimizes.
+
+use std::collections::HashMap;
+
+use crate::addr::VirtAddr;
+use crate::error::MemError;
+use crate::space::{AsId, Memory, NotifierEvent};
+use crate::vma::Prot;
+
+/// Allocation bookkeeping for one simulated process.
+pub struct SimHeap {
+    space: AsId,
+    mmap_threshold: u64,
+    /// Arena free lists: rounded size -> LIFO of addresses.
+    arena_free: HashMap<u64, Vec<VirtAddr>>,
+    /// All live allocations: addr -> (len, is_mmap).
+    live: HashMap<u64, (u64, bool)>,
+    /// Total bytes currently allocated (live).
+    live_bytes: u64,
+}
+
+impl SimHeap {
+    /// A heap for `space` with the default 128 KiB mmap threshold.
+    pub fn new(space: AsId) -> Self {
+        Self::with_threshold(space, 128 * 1024)
+    }
+
+    /// A heap with an explicit large-allocation threshold.
+    pub fn with_threshold(space: AsId, mmap_threshold: u64) -> Self {
+        SimHeap {
+            space,
+            mmap_threshold,
+            arena_free: HashMap::new(),
+            live: HashMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// The address space this heap allocates in.
+    pub fn space(&self) -> AsId {
+        self.space
+    }
+
+    fn round(len: u64) -> u64 {
+        VirtAddr(len.max(1)).page_ceil().0
+    }
+
+    /// Allocate `len` bytes.
+    pub fn malloc(&mut self, mem: &mut Memory, len: u64) -> Result<VirtAddr, MemError> {
+        let rounded = Self::round(len);
+        let is_mmap = rounded >= self.mmap_threshold;
+        let addr = if is_mmap {
+            mem.mmap(self.space, rounded, Prot::ReadWrite)?
+        } else if let Some(addr) = self
+            .arena_free
+            .get_mut(&rounded)
+            .and_then(Vec::pop)
+        {
+            addr
+        } else {
+            mem.mmap(self.space, rounded, Prot::ReadWrite)?
+        };
+        self.live.insert(addr.0, (rounded, is_mmap));
+        self.live_bytes += rounded;
+        Ok(addr)
+    }
+
+    /// Free an allocation. For mmap-backed blocks this unmaps and returns
+    /// the MMU-notifier events; arena blocks are recycled silently.
+    ///
+    /// # Panics
+    /// Panics on double free or freeing an unknown pointer — heap misuse is
+    /// a bug in the workload, not a recoverable condition.
+    pub fn free(&mut self, mem: &mut Memory, addr: VirtAddr) -> Vec<NotifierEvent> {
+        let (len, is_mmap) = self
+            .live
+            .remove(&addr.0)
+            .unwrap_or_else(|| panic!("free of unknown pointer {addr:?}"));
+        self.live_bytes -= len;
+        if is_mmap {
+            mem.munmap(self.space, addr, len)
+                .expect("munmap of live allocation failed")
+        } else {
+            self.arena_free.entry(len).or_default().push(addr);
+            Vec::new()
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if `len` would take the mmap (kernel-visible) path.
+    pub fn is_mmap_sized(&self, len: u64) -> bool {
+        Self::round(len) >= self.mmap_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::InvalidateCause;
+
+    fn setup() -> (Memory, SimHeap) {
+        let mut mem = Memory::new(4096, 256);
+        let space = mem.create_space();
+        mem.register_notifier(space).unwrap();
+        (mem, SimHeap::new(space))
+    }
+
+    #[test]
+    fn large_free_fires_notifier() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 1 << 20).unwrap();
+        mem.write(heap.space(), a, b"big").unwrap();
+        let ev = heap.free(&mut mem, a);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].cause, InvalidateCause::Unmap);
+        assert_eq!(ev[0].range.len(), 256); // 1 MiB = 256 pages
+    }
+
+    #[test]
+    fn small_free_is_silent_and_recycled() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 4096).unwrap();
+        let ev = heap.free(&mut mem, a);
+        assert!(ev.is_empty());
+        let b = heap.malloc(&mut mem, 4096).unwrap();
+        assert_eq!(a, b, "arena recycles LIFO");
+    }
+
+    #[test]
+    fn large_free_then_malloc_reuses_address() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 1 << 20).unwrap();
+        heap.free(&mut mem, a);
+        let b = heap.malloc(&mut mem, 1 << 20).unwrap();
+        assert_eq!(a, b, "first-fit returns the same VA for equal size");
+    }
+
+    #[test]
+    fn accounting_tracks_live_bytes() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 100).unwrap();
+        assert_eq!(heap.live_bytes(), crate::addr::PAGE_SIZE);
+        assert_eq!(heap.live_count(), 1);
+        let b = heap.malloc(&mut mem, 1 << 20).unwrap();
+        assert_eq!(heap.live_bytes(), crate::addr::PAGE_SIZE + (1 << 20));
+        heap.free(&mut mem, a);
+        heap.free(&mut mem, b);
+        assert_eq!(heap.live_bytes(), 0);
+        assert_eq!(heap.live_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unknown pointer")]
+    fn double_free_panics() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        heap.free(&mut mem, a);
+        heap.free(&mut mem, a);
+    }
+
+    #[test]
+    fn threshold_classification() {
+        let (_, heap) = setup();
+        assert!(!heap.is_mmap_sized(4096));
+        assert!(!heap.is_mmap_sized(124 * 1024));
+        // 127 KiB page-rounds up to 128 KiB and thus takes the mmap path.
+        assert!(heap.is_mmap_sized(127 * 1024));
+        assert!(heap.is_mmap_sized(128 * 1024));
+        assert!(heap.is_mmap_sized(16 << 20));
+    }
+}

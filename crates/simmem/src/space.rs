@@ -1,0 +1,860 @@
+//! Address spaces, page tables, faults, COW, swap, migration, and pinning.
+//!
+//! [`Memory`] is one node's memory subsystem: a frame pool, a swap device,
+//! and a set of process address spaces. Its API mirrors the Linux facilities
+//! the paper's driver relies on:
+//!
+//! * `mmap`/`munmap` — anonymous demand-paged mappings,
+//! * `read`/`write` — application access through the page tables (faulting,
+//!   breaking COW),
+//! * `pin_user_pages`/`unpin_pages` — `get_user_pages`-style DMA pinning,
+//! * `swap_out`/`migrate` — the page-stealing operations pinning must block,
+//! * `fork_space` — COW sharing, the classic registration-cache hazard,
+//! * **MMU notifier events** — every operation that breaks a
+//!   virtual→physical association returns [`NotifierEvent`]s when a notifier
+//!   is registered on the space.
+//!
+//! ## Notifier semantics
+//!
+//! Linux invokes `invalidate_range_start` synchronously, inside the mm
+//! operation, before the mapping changes. In this single-threaded simulator
+//! an operation is atomic at one virtual instant, so we return the events to
+//! the caller, which must dispatch them to the driver *before simulated time
+//! advances*. Frame refcounting makes the dispatch order safe: pinned frames
+//! survive `munmap` until the driver drops its pins, exactly as pages held
+//! by `get_user_pages` do.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{page_chunks, Pfn, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
+use crate::error::MemError;
+use crate::frame::FrameAllocator;
+use crate::vma::{Prot, VmaSet};
+
+/// Identifies one address space within a [`Memory`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AsId(pub u32);
+
+/// Why a notifier event fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InvalidateCause {
+    /// Pages were unmapped (`munmap`, including process teardown).
+    Unmap,
+    /// A copy-on-write fault replaced the physical page.
+    CowBreak,
+    /// The kernel swapped the page out.
+    SwapOut,
+    /// The kernel migrated the page to another frame.
+    Migrate,
+    /// The whole address space is being destroyed (`release`).
+    Release,
+}
+
+/// An MMU-notifier invalidation event, delivered to whoever registered a
+/// notifier on the space (the Open-MX driver).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NotifierEvent {
+    /// The affected address space.
+    pub space: AsId,
+    /// The invalidated page range.
+    pub range: VpnRange,
+    /// What happened.
+    pub cause: InvalidateCause,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Pte {
+    Resident { pfn: Pfn, cow: bool },
+    Swapped { slot: u32 },
+}
+
+struct AddressSpace {
+    vmas: VmaSet,
+    ptes: BTreeMap<u64, Pte>,
+    notifier: bool,
+    /// Lowest page considered by the gap search; keeps user mappings away
+    /// from page 0 so null-ish addresses fault.
+    base: Vpn,
+    limit: Vpn,
+}
+
+struct SwapSpace {
+    slots: Vec<Option<Box<[u8]>>>,
+    free: Vec<u32>,
+    used: usize,
+}
+
+impl SwapSpace {
+    fn new(capacity: usize) -> Self {
+        SwapSpace {
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity as u32).rev().collect(),
+            used: 0,
+        }
+    }
+
+    fn store(&mut self, data: Box<[u8]>) -> Result<u32, MemError> {
+        let slot = self.free.pop().ok_or(MemError::OutOfSwap)?;
+        self.slots[slot as usize] = Some(data);
+        self.used += 1;
+        Ok(slot)
+    }
+
+    fn load(&mut self, slot: u32) -> Box<[u8]> {
+        let data = self.slots[slot as usize]
+            .take()
+            .expect("load from free swap slot");
+        self.free.push(slot);
+        self.used -= 1;
+        data
+    }
+
+    fn drop_slot(&mut self, slot: u32) {
+        let _ = self.load(slot);
+    }
+
+    fn duplicate(&mut self, slot: u32) -> Result<u32, MemError> {
+        let data = self.slots[slot as usize]
+            .as_ref()
+            .expect("duplicate of free swap slot")
+            .clone();
+        self.store(data)
+    }
+}
+
+/// One node's memory subsystem.
+pub struct Memory {
+    frames: FrameAllocator,
+    swap: SwapSpace,
+    spaces: Vec<Option<AddressSpace>>,
+}
+
+impl Memory {
+    /// A node with `frame_capacity` physical frames and `swap_slots` pages
+    /// of swap.
+    pub fn new(frame_capacity: usize, swap_slots: usize) -> Self {
+        Memory {
+            frames: FrameAllocator::new(frame_capacity),
+            swap: SwapSpace::new(swap_slots),
+            spaces: Vec::new(),
+        }
+    }
+
+    /// Create an empty address space (a "process").
+    pub fn create_space(&mut self) -> AsId {
+        let space = AddressSpace {
+            vmas: VmaSet::new(),
+            ptes: BTreeMap::new(),
+            notifier: false,
+            base: Vpn(0x100),
+            limit: Vpn(1 << 36), // 48-bit VA, way beyond any workload here
+        };
+        if let Some(idx) = self.spaces.iter().position(Option::is_none) {
+            self.spaces[idx] = Some(space);
+            AsId(idx as u32)
+        } else {
+            self.spaces.push(Some(space));
+            AsId(self.spaces.len() as u32 - 1)
+        }
+    }
+
+    /// Destroy an address space, dropping every mapping. Returns the
+    /// `Release` notifier event if one was registered.
+    pub fn destroy_space(&mut self, id: AsId) -> Result<Vec<NotifierEvent>, MemError> {
+        let space = self.space_mut(id)?;
+        let notifier = space.notifier;
+        let ptes = std::mem::take(&mut space.ptes);
+        let full = VpnRange::new(Vpn(0), space.limit);
+        self.spaces[id.0 as usize] = None;
+        for (_, pte) in ptes {
+            match pte {
+                Pte::Resident { pfn, .. } => self.frames.put(pfn),
+                Pte::Swapped { slot } => self.swap.drop_slot(slot),
+            }
+        }
+        Ok(if notifier {
+            vec![NotifierEvent {
+                space: id,
+                range: full,
+                cause: InvalidateCause::Release,
+            }]
+        } else {
+            Vec::new()
+        })
+    }
+
+    /// Register an MMU notifier on the space (the driver does this when an
+    /// endpoint opens). Subsequent invalidations are reported.
+    pub fn register_notifier(&mut self, id: AsId) -> Result<(), MemError> {
+        self.space_mut(id)?.notifier = true;
+        Ok(())
+    }
+
+    /// Unregister the notifier.
+    pub fn unregister_notifier(&mut self, id: AsId) -> Result<(), MemError> {
+        self.space_mut(id)?.notifier = false;
+        Ok(())
+    }
+
+    fn space(&self, id: AsId) -> Result<&AddressSpace, MemError> {
+        self.spaces
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(MemError::NoSuchSpace)
+    }
+
+    fn space_mut(&mut self, id: AsId) -> Result<&mut AddressSpace, MemError> {
+        self.spaces
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(MemError::NoSuchSpace)
+    }
+
+    /// Map `len` bytes (rounded up to pages) of zeroed anonymous memory.
+    /// Pages materialize on first touch (demand paging).
+    pub fn mmap(&mut self, id: AsId, len: u64, prot: Prot) -> Result<VirtAddr, MemError> {
+        let pages = VirtAddr(len).page_ceil().0 >> crate::addr::PAGE_SHIFT;
+        let pages = pages.max(1);
+        let space = self.space_mut(id)?;
+        let start = space
+            .vmas
+            .find_gap(space.base, pages, space.limit)
+            .ok_or(MemError::OutOfVirtualSpace)?;
+        let range = VpnRange::new(start, Vpn(start.0 + pages));
+        let ok = space.vmas.insert(range, prot);
+        debug_assert!(ok);
+        Ok(start.base())
+    }
+
+    /// Map at a fixed page-aligned address (fails if busy).
+    pub fn mmap_at(
+        &mut self,
+        id: AsId,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> Result<VirtAddr, MemError> {
+        assert!(addr.is_page_aligned(), "mmap_at requires page alignment");
+        let range = VpnRange::covering(addr, len.max(1));
+        let space = self.space_mut(id)?;
+        if !space.vmas.insert(range, prot) {
+            return Err(MemError::RangeBusy(addr));
+        }
+        Ok(addr)
+    }
+
+    /// Unmap `[addr, addr+len)` (page-granular). Pages pinned by a driver
+    /// survive physically until unpinned, but the *mapping* is gone.
+    /// Returns notifier events for the removed ranges.
+    pub fn munmap(
+        &mut self,
+        id: AsId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<Vec<NotifierEvent>, MemError> {
+        let range = VpnRange::covering(addr.page_floor(), len + addr.page_offset());
+        let mut events = Vec::new();
+        let mut dropped: Vec<Pte> = Vec::new();
+        {
+            let space = self.space_mut(id)?;
+            let notifier = space.notifier;
+            let removed = space.vmas.remove(range);
+            for sub in removed {
+                let vpns: Vec<u64> = space.ptes.range(sub.as_raw()).map(|(k, _)| *k).collect();
+                for vpn in vpns {
+                    if let Some(pte) = space.ptes.remove(&vpn) {
+                        dropped.push(pte);
+                    }
+                }
+                if notifier {
+                    events.push(NotifierEvent {
+                        space: id,
+                        range: sub,
+                        cause: InvalidateCause::Unmap,
+                    });
+                }
+            }
+        }
+        for pte in dropped {
+            match pte {
+                Pte::Resident { pfn, .. } => self.frames.put(pfn),
+                Pte::Swapped { slot } => self.swap.drop_slot(slot),
+            }
+        }
+        Ok(events)
+    }
+
+    /// True if every byte of `[addr, addr+len)` is inside some VMA.
+    pub fn is_mapped(&self, id: AsId, addr: VirtAddr, len: u64) -> bool {
+        match self.space(id) {
+            Ok(space) => space.vmas.covers(&VpnRange::covering(addr, len.max(1))),
+            Err(_) => false,
+        }
+    }
+
+    /// Handle a (simulated) page fault at `vpn`. Returns the resident frame.
+    /// With `write == true` this breaks COW, possibly emitting a `CowBreak`
+    /// notifier event into `events`.
+    fn fault(
+        &mut self,
+        id: AsId,
+        vpn: Vpn,
+        write: bool,
+        events: &mut Vec<NotifierEvent>,
+    ) -> Result<Pfn, MemError> {
+        let space = self.space(id)?;
+        let vma = space.vmas.find(vpn).ok_or(MemError::BadAddress(vpn.base()))?;
+        if write && !vma.prot.writable() {
+            return Err(MemError::ProtectionFault(vpn.base()));
+        }
+        let notifier = space.notifier;
+        let pte = space.ptes.get(&vpn.0).copied();
+        match pte {
+            None => {
+                // Demand-zero fault.
+                let pfn = self.frames.alloc()?;
+                self.space_mut(id)?
+                    .ptes
+                    .insert(vpn.0, Pte::Resident { pfn, cow: false });
+                Ok(pfn)
+            }
+            Some(Pte::Swapped { slot }) => {
+                let data = self.swap.load(slot);
+                let pfn = self.frames.alloc()?;
+                self.frames.write(pfn, 0, &data);
+                self.space_mut(id)?
+                    .ptes
+                    .insert(vpn.0, Pte::Resident { pfn, cow: false });
+                Ok(pfn)
+            }
+            Some(Pte::Resident { pfn, cow }) => {
+                if write && cow {
+                    if self.frames.refcount(pfn) > 1 {
+                        // Shared: copy to a private frame.
+                        let new = self.frames.alloc()?;
+                        self.frames.copy_frame(pfn, new);
+                        self.frames.put(pfn);
+                        self.space_mut(id)?
+                            .ptes
+                            .insert(vpn.0, Pte::Resident { pfn: new, cow: false });
+                        if notifier {
+                            events.push(NotifierEvent {
+                                space: id,
+                                range: VpnRange::new(vpn, vpn.next()),
+                                cause: InvalidateCause::CowBreak,
+                            });
+                        }
+                        Ok(new)
+                    } else {
+                        // Sole owner: just drop the COW bit.
+                        self.space_mut(id)?
+                            .ptes
+                            .insert(vpn.0, Pte::Resident { pfn, cow: false });
+                        Ok(pfn)
+                    }
+                } else {
+                    Ok(pfn)
+                }
+            }
+        }
+    }
+
+    /// Application write through the page tables. Faults pages in and
+    /// breaks COW as needed; returns any notifier events that caused.
+    pub fn write(
+        &mut self,
+        id: AsId,
+        addr: VirtAddr,
+        data: &[u8],
+    ) -> Result<Vec<NotifierEvent>, MemError> {
+        let mut events = Vec::new();
+        let mut cursor = 0usize;
+        for (vpn, off, n) in page_chunks(addr, data.len() as u64) {
+            let pfn = self.fault(id, vpn, true, &mut events)?;
+            self.frames.write(pfn, off, &data[cursor..cursor + n as usize]);
+            cursor += n as usize;
+        }
+        Ok(events)
+    }
+
+    /// Application read through the page tables.
+    pub fn read(&mut self, id: AsId, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut events = Vec::new();
+        let mut cursor = 0usize;
+        for (vpn, off, n) in page_chunks(addr, buf.len() as u64) {
+            let pfn = self.fault(id, vpn, false, &mut events)?;
+            self.frames.read(pfn, off, &mut buf[cursor..cursor + n as usize]);
+            cursor += n as usize;
+        }
+        debug_assert!(events.is_empty(), "read faults never invalidate");
+        Ok(())
+    }
+
+    /// `get_user_pages`-style pinning of the pages covering
+    /// `[addr, addr+len)`: faults each page in *with write access* (breaking
+    /// COW up front, as GUP with `FOLL_WRITE` does), raises its pin count,
+    /// and returns the frames in page order.
+    ///
+    /// On failure (bad address, OOM) any pages already pinned by this call
+    /// are released before the error is returned.
+    pub fn pin_user_pages(
+        &mut self,
+        id: AsId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<(Vec<Pfn>, Vec<NotifierEvent>), MemError> {
+        let range = VpnRange::covering(addr, len);
+        let mut events = Vec::new();
+        let mut pinned = Vec::with_capacity(range.len() as usize);
+        for vpn in range.iter() {
+            match self.fault(id, vpn, true, &mut events) {
+                Ok(pfn) => {
+                    self.frames.pin(pfn);
+                    pinned.push(pfn);
+                }
+                Err(e) => {
+                    for pfn in pinned {
+                        self.frames.unpin(pfn);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((pinned, events))
+    }
+
+    /// Release DMA pins taken by [`Memory::pin_user_pages`].
+    pub fn unpin_pages(&mut self, pfns: &[Pfn]) {
+        for &pfn in pfns {
+            self.frames.unpin(pfn);
+        }
+    }
+
+    /// Swap one resident page out to disk. Fails if the page is pinned —
+    /// this is exactly the guarantee pinning exists to provide.
+    pub fn swap_out(&mut self, id: AsId, vpn: Vpn) -> Result<Vec<NotifierEvent>, MemError> {
+        let space = self.space(id)?;
+        let notifier = space.notifier;
+        let pte = space.ptes.get(&vpn.0).copied();
+        match pte {
+            Some(Pte::Resident { pfn, cow }) => {
+                if self.frames.is_pinned(pfn) {
+                    return Err(MemError::PagePinned(vpn.base()));
+                }
+                if cow && self.frames.refcount(pfn) > 1 {
+                    // Shared COW pages stay resident in this simple model.
+                    return Err(MemError::PagePinned(vpn.base()));
+                }
+                let mut data = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
+                self.frames.read(pfn, 0, &mut data);
+                let slot = self.swap.store(data)?;
+                self.frames.put(pfn);
+                self.space_mut(id)?
+                    .ptes
+                    .insert(vpn.0, Pte::Swapped { slot });
+                Ok(if notifier {
+                    vec![NotifierEvent {
+                        space: id,
+                        range: VpnRange::new(vpn, vpn.next()),
+                        cause: InvalidateCause::SwapOut,
+                    }]
+                } else {
+                    Vec::new()
+                })
+            }
+            _ => Err(MemError::NotResident(vpn.base())),
+        }
+    }
+
+    /// Migrate one resident page to a different physical frame (as memory
+    /// compaction / NUMA balancing would). Fails if pinned.
+    pub fn migrate(&mut self, id: AsId, vpn: Vpn) -> Result<Vec<NotifierEvent>, MemError> {
+        let space = self.space(id)?;
+        let notifier = space.notifier;
+        let pte = space.ptes.get(&vpn.0).copied();
+        match pte {
+            Some(Pte::Resident { pfn, cow }) => {
+                if self.frames.is_pinned(pfn) {
+                    return Err(MemError::PagePinned(vpn.base()));
+                }
+                let new = self.frames.alloc()?;
+                self.frames.copy_frame(pfn, new);
+                self.frames.put(pfn);
+                self.space_mut(id)?
+                    .ptes
+                    .insert(vpn.0, Pte::Resident { pfn: new, cow });
+                Ok(if notifier {
+                    vec![NotifierEvent {
+                        space: id,
+                        range: VpnRange::new(vpn, vpn.next()),
+                        cause: InvalidateCause::Migrate,
+                    }]
+                } else {
+                    Vec::new()
+                })
+            }
+            _ => Err(MemError::NotResident(vpn.base())),
+        }
+    }
+
+    /// Fork `parent` into a new space sharing all resident pages
+    /// copy-on-write. Swapped pages are duplicated. (Linux fires no
+    /// notifier on fork itself; hazards surface at the later COW breaks.)
+    pub fn fork_space(&mut self, parent: AsId) -> Result<AsId, MemError> {
+        let (vmas, ptes) = {
+            let p = self.space(parent)?;
+            (p.vmas.clone(), p.ptes.clone())
+        };
+        let child = self.create_space();
+        let mut child_ptes = BTreeMap::new();
+        for (vpn, pte) in &ptes {
+            match *pte {
+                Pte::Resident { pfn, .. } => {
+                    self.frames.get(pfn);
+                    child_ptes.insert(*vpn, Pte::Resident { pfn, cow: true });
+                }
+                Pte::Swapped { slot } => {
+                    let dup = self.swap.duplicate(slot)?;
+                    child_ptes.insert(*vpn, Pte::Swapped { slot: dup });
+                }
+            }
+        }
+        // Mark the parent's resident pages COW as well.
+        {
+            let p = self.space_mut(parent)?;
+            for pte in p.ptes.values_mut() {
+                if let Pte::Resident { cow, .. } = pte {
+                    *cow = true;
+                }
+            }
+        }
+        let c = self.space_mut(child)?;
+        c.vmas = vmas;
+        c.ptes = child_ptes;
+        Ok(child)
+    }
+
+    /// The resident frame backing `vpn`, if any (driver-side lookup).
+    pub fn resident_pfn(&self, id: AsId, vpn: Vpn) -> Option<Pfn> {
+        match self.space(id).ok()?.ptes.get(&vpn.0)? {
+            Pte::Resident { pfn, .. } => Some(*pfn),
+            Pte::Swapped { .. } => None,
+        }
+    }
+
+    /// Direct physical read (what the driver does with pinned pages: "the
+    /// kernel may remap it at a temporary virtual location and memcpy").
+    pub fn read_phys(&self, pfn: Pfn, offset: u64, buf: &mut [u8]) {
+        self.frames.read(pfn, offset, buf);
+    }
+
+    /// Direct physical write.
+    pub fn write_phys(&mut self, pfn: Pfn, offset: u64, data: &[u8]) {
+        self.frames.write(pfn, offset, data);
+    }
+
+    /// Access to frame-pool statistics.
+    pub fn frames(&self) -> &FrameAllocator {
+        &self.frames
+    }
+
+    /// Pages currently in swap.
+    pub fn swap_used(&self) -> usize {
+        self.swap.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory() -> Memory {
+        Memory::new(1024, 256)
+    }
+
+    #[test]
+    fn mmap_write_read_roundtrip() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 3 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let data: Vec<u8> = (0..PAGE_SIZE * 2 + 100).map(|i| (i % 251) as u8).collect();
+        let ev = m.write(a, addr.add(50), &data).unwrap();
+        assert!(ev.is_empty());
+        let mut back = vec![0u8; data.len()];
+        m.read(a, addr.add(50), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn demand_paging_allocates_lazily() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 100 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert_eq!(m.frames().allocated(), 0);
+        m.write(a, addr, b"x").unwrap();
+        assert_eq!(m.frames().allocated(), 1);
+        m.write(a, addr.add(PAGE_SIZE * 50), b"y").unwrap();
+        assert_eq!(m.frames().allocated(), 2);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = memory();
+        let a = m.create_space();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            m.read(a, VirtAddr(0x5000_0000), &mut buf),
+            Err(MemError::BadAddress(_))
+        ));
+    }
+
+    #[test]
+    fn readonly_mapping_rejects_writes() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, PAGE_SIZE, Prot::ReadOnly).unwrap();
+        assert!(matches!(
+            m.write(a, addr, b"nope"),
+            Err(MemError::ProtectionFault(_))
+        ));
+        let mut buf = [0u8; 4];
+        m.read(a, addr, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn munmap_emits_notifier_event_when_registered() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, &[1; 4096]).unwrap();
+        // No notifier: silent.
+        let ev = m.munmap(a, addr, PAGE_SIZE).unwrap();
+        assert!(ev.is_empty());
+        m.register_notifier(a).unwrap();
+        let ev = m.munmap(a, addr.add(PAGE_SIZE), PAGE_SIZE).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].cause, InvalidateCause::Unmap);
+        assert_eq!(ev[0].range.len(), 1);
+        assert_eq!(ev[0].space, a);
+    }
+
+    #[test]
+    fn munmap_frees_frames() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, &vec![7u8; 4 * PAGE_SIZE as usize]).unwrap();
+        assert_eq!(m.frames().allocated(), 4);
+        m.munmap(a, addr, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(m.frames().allocated(), 0);
+    }
+
+    #[test]
+    fn pinned_page_survives_munmap() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, b"persist").unwrap();
+        let (pfns, _) = m.pin_user_pages(a, addr, PAGE_SIZE).unwrap();
+        m.munmap(a, addr, PAGE_SIZE).unwrap();
+        // The mapping is gone but the driver can still read the frame.
+        let mut buf = [0u8; 7];
+        m.read_phys(pfns[0], 0, &mut buf);
+        assert_eq!(&buf, b"persist");
+        m.unpin_pages(&pfns);
+        assert_eq!(m.frames().allocated(), 0);
+    }
+
+    #[test]
+    fn pin_prevents_swap_and_migration() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, b"data").unwrap();
+        let (pfns, _) = m.pin_user_pages(a, addr, PAGE_SIZE).unwrap();
+        assert!(matches!(
+            m.swap_out(a, addr.vpn()),
+            Err(MemError::PagePinned(_))
+        ));
+        assert!(matches!(
+            m.migrate(a, addr.vpn()),
+            Err(MemError::PagePinned(_))
+        ));
+        m.unpin_pages(&pfns);
+        m.register_notifier(a).unwrap();
+        let ev = m.migrate(a, addr.vpn()).unwrap();
+        assert_eq!(ev[0].cause, InvalidateCause::Migrate);
+    }
+
+    #[test]
+    fn swap_out_and_back_preserves_data() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, b"swapped bytes").unwrap();
+        m.register_notifier(a).unwrap();
+        let ev = m.swap_out(a, addr.vpn()).unwrap();
+        assert_eq!(ev[0].cause, InvalidateCause::SwapOut);
+        assert_eq!(m.swap_used(), 1);
+        assert_eq!(m.frames().allocated(), 0);
+        let mut buf = [0u8; 13];
+        m.read(a, addr, &mut buf).unwrap(); // faults the page back in
+        assert_eq!(&buf, b"swapped bytes");
+        assert_eq!(m.swap_used(), 0);
+    }
+
+    #[test]
+    fn migration_changes_frame_keeps_data() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, b"moving").unwrap();
+        let before = m.resident_pfn(a, addr.vpn()).unwrap();
+        m.migrate(a, addr.vpn()).unwrap();
+        let after = m.resident_pfn(a, addr.vpn()).unwrap();
+        assert_ne!(before, after);
+        let mut buf = [0u8; 6];
+        m.read(a, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"moving");
+    }
+
+    #[test]
+    fn fork_shares_then_cow_breaks_on_write() {
+        let mut m = memory();
+        let parent = m.create_space();
+        let addr = m.mmap(parent, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(parent, addr, b"original").unwrap();
+        let child = m.fork_space(parent).unwrap();
+        // Shared frame.
+        assert_eq!(
+            m.resident_pfn(parent, addr.vpn()),
+            m.resident_pfn(child, addr.vpn())
+        );
+        assert_eq!(m.frames().allocated(), 1);
+        m.register_notifier(parent).unwrap();
+        // Parent write breaks COW and fires the notifier.
+        let ev = m.write(parent, addr, b"PARENT!!").unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].cause, InvalidateCause::CowBreak);
+        assert_ne!(
+            m.resident_pfn(parent, addr.vpn()),
+            m.resident_pfn(child, addr.vpn())
+        );
+        // Child still sees the original bytes.
+        let mut buf = [0u8; 8];
+        m.read(child, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"original");
+        let mut buf = [0u8; 8];
+        m.read(parent, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"PARENT!!");
+    }
+
+    #[test]
+    fn sole_owner_cow_write_does_not_copy() {
+        let mut m = memory();
+        let parent = m.create_space();
+        let addr = m.mmap(parent, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(parent, addr, b"x").unwrap();
+        let child = m.fork_space(parent).unwrap();
+        m.destroy_space(child).unwrap();
+        let before = m.resident_pfn(parent, addr.vpn()).unwrap();
+        m.write(parent, addr, b"y").unwrap();
+        assert_eq!(m.resident_pfn(parent, addr.vpn()).unwrap(), before);
+    }
+
+    #[test]
+    fn gup_breaks_cow_eagerly() {
+        // Pinning a COW-shared page must give the pinner a private copy
+        // (FOLL_WRITE semantics) so later parent writes cannot detach the
+        // pinned frame silently.
+        let mut m = memory();
+        let parent = m.create_space();
+        let addr = m.mmap(parent, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(parent, addr, b"shared").unwrap();
+        let child = m.fork_space(parent).unwrap();
+        m.register_notifier(parent).unwrap();
+        let (pfns, ev) = m.pin_user_pages(parent, addr, PAGE_SIZE).unwrap();
+        assert_eq!(ev.len(), 1, "pin broke COW");
+        assert_eq!(ev[0].cause, InvalidateCause::CowBreak);
+        // Parent's pinned frame is now private; parent writes land in it.
+        m.write(parent, addr, b"parent").unwrap();
+        let mut buf = [0u8; 6];
+        m.read_phys(pfns[0], 0, &mut buf);
+        assert_eq!(&buf, b"parent");
+        // Child unaffected.
+        let mut buf = [0u8; 6];
+        m.read(child, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared");
+        m.unpin_pages(&pfns);
+    }
+
+    #[test]
+    fn pin_failure_rolls_back() {
+        let mut m = Memory::new(2, 0);
+        let a = m.create_space();
+        let addr = m.mmap(a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        // Only 2 frames available for 4 pages.
+        assert!(matches!(
+            m.pin_user_pages(a, addr, 4 * PAGE_SIZE),
+            Err(MemError::OutOfMemory)
+        ));
+        assert_eq!(m.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn destroy_space_releases_everything() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 8 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.write(a, addr, &vec![3u8; 8 * PAGE_SIZE as usize]).unwrap();
+        m.swap_out(a, addr.vpn()).unwrap();
+        m.register_notifier(a).unwrap();
+        let ev = m.destroy_space(a).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].cause, InvalidateCause::Release);
+        assert_eq!(m.frames().allocated(), 0);
+        assert_eq!(m.swap_used(), 0);
+        assert!(matches!(m.mmap(a, 1, Prot::ReadWrite), Err(MemError::NoSuchSpace)));
+    }
+
+    #[test]
+    fn space_ids_are_reused() {
+        let mut m = memory();
+        let a = m.create_space();
+        m.destroy_space(a).unwrap();
+        let b = m.create_space();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mmap_addresses_do_not_overlap() {
+        let mut m = memory();
+        let a = m.create_space();
+        let x = m.mmap(a, 10 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let y = m.mmap(a, 10 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert!(y.0 >= x.0 + 10 * PAGE_SIZE || x.0 >= y.0 + 10 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn munmap_then_mmap_reuses_address() {
+        // The malloc/free/malloc reuse pattern the pinning cache depends on:
+        // a freed range is handed out again for an equal-size request.
+        let mut m = memory();
+        let a = m.create_space();
+        let x = m.mmap(a, 16 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        m.munmap(a, x, 16 * PAGE_SIZE).unwrap();
+        let y = m.mmap(a, 16 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn mmap_at_rejects_busy_range() {
+        let mut m = memory();
+        let a = m.create_space();
+        let x = m.mmap_at(a, VirtAddr(0x10_0000), PAGE_SIZE * 2, Prot::ReadWrite).unwrap();
+        assert!(matches!(
+            m.mmap_at(a, x, PAGE_SIZE, Prot::ReadWrite),
+            Err(MemError::RangeBusy(_))
+        ));
+    }
+}

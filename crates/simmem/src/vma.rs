@@ -1,0 +1,304 @@
+//! Virtual memory areas: the mmap-level view of an address space.
+//!
+//! A [`VmaSet`] is an ordered set of non-overlapping half-open page ranges
+//! with protection flags. `munmap` may split a VMA in two, exactly as in
+//! Linux; adjacent VMAs with identical protection are merged on insert so
+//! the set stays canonical.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Vpn, VpnRange};
+
+/// Protection flags of a mapping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Prot {
+    /// Read-only mapping.
+    ReadOnly,
+    /// Read-write mapping.
+    ReadWrite,
+}
+
+impl Prot {
+    /// True if writes are permitted.
+    pub fn writable(self) -> bool {
+        matches!(self, Prot::ReadWrite)
+    }
+}
+
+/// One mapped region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Vma {
+    /// Pages covered, half-open.
+    pub range: VpnRange,
+    /// Protection.
+    pub prot: Prot,
+}
+
+/// Ordered, non-overlapping set of VMAs keyed by start page.
+#[derive(Clone, Default, Debug)]
+pub struct VmaSet {
+    map: BTreeMap<u64, Vma>,
+}
+
+impl VmaSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        VmaSet::default()
+    }
+
+    /// Insert a mapping. Returns `false` (and changes nothing) if the range
+    /// overlaps an existing VMA.
+    pub fn insert(&mut self, range: VpnRange, prot: Prot) -> bool {
+        if range.is_empty() || self.overlaps(&range) {
+            return false;
+        }
+        let mut range = range;
+        // Merge with an identical-prot neighbour on the left…
+        if let Some((_, left)) = self
+            .map
+            .range(..range.start.0)
+            .next_back()
+            .map(|(k, v)| (*k, *v))
+        {
+            if left.range.end == range.start && left.prot == prot {
+                self.map.remove(&left.range.start.0);
+                range = VpnRange::new(left.range.start, range.end);
+            }
+        }
+        // …and on the right.
+        if let Some(right) = self.map.get(&range.end.0).copied() {
+            if right.prot == prot {
+                self.map.remove(&right.range.start.0);
+                range = VpnRange::new(range.start, right.range.end);
+            }
+        }
+        self.map.insert(range.start.0, Vma { range, prot });
+        true
+    }
+
+    /// True if `range` overlaps any existing VMA.
+    pub fn overlaps(&self, range: &VpnRange) -> bool {
+        if range.is_empty() {
+            return false;
+        }
+        // A candidate overlapper either starts inside `range` or is the
+        // last VMA starting before it.
+        if self
+            .map
+            .range(range.start.0..range.end.0)
+            .next()
+            .is_some()
+        {
+            return true;
+        }
+        if let Some((_, vma)) = self.map.range(..range.start.0).next_back() {
+            return vma.range.end > range.start;
+        }
+        false
+    }
+
+    /// The VMA containing `vpn`, if any.
+    pub fn find(&self, vpn: Vpn) -> Option<Vma> {
+        self.map
+            .range(..=vpn.0)
+            .next_back()
+            .map(|(_, v)| *v)
+            .filter(|v| v.range.contains(vpn))
+    }
+
+    /// True if every page of `range` is covered by VMAs (possibly several).
+    pub fn covers(&self, range: &VpnRange) -> bool {
+        let mut cur = range.start;
+        while cur < range.end {
+            match self.find(cur) {
+                Some(vma) => cur = vma.range.end.min(range.end),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Remove `range` from the set, splitting VMAs as needed. Returns the
+    /// sub-ranges that were actually unmapped (pages that were mapped).
+    pub fn remove(&mut self, range: VpnRange) -> Vec<VpnRange> {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        let mut removed = Vec::new();
+        // Collect affected VMAs: those starting before range.end whose end
+        // exceeds range.start.
+        let affected: Vec<Vma> = self
+            .map
+            .range(..range.end.0)
+            .rev()
+            .take_while(|(_, v)| v.range.end > range.start)
+            .map(|(_, v)| *v)
+            .collect();
+        for vma in affected {
+            self.map.remove(&vma.range.start.0);
+            let cut = vma.range.intersect(&range);
+            removed.push(cut);
+            if vma.range.start < cut.start {
+                let left = Vma {
+                    range: VpnRange::new(vma.range.start, cut.start),
+                    prot: vma.prot,
+                };
+                self.map.insert(left.range.start.0, left);
+            }
+            if cut.end < vma.range.end {
+                let right = Vma {
+                    range: VpnRange::new(cut.end, vma.range.end),
+                    prot: vma.prot,
+                };
+                self.map.insert(right.range.start.0, right);
+            }
+        }
+        removed.reverse(); // ascending order
+        removed
+    }
+
+    /// Find a free gap of `pages` pages at or after `from`, scanning upward.
+    pub fn find_gap(&self, from: Vpn, pages: u64, limit: Vpn) -> Option<Vpn> {
+        let mut candidate = from;
+        loop {
+            if candidate.0 + pages > limit.0 {
+                return None;
+            }
+            let range = VpnRange::new(candidate, Vpn(candidate.0 + pages));
+            // First VMA intersecting the candidate range.
+            let blocker = self
+                .map
+                .range(..range.end.0)
+                .next_back()
+                .map(|(_, v)| *v)
+                .filter(|v| v.range.end > range.start);
+            match blocker {
+                None => return Some(candidate),
+                Some(vma) => candidate = vma.range.end,
+            }
+        }
+    }
+
+    /// Iterate VMAs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.map.values()
+    }
+
+    /// Number of VMAs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: u64, b: u64) -> VpnRange {
+        VpnRange::new(Vpn(a), Vpn(b))
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut s = VmaSet::new();
+        assert!(s.insert(r(10, 20), Prot::ReadWrite));
+        assert!(s.insert(r(30, 40), Prot::ReadOnly));
+        assert_eq!(s.find(Vpn(15)).unwrap().range, r(10, 20));
+        assert_eq!(s.find(Vpn(10)).unwrap().range, r(10, 20));
+        assert!(s.find(Vpn(20)).is_none());
+        assert!(s.find(Vpn(25)).is_none());
+        assert_eq!(s.find(Vpn(39)).unwrap().prot, Prot::ReadOnly);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut s = VmaSet::new();
+        assert!(s.insert(r(10, 20), Prot::ReadWrite));
+        assert!(!s.insert(r(15, 25), Prot::ReadWrite));
+        assert!(!s.insert(r(5, 11), Prot::ReadWrite));
+        assert!(!s.insert(r(10, 20), Prot::ReadWrite));
+        assert!(s.insert(r(20, 25), Prot::ReadOnly)); // touching is fine
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn adjacent_same_prot_merge() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 20), Prot::ReadWrite);
+        s.insert(r(20, 30), Prot::ReadWrite);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.find(Vpn(25)).unwrap().range, r(10, 30));
+        // Fill a hole merging three ways.
+        s.insert(r(40, 50), Prot::ReadWrite);
+        s.insert(r(30, 40), Prot::ReadWrite);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.find(Vpn(10)).unwrap().range, r(10, 50));
+    }
+
+    #[test]
+    fn different_prot_do_not_merge() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 20), Prot::ReadWrite);
+        s.insert(r(20, 30), Prot::ReadOnly);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 30), Prot::ReadWrite);
+        let removed = s.remove(r(15, 20));
+        assert_eq!(removed, vec![r(15, 20)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.find(Vpn(12)).unwrap().range, r(10, 15));
+        assert_eq!(s.find(Vpn(25)).unwrap().range, r(20, 30));
+        assert!(s.find(Vpn(17)).is_none());
+    }
+
+    #[test]
+    fn remove_spanning_multiple_vmas() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 20), Prot::ReadWrite);
+        s.insert(r(25, 35), Prot::ReadOnly);
+        s.insert(r(40, 50), Prot::ReadWrite);
+        let removed = s.remove(r(15, 45));
+        assert_eq!(removed, vec![r(15, 20), r(25, 35), r(40, 45)]);
+        assert_eq!(s.len(), 2);
+        assert!(s.covers(&r(10, 15)));
+        assert!(s.covers(&r(45, 50)));
+        assert!(!s.covers(&r(10, 16)));
+    }
+
+    #[test]
+    fn remove_unmapped_is_empty() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 20), Prot::ReadWrite);
+        assert!(s.remove(r(30, 40)).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn covers_across_vmas() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 20), Prot::ReadWrite);
+        s.insert(r(20, 30), Prot::ReadOnly); // adjacent, different prot
+        assert!(s.covers(&r(12, 28)));
+        assert!(!s.covers(&r(12, 31)));
+    }
+
+    #[test]
+    fn find_gap_skips_mappings() {
+        let mut s = VmaSet::new();
+        s.insert(r(10, 20), Prot::ReadWrite);
+        s.insert(r(22, 30), Prot::ReadWrite);
+        assert_eq!(s.find_gap(Vpn(0), 5, Vpn(1000)), Some(Vpn(0)));
+        assert_eq!(s.find_gap(Vpn(10), 5, Vpn(1000)), Some(Vpn(30)));
+        assert_eq!(s.find_gap(Vpn(10), 2, Vpn(1000)), Some(Vpn(20)));
+        assert_eq!(s.find_gap(Vpn(10), 2, Vpn(21)), None);
+    }
+}

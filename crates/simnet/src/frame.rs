@@ -1,0 +1,114 @@
+//! Ethernet frame arithmetic: wire sizes, overheads, fragmentation.
+//!
+//! Open-MX sends MXoE messages as Ethernet frames; large transfers are
+//! fragmented into MTU-sized pull replies. This module captures the byte
+//! math — payload vs. on-wire size — used by the timing model.
+
+/// Ethernet header (14) + FCS (4) bytes.
+pub const ETH_HEADER_FCS: u64 = 18;
+/// Preamble (8) + inter-packet gap (12) bytes of line time per frame.
+pub const ETH_PREAMBLE_IPG: u64 = 20;
+/// MXoE-style message header carried inside the Ethernet payload.
+pub const MXOE_HEADER: u64 = 32;
+/// Standard Ethernet MTU.
+pub const MTU_STANDARD: u64 = 1500;
+/// Jumbo-frame MTU (the paper's Myri-10G setup uses 9000-byte frames).
+pub const MTU_JUMBO: u64 = 9000;
+
+/// Bytes of application payload that fit in one frame at `mtu`.
+#[inline]
+pub fn max_payload(mtu: u64) -> u64 {
+    assert!(mtu > MXOE_HEADER, "mtu too small for the MXoE header");
+    mtu - MXOE_HEADER
+}
+
+/// Total line time charged for a frame carrying `payload` bytes, in bytes:
+/// payload + MXoE header + Ethernet header/FCS + preamble/IPG.
+#[inline]
+pub fn wire_bytes(payload: u64) -> u64 {
+    // Minimum Ethernet payload is 46 bytes (frames are padded).
+    let eth_payload = (payload + MXOE_HEADER).max(46);
+    eth_payload + ETH_HEADER_FCS + ETH_PREAMBLE_IPG
+}
+
+/// Split a `len`-byte message into per-frame payload sizes at `mtu`.
+/// All fragments except the last are full; a zero-length message still
+/// produces one (empty) frame, as control messages occupy a frame.
+pub fn fragment(len: u64, mtu: u64) -> impl Iterator<Item = u64> {
+    let chunk = max_payload(mtu);
+    let mut remaining = len;
+    let mut first = true;
+    std::iter::from_fn(move || {
+        if remaining == 0 {
+            if first {
+                first = false;
+                return Some(0);
+            }
+            return None;
+        }
+        first = false;
+        let n = remaining.min(chunk);
+        remaining -= n;
+        Some(n)
+    })
+}
+
+/// Number of frames a `len`-byte message needs at `mtu`.
+pub fn frame_count(len: u64, mtu: u64) -> u64 {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(max_payload(mtu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_capacity() {
+        assert_eq!(max_payload(MTU_JUMBO), 9000 - 32);
+        assert_eq!(max_payload(MTU_STANDARD), 1500 - 32);
+    }
+
+    #[test]
+    fn wire_bytes_includes_overheads() {
+        assert_eq!(wire_bytes(1000), 1000 + 32 + 18 + 20);
+        // Tiny payloads hit the 46-byte Ethernet minimum... 0+32=32 < 46.
+        assert_eq!(wire_bytes(0), 46 + 18 + 20);
+        assert_eq!(wire_bytes(14), 46 + 18 + 20);
+        assert_eq!(wire_bytes(15), 47 + 18 + 20);
+    }
+
+    #[test]
+    fn fragmentation_covers_message() {
+        let sizes: Vec<u64> = fragment(20_000, MTU_JUMBO).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 20_000);
+        assert_eq!(sizes.len() as u64, frame_count(20_000, MTU_JUMBO));
+        // All but the last are full.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert_eq!(s, max_payload(MTU_JUMBO));
+        }
+    }
+
+    #[test]
+    fn zero_length_message_is_one_frame() {
+        let sizes: Vec<u64> = fragment(0, MTU_JUMBO).collect();
+        assert_eq!(sizes, vec![0]);
+        assert_eq!(frame_count(0, MTU_JUMBO), 1);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_empty_tail() {
+        let chunk = max_payload(MTU_JUMBO);
+        let sizes: Vec<u64> = fragment(chunk * 3, MTU_JUMBO).collect();
+        assert_eq!(sizes, vec![chunk, chunk, chunk]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu too small")]
+    fn tiny_mtu_rejected() {
+        max_payload(16);
+    }
+}

@@ -1,0 +1,25 @@
+//! # simnet — a frame-level Ethernet fabric and I/OAT copy engine
+//!
+//! The network substrate under the Open-MX reproduction:
+//!
+//! * [`frame`] — Ethernet/MXoE byte math (headers, MTU, fragmentation),
+//! * [`Network`] — a switched full-duplex fabric with ingress/egress
+//!   serialization, propagation latency, random loss and drop-tail
+//!   egress queues,
+//! * [`IoatEngine`] — the chipset DMA engine Open-MX offloads
+//!   receive-side copies to.
+//!
+//! The model is deliberately *passive*: it computes delivery/completion
+//! times, while the simulation engine (in `openmx-core`) owns the event
+//! queue and all payload bytes. This keeps the substrate independently
+//! testable and the engine free to interleave network, CPU and memory
+//! events deterministically.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod ioat;
+pub mod net;
+
+pub use ioat::IoatEngine;
+pub use net::{DropReason, NetConfig, NetStats, Network, NodeId, TxOutcome};

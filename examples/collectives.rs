@@ -1,0 +1,82 @@
+//! MPI-style collectives on the simulated cluster: broadcast, allreduce
+//! and alltoallv across 4 ranks on 2 nodes, with data verification for
+//! the broadcast.
+//!
+//! Run: `cargo run --release --example collectives`
+
+use openmx_core::{OpenMxConfig, PinningMode};
+use openmx_mpi::collectives::JobBuilder;
+use openmx_mpi::{run_job, summarize};
+use simcore::SimDuration;
+
+fn time_one(build: impl Fn(&mut JobBuilder)) -> SimDuration {
+    let mut b = JobBuilder::new(4);
+    build(&mut b);
+    let iters = 4;
+    // A barrier separates setup from the timed window.
+    let mut b2 = JobBuilder::new(4);
+    build(&mut b2); // warmup
+    b2.barrier();
+    let mark = b2.mark();
+    for _ in 0..iters {
+        build(&mut b2);
+    }
+    let cfg = OpenMxConfig::with_mode(PinningMode::OverlappedCached);
+    let (_cl, records) = run_job(&cfg, 2, 2, b2.scripts);
+    summarize(&records, mark, iters).avg_iter
+}
+
+fn main() {
+    let len: u64 = 1 << 20;
+    println!("collectives on 4 ranks over 2 nodes (1 MiB payloads):\n");
+
+    // --- broadcast with end-to-end verification -------------------------
+    let mut b = JobBuilder::new(4);
+    let buf = b.alloc(len, |r| if r == 0 { Some(0xC3) } else { Some(0x00) });
+    b.bcast(0, buf, len);
+    let cfg = OpenMxConfig::with_mode(PinningMode::OverlappedCached);
+    let (mut cl, records) = run_job(&cfg, 2, 2, b.scripts);
+    for (rank, rec) in records.iter().enumerate() {
+        assert!(rec.failures.is_empty());
+        let addr = rec.buffer_addrs[buf];
+        let got = cl.read_proc(openmx_core::ProcId(rank as u32), addr, len);
+        let ok = got
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == (i as u8) ^ 0xC3);
+        assert!(ok, "rank {rank}: broadcast payload mismatch");
+    }
+    println!("bcast:       every rank verified the root's 1 MiB pattern");
+
+    // --- timings ---------------------------------------------------------
+    let t = time_one(|b| {
+        if b.scripts[0].buffers.is_empty() {
+            let buf = b.alloc(len, |_| Some(1));
+            assert_eq!(buf, 0);
+        }
+        b.bcast(0, 0, len);
+    });
+    println!("bcast:       {t} per operation");
+
+    let t = time_one(|b| {
+        if b.scripts[0].buffers.is_empty() {
+            b.alloc(len, |_| Some(1));
+            b.alloc(len, |_| None);
+        }
+        b.allreduce(0, 1, len);
+    });
+    println!("allreduce:   {t} per operation");
+
+    let t = time_one(|b| {
+        if b.scripts[0].buffers.is_empty() {
+            b.alloc(len, |_| Some(1));
+            b.alloc(len, |_| None);
+        }
+        let counts = vec![len / 4; 4];
+        b.alltoallv(0, 1, &counts);
+    });
+    println!("alltoallv:   {t} per operation (256 KiB per peer)");
+
+    println!("\nIntra-node pairs used the shared-memory path; inter-node pairs the");
+    println!("rendezvous/pull protocol with the overlapped pinning cache.");
+}

@@ -1,0 +1,64 @@
+//! §4.3 in miniature: the overlap-miss collapse when the application is
+//! pinned to the interrupt core, and the I/OAT rescue.
+//!
+//! Streams 16 MiB messages under overlapped pinning in three topologies
+//! and prints throughput plus the miss counters.
+//!
+//! Run: `cargo run --release --example overload`
+
+use openmx_core::{OpenMxConfig, PinningMode};
+use openmx_mpi::collectives::JobBuilder;
+use openmx_mpi::script::Op;
+use openmx_mpi::run_job;
+use simcore::Bandwidth;
+
+fn stream(colocate: bool, ioat: bool) -> (f64, u64, u64) {
+    let mut cfg = OpenMxConfig::with_mode(PinningMode::Overlapped);
+    cfg.colocate_with_bh = colocate;
+    cfg.use_ioat = ioat;
+
+    let msg: u64 = 16 << 20;
+    let msgs: u32 = 4;
+    let mut b = JobBuilder::new(2);
+    let sbuf = b.alloc(msg, |_| Some(0x42));
+    let rbuf = b.alloc(msg, |_| None);
+    for _ in 0..=msgs {
+        let tag = b.tag();
+        b.step_all(|r| match r {
+            0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len: msg }],
+            1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len: msg }],
+            _ => vec![],
+        });
+    }
+    let (cl, records) = run_job(&cfg, 2, 1, b.scripts);
+    let rec = &records[1];
+    let start = rec.step_done[0]; // warmup message done
+    let end = rec.finished.expect("finished");
+    let bw = Bandwidth::measured(msg * msgs as u64, end.duration_since(start));
+    let c = cl.counters();
+    (
+        bw.bytes_per_sec() / 1e6,
+        c.get("overlap_miss_rx") + c.get("overlap_miss_tx"),
+        c.get("pull_stall_timeouts"),
+    )
+}
+
+fn main() {
+    println!("16 MiB stream, overlapped pinning, 10G Ethernet:\n");
+    for (name, colocate, ioat) in [
+        ("process on its own core (normal)", false, false),
+        ("process pinned to the interrupt core", true, false),
+        ("interrupt core + I/OAT copy offload", true, true),
+    ] {
+        let (mbps, misses, stalls) = stream(colocate, ioat);
+        println!(
+            "{name:<40} {mbps:>6.0} MB/s   misses: {misses:<5} 1s-stalls: {stalls}"
+        );
+    }
+    println!(
+        "\nThe receive bottom half outranks the task that pins pages (§4.3):\n\
+         when they share a core, whole windows of pull replies arrive before\n\
+         their pages are pinned, get dropped, and recovery waits on the 1 s\n\
+         retransmission timeout — the paper's 1 GB/s → ~50 MB/s collapse."
+    );
+}

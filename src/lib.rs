@@ -1,0 +1,6 @@
+//! Workspace umbrella crate re-exporting the public API.
+pub use openmx_core as core;
+pub use openmx_mpi as mpi;
+pub use simcore;
+pub use simmem;
+pub use simnet;

@@ -1,0 +1,39 @@
+//! Shared helpers for the workspace integration tests.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use openmx_core::{Cluster, OpenMxConfig, PinningMode, ProcId};
+use openmx_mpi::collectives::JobBuilder;
+use openmx_mpi::script::RankRecord;
+use openmx_mpi::{run_job, Op};
+
+/// Run a one-way stream of `msgs` messages of `len` bytes from rank 0 to
+/// rank 1 (two nodes) and verify the payload arrived intact.
+pub fn verified_stream(cfg: &OpenMxConfig, len: u64, msgs: u32) -> (Cluster, Vec<RankRecord>) {
+    let mut b = JobBuilder::new(2);
+    let sbuf = b.alloc(len, |_| Some(0x6b));
+    let rbuf = b.alloc(len, |_| None);
+    for _ in 0..msgs {
+        let tag = b.tag();
+        b.step_all(|r| match r {
+            0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len }],
+            1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len }],
+            _ => vec![],
+        });
+    }
+    let (mut cl, records) = run_job(cfg, 2, 1, b.scripts);
+    for rec in &records {
+        assert!(rec.failures.is_empty(), "failures: {:?}", rec.failures);
+        assert!(rec.finished.is_some());
+    }
+    let addr = records[1].buffer_addrs[rbuf];
+    let got = cl.read_proc(ProcId(1), addr, len);
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v, (i as u8) ^ 0x6b, "byte {i} corrupted");
+    }
+    (cl, records)
+}
+
+/// A config for the given mode on the paper's platform.
+pub fn cfg(mode: PinningMode) -> OpenMxConfig {
+    OpenMxConfig::with_mode(mode)
+}

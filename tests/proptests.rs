@@ -1,0 +1,116 @@
+//! Workspace-level property tests: the full stack delivers arbitrary
+//! payload sizes intact under every pinning strategy, and the region
+//! layer's vectorial geometry is internally consistent.
+
+mod common;
+
+use common::cfg;
+use openmx_core::region::{DriverRegion, RegionLayout, Segment};
+use openmx_core::PinningMode;
+use proptest::prelude::*;
+use simmem::{Memory, Prot, PAGE_SIZE};
+
+fn any_mode() -> impl Strategy<Value = PinningMode> {
+    prop_oneof![
+        Just(PinningMode::PinPerComm),
+        Just(PinningMode::Permanent),
+        Just(PinningMode::Cached),
+        Just(PinningMode::Overlapped),
+        Just(PinningMode::OverlappedCached),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any message size in [1, 2 MiB], any mode, I/OAT on or off: the
+    /// bytes arrive intact and nothing fails or leaks pins.
+    #[test]
+    fn stream_integrity_any_size(
+        len in 1u64..2 * 1024 * 1024,
+        mode in any_mode(),
+        ioat in any::<bool>(),
+    ) {
+        let mut c = cfg(mode);
+        c.use_ioat = ioat;
+        let (cl, _) = common::verified_stream(&c, len, 1);
+        prop_assert_eq!(cl.counters().get("requests_failed"), 0);
+        if !mode.caches() {
+            for node in 0..2 {
+                let nc = cl.node_counters(node);
+                prop_assert_eq!(nc.get("pin_pages"), nc.get("unpin_pages"));
+            }
+        }
+    }
+
+    /// Vectorial regions: chunk iteration covers exactly the requested
+    /// byte range, in order, and region read/write round-trips match the
+    /// application's view through its page tables.
+    #[test]
+    fn region_geometry_and_roundtrip(
+        seg_lens in prop::collection::vec(1u64..3 * PAGE_SIZE, 1..5),
+        gaps in prop::collection::vec(0u64..2 * PAGE_SIZE, 1..5),
+        offset_frac in 0.0f64..1.0,
+        len_frac in 0.01f64..1.0,
+    ) {
+        let mut mem = Memory::new(256, 0);
+        let space = mem.create_space();
+        // Build segments with gaps between them.
+        let mut segments = Vec::new();
+        for (i, &sl) in seg_lens.iter().enumerate() {
+            let gap = gaps[i % gaps.len()];
+            let span = sl + gap + 2 * PAGE_SIZE;
+            let base = mem.mmap(space, span, Prot::ReadWrite).unwrap();
+            segments.push(Segment { addr: base.add(gap % PAGE_SIZE), len: sl });
+        }
+        let layout = RegionLayout::new(&segments);
+        let total = layout.total_len();
+        prop_assert_eq!(total, seg_lens.iter().sum::<u64>());
+
+        // Chunks cover [offset, offset+len) exactly, in order.
+        let offset = ((total - 1) as f64 * offset_frac) as u64;
+        let len = (((total - offset) as f64 * len_frac) as u64).max(1);
+        let mut covered = 0u64;
+        let mut last_idx = None::<u64>;
+        layout.for_each_chunk(offset, len, |idx, _vpn, page_off, n| {
+            assert!(page_off + n <= PAGE_SIZE, "chunk crosses a page");
+            if let Some(prev) = last_idx {
+                assert!(idx >= prev, "chunks out of order");
+            }
+            last_idx = Some(idx);
+            covered += n;
+        });
+        prop_assert_eq!(covered, len);
+
+        // Pin everything and round-trip bytes through the driver view.
+        let mut region = DriverRegion::new(space, &segments);
+        region.pin_next_chunk(&mut mem, 10_000).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+        region.write(&mut mem, offset, &data).unwrap();
+        let mut back = vec![0u8; len as usize];
+        region.read(&mem, offset, &mut back).unwrap();
+        prop_assert_eq!(&back, &data);
+
+        // The application sees the same bytes through its page tables.
+        let mut cursor = offset;
+        let mut checked = 0usize;
+        for seg in &segments {
+            if cursor >= seg.len {
+                cursor -= seg.len;
+                continue;
+            }
+            let in_seg = ((seg.len - cursor) as usize).min(data.len() - checked);
+            let mut app = vec![0u8; in_seg];
+            mem.read(space, seg.addr.add(cursor), &mut app).unwrap();
+            prop_assert_eq!(&app[..], &data[checked..checked + in_seg]);
+            checked += in_seg;
+            cursor = 0;
+            if checked == data.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(checked, data.len());
+        region.unpin_all(&mut mem);
+        prop_assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+}
