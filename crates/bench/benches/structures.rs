@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks of the hot data structures: the event queue,
-//! the region cache, the page-fault/pin path and the core run queue.
-//! These measure *wall-clock* cost of the simulator itself (the simulated
-//! costs are the harness binaries' business).
+//! Microbenchmarks of the hot data structures: the event queue, the region
+//! cache, the page-fault/pin path and the core run queue. These measure
+//! *wall-clock* cost of the simulator itself (the simulated costs are the
+//! harness binaries' business).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use openmx_bench::microbench::{black_box, Bench};
 use openmx_core::cache::{CacheOutcome, RegionCache};
 use openmx_core::driver::Driver;
 use openmx_core::region::Segment;
@@ -11,39 +11,35 @@ use openmx_core::RegionId;
 use simcore::{CpuCore, EventQueue, Priority, SimDuration, SimTime, Work};
 use simmem::{Memory, Prot, VirtAddr, PAGE_SIZE};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue schedule+pop 1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 1), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+fn bench_event_queue(b: &Bench) {
+    b.bench("event_queue schedule+pop 1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 1), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum)
     });
-    c.bench_function("event_queue cancel-heavy", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let ids: Vec<_> = (0..1000u64)
-                .map(|i| q.schedule(SimTime::from_nanos(i + 1), i))
-                .collect();
-            for id in ids.iter().step_by(2) {
-                q.cancel(*id);
-            }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+    b.bench("event_queue cancel-heavy", || {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..1000u64)
+            .map(|i| q.schedule(SimTime::from_nanos(i + 1), i))
+            .collect();
+        for id in ids.iter().step_by(2) {
+            q.cancel(*id);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        black_box(n)
     });
 }
 
-fn bench_region_cache(c: &mut Criterion) {
+fn bench_region_cache(b: &Bench) {
     let segments: Vec<Vec<Segment>> = (0..64u64)
         .map(|i| {
             vec![Segment {
@@ -52,59 +48,58 @@ fn bench_region_cache(c: &mut Criterion) {
             }]
         })
         .collect();
-    c.bench_function("region_cache lookup hit", |b| {
+    {
         let mut cache = RegionCache::new(64);
         for (i, s) in segments.iter().enumerate() {
             cache.insert(s.clone(), RegionId(i as u32));
         }
         let mut i = 0;
-        b.iter(|| {
+        b.bench("region_cache lookup hit", || {
             i = (i + 1) % segments.len();
             match cache.lookup(&segments[i]) {
                 CacheOutcome::Hit(id) => black_box(id),
                 CacheOutcome::Miss => panic!("must hit"),
             }
-        })
-    });
-    c.bench_function("region_cache insert+evict", |b| {
-        b.iter(|| {
-            let mut cache = RegionCache::new(16);
-            for (i, s) in segments.iter().enumerate() {
-                black_box(cache.insert(s.clone(), RegionId(i as u32)));
-            }
-        })
+        });
+    }
+    b.bench("region_cache insert+evict", || {
+        let mut cache = RegionCache::new(16);
+        for (i, s) in segments.iter().enumerate() {
+            black_box(cache.insert(s.clone(), RegionId(i as u32)));
+        }
     });
 }
 
-fn bench_pin_path(c: &mut Criterion) {
-    c.bench_function("pin+unpin 256 pages (1 MiB)", |b| {
+fn bench_pin_path(b: &Bench) {
+    {
         let mut mem = Memory::new(512, 0);
         let space = mem.create_space();
         let addr = mem.mmap(space, 256 * PAGE_SIZE, Prot::ReadWrite).unwrap();
         // Pre-fault so we measure the steady-state pin path.
         mem.write(space, addr, &vec![1u8; (256 * PAGE_SIZE) as usize])
             .unwrap();
-        b.iter(|| {
+        b.bench("pin+unpin 256 pages (1 MiB)", || {
             let (pfns, _) = mem.pin_user_pages(space, addr, 256 * PAGE_SIZE).unwrap();
             mem.unpin_pages(&pfns);
             black_box(pfns.len())
-        })
-    });
-    c.bench_function("driver declare+invalidate", |b| {
+        });
+    }
+    {
         let mut mem = Memory::new(512, 0);
         let space = mem.create_space();
         mem.register_notifier(space).unwrap();
         let addr = mem.mmap(space, 64 * PAGE_SIZE, Prot::ReadWrite).unwrap();
-        b.iter(|| {
+        b.bench("driver declare+invalidate", || {
             let mut driver = Driver::new(None);
-            let rid = driver.declare(space, &[Segment { addr, len: 64 * PAGE_SIZE }]);
-            driver
-                .region_mut(rid)
-                .pin_next_chunk(&mut mem, 64)
-                .unwrap();
-            let evs = mem
-                .munmap(space, addr, 64 * PAGE_SIZE)
-                .expect("munmap");
+            let rid = driver.declare(
+                space,
+                &[Segment {
+                    addr,
+                    len: 64 * PAGE_SIZE,
+                }],
+            );
+            driver.region_mut(rid).pin_next_chunk(&mut mem, 64).unwrap();
+            let evs = mem.munmap(space, addr, 64 * PAGE_SIZE).expect("munmap");
             for ev in &evs {
                 driver.handle_invalidate(&mut mem, ev);
             }
@@ -113,48 +108,57 @@ fn bench_pin_path(c: &mut Criterion) {
             assert_eq!(again, addr);
             driver.undeclare(&mut mem, rid);
             black_box(rid)
-        })
+        });
+    }
+}
+
+fn bench_cpu_core(b: &Bench) {
+    b.bench("cpu_core submit/complete 1k mixed", || {
+        let mut core = CpuCore::new();
+        let mut now = SimTime::ZERO;
+        let mut next = core
+            .submit(
+                now,
+                Work {
+                    duration: SimDuration::from_nanos(100),
+                    priority: Priority::Task,
+                    payload: 0u64,
+                },
+            )
+            .unwrap();
+        for i in 1..1000u64 {
+            let prio = if i % 3 == 0 {
+                Priority::BottomHalf
+            } else {
+                Priority::Task
+            };
+            core.submit(
+                now,
+                Work {
+                    duration: SimDuration::from_nanos(100),
+                    priority: prio,
+                    payload: i,
+                },
+            );
+        }
+        let mut sum = 0u64;
+        loop {
+            now = next.at;
+            let (_, v, n) = core.on_complete(now);
+            sum += v;
+            match n {
+                Some(c) => next = c,
+                None => break,
+            }
+        }
+        black_box(sum)
     });
 }
 
-fn bench_cpu_core(c: &mut Criterion) {
-    c.bench_function("cpu_core submit/complete 1k mixed", |b| {
-        b.iter(|| {
-            let mut core = CpuCore::new();
-            let mut now = SimTime::ZERO;
-            let mut next = core
-                .submit(
-                    now,
-                    Work { duration: SimDuration::from_nanos(100), priority: Priority::Task, payload: 0u64 },
-                )
-                .unwrap();
-            for i in 1..1000u64 {
-                let prio = if i % 3 == 0 { Priority::BottomHalf } else { Priority::Task };
-                core.submit(
-                    now,
-                    Work { duration: SimDuration::from_nanos(100), priority: prio, payload: i },
-                );
-            }
-            let mut sum = 0u64;
-            loop {
-                now = next.at;
-                let (_, v, n) = core.on_complete(now);
-                sum += v;
-                match n {
-                    Some(c) => next = c,
-                    None => break,
-                }
-            }
-            black_box(sum)
-        })
-    });
+fn main() {
+    let b = Bench::new();
+    bench_event_queue(&b);
+    bench_region_cache(&b);
+    bench_pin_path(&b);
+    bench_cpu_core(&b);
 }
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_region_cache,
-    bench_pin_path,
-    bench_cpu_core
-);
-criterion_main!(benches);

@@ -56,9 +56,21 @@ fn main() {
         &["threshold", "16KiB msg MiB/s", "64KiB msg MiB/s"],
     );
     for &th in &thresholds {
-        let a = rows.iter().find(|r| r.0 == th && r.1 == 16 * 1024).unwrap().2;
-        let b = rows.iter().find(|r| r.0 == th && r.1 == 64 * 1024).unwrap().2;
-        t.row(vec![format!("{}KiB", th / 1024), format!("{a:.0}"), format!("{b:.0}")]);
+        let a = rows
+            .iter()
+            .find(|r| r.0 == th && r.1 == 16 * 1024)
+            .unwrap()
+            .2;
+        let b = rows
+            .iter()
+            .find(|r| r.0 == th && r.1 == 64 * 1024)
+            .unwrap()
+            .2;
+        t.row(vec![
+            format!("{}KiB", th / 1024),
+            format!("{a:.0}"),
+            format!("{b:.0}"),
+        ]);
     }
     t.emit(None);
 
@@ -69,7 +81,10 @@ fn main() {
         cfg.pull_window = w;
         (w, throughput(&cfg, 1 << 20))
     });
-    let mut t = Table::new("ablation: pull window (blocks in flight)", &["window", "MiB/s"]);
+    let mut t = Table::new(
+        "ablation: pull window (blocks in flight)",
+        &["window", "MiB/s"],
+    );
     for (w, v) in rows {
         t.row(vec![format!("{w}"), format!("{v:.0}")]);
     }
@@ -85,23 +100,43 @@ fn main() {
         let len = 256 * 1024u64;
         let nbufs = 16usize;
         let mut b = JobBuilder::new(2);
-        let bufs: Vec<usize> = (0..nbufs).map(|i| b.alloc(len, move |_| Some(i as u8))).collect();
+        let bufs: Vec<usize> = (0..nbufs)
+            .map(|i| b.alloc(len, move |_| Some(i as u8)))
+            .collect();
         let rbuf = b.alloc(len, |_| None);
         for round in 0..3 {
             for (i, &sbuf) in bufs.iter().enumerate() {
                 let tag = (round * nbufs + i) as u32 + 10;
                 b.step_all(move |r| match r {
-                    0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len }],
-                    1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len }],
+                    0 => vec![Op::Send {
+                        to: 1,
+                        tag,
+                        buf: sbuf,
+                        offset: 0,
+                        len,
+                    }],
+                    1 => vec![Op::Recv {
+                        from: 0,
+                        tag,
+                        buf: rbuf,
+                        offset: 0,
+                        len,
+                    }],
                     _ => vec![],
                 });
             }
         }
         let (cl, records) = run_job(&cfg, 2, 1, b.scripts);
         assert!(records.iter().all(|r| r.failures.is_empty()));
-        let (hits, misses) = cl.cache_stats(openmx_core::ProcId(0));
+        let stats = cl.cache_stats(openmx_core::ProcId(0));
         let evictions = cl.counters().get("cache_evictions");
-        (cap, hits, misses, evictions, cl.now().as_secs_f64() * 1e3)
+        (
+            cap,
+            stats.hits,
+            stats.misses,
+            evictions,
+            cl.now().as_secs_f64() * 1e3,
+        )
     });
     let mut t = Table::new(
         "ablation: region cache capacity (16 buffers round-robin, 3 rounds)",
@@ -158,7 +193,12 @@ fn main() {
     );
     for (rd, ms) in rows {
         t.row(vec![
-            if rd { "recursive doubling" } else { "reduce + bcast" }.to_string(),
+            if rd {
+                "recursive doubling"
+            } else {
+                "reduce + bcast"
+            }
+            .to_string(),
             format!("{ms:.2}"),
         ]);
     }

@@ -28,36 +28,59 @@ fn main() {
         (si, pingpong_throughput(&paper_cfg(mode, ioat), msg))
     });
 
-    let mut by_series: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
+    let mut by_series: Vec<Vec<openmx_bench::pingpong::PingPongPoint>> =
+        vec![Vec::new(); series.len()];
     for (si, p) in points {
-        by_series[si].push(p.mib_per_sec);
+        by_series[si].push(p);
     }
 
     let mut t = Table::new(
         "Figure 6 — IMB PingPong throughput (MiB/s), Xeon E5460 + Myri-10G",
-        &[
-            "size",
-            series[0].0,
-            series[1].0,
-            series[2].0,
-            series[3].0,
-        ],
+        &["size", series[0].0, series[1].0, series[2].0, series[3].0],
     );
     for (i, &msg) in sizes.iter().enumerate() {
         t.row(vec![
             fmt_size(msg),
-            format!("{:.0}", by_series[0][i]),
-            format!("{:.0}", by_series[1][i]),
-            format!("{:.0}", by_series[2][i]),
-            format!("{:.0}", by_series[3][i]),
+            format!("{:.0}", by_series[0][i].mib_per_sec),
+            format!("{:.0}", by_series[1][i].mib_per_sec),
+            format!("{:.0}", by_series[2][i].mib_per_sec),
+            format!("{:.0}", by_series[3][i].mib_per_sec),
         ]);
     }
     t.emit(Some("fig6.csv"));
 
-    // Headline comparisons with the paper.
+    // Observability: what the pin path actually cost per series at 16 MiB.
     let last = sizes.len() - 1;
-    let deg = 100.0 * (1.0 - by_series[0][last] / by_series[1][last]);
-    let deg_ioat = 100.0 * (1.0 - by_series[2][last] / by_series[3][last]);
+    let mut lat = Table::new(
+        "pin latency at 16 MiB (per pin burst) and overlap misses across the sweep",
+        &[
+            "series",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+            "bursts",
+            "overlap misses",
+        ],
+    );
+    for (si, (name, _, _)) in series.iter().enumerate() {
+        let p = &by_series[si][last];
+        lat.row(vec![
+            name.to_string(),
+            format!("{:.1}", p.pin_p50_us),
+            format!("{:.1}", p.pin_p95_us),
+            format!("{:.1}", p.pin_p99_us),
+            format!("{}", p.pin_bursts),
+            format!(
+                "{}",
+                by_series[si].iter().map(|p| p.overlap_misses).sum::<u64>()
+            ),
+        ]);
+    }
+    lat.emit(None);
+
+    // Headline comparisons with the paper.
+    let deg = 100.0 * (1.0 - by_series[0][last].mib_per_sec / by_series[1][last].mib_per_sec);
+    let deg_ioat = 100.0 * (1.0 - by_series[2][last].mib_per_sec / by_series[3][last].mib_per_sec);
     println!(
         "pinning degradation at 16MiB: {:.1}% (no I/OAT), {:.1}% (I/OAT); paper: ~{}% on this host",
         deg, deg_ioat, DEGRADATION_FAST_PCT
@@ -72,7 +95,7 @@ fn main() {
             cmp.row(vec![
                 fmt_size(msg),
                 series[si].0.to_string(),
-                format!("{:.0}", by_series[si][idx]),
+                format!("{:.0}", by_series[si][idx].mib_per_sec),
                 format!("{paper_v:.0}"),
             ]);
         }

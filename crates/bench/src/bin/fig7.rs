@@ -28,9 +28,10 @@ fn main() {
         (si, pingpong_throughput(&paper_cfg(mode, false), msg))
     });
 
-    let mut by_series: Vec<Vec<(f64, u64)>> = vec![Vec::new(); series.len()];
+    let mut by_series: Vec<Vec<openmx_bench::pingpong::PingPongPoint>> =
+        vec![Vec::new(); series.len()];
     for (si, p) in points {
-        by_series[si].push((p.mib_per_sec, p.overlap_misses));
+        by_series[si].push(p);
     }
 
     let mut t = Table::new(
@@ -40,22 +41,27 @@ fn main() {
     for (i, &msg) in sizes.iter().enumerate() {
         t.row(vec![
             fmt_size(msg),
-            format!("{:.0}", by_series[0][i].0),
-            format!("{:.0}", by_series[1][i].0),
-            format!("{:.0}", by_series[2][i].0),
-            format!("{:.0}", by_series[3][i].0),
+            format!("{:.0}", by_series[0][i].mib_per_sec),
+            format!("{:.0}", by_series[1][i].mib_per_sec),
+            format!("{:.0}", by_series[2][i].mib_per_sec),
+            format!("{:.0}", by_series[3][i].mib_per_sec),
         ]);
     }
     t.emit(Some("fig7.csv"));
 
     let last = sizes.len() - 1;
-    let base = by_series[0][last].0;
+    let base = by_series[0][last].mib_per_sec;
     for (si, (name, _)) in series.iter().enumerate() {
-        let v = by_series[si][last].0;
+        let p = &by_series[si][last];
         println!(
-            "{name:<18} at 16MiB: {v:>6.0} MiB/s ({:+.1}% vs regular), overlap misses across sweep: {}",
-            100.0 * (v / base - 1.0),
-            by_series[si].iter().map(|p| p.1).sum::<u64>()
+            "{name:<18} at 16MiB: {:>6.0} MiB/s ({:+.1}% vs regular), \
+             pin p50/p99 {:.1}/{:.1} µs over {} bursts, overlap misses across sweep: {}",
+            p.mib_per_sec,
+            100.0 * (p.mib_per_sec / base - 1.0),
+            p.pin_p50_us,
+            p.pin_p99_us,
+            p.pin_bursts,
+            by_series[si].iter().map(|p| p.overlap_misses).sum::<u64>()
         );
     }
     println!();
@@ -70,7 +76,7 @@ fn main() {
             cmp.row(vec![
                 fmt_size(msg),
                 series[si].0.to_string(),
-                format!("{:.0}", by_series[si][idx].0),
+                format!("{:.0}", by_series[si][idx].mib_per_sec),
                 format!("{paper_v:.0}"),
             ]);
         }

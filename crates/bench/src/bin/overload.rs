@@ -34,7 +34,16 @@ struct Scenario {
     ioat: bool,
 }
 
-fn run_scenario(s: &Scenario) -> (f64, u64, u64, f64) {
+struct ScenarioRun {
+    mbps: f64,
+    misses: u64,
+    stalls: u64,
+    miss_rate: f64,
+    pin_p50_us: f64,
+    pin_p99_us: f64,
+}
+
+fn run_scenario(s: &Scenario) -> ScenarioRun {
     let mut cfg = OpenMxConfig::with_mode(PinningMode::Overlapped);
     cfg.colocate_with_bh = s.colocate;
     cfg.presync_pages = s.presync;
@@ -52,8 +61,20 @@ fn run_scenario(s: &Scenario) -> (f64, u64, u64, f64) {
     for _ in 0..=msgs {
         let tag = b.tag();
         b.step_all(|r| match r {
-            0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len: msg }],
-            1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len: msg }],
+            0 => vec![Op::Send {
+                to: 1,
+                tag,
+                buf: sbuf,
+                offset: 0,
+                len: msg,
+            }],
+            1 => vec![Op::Recv {
+                from: 0,
+                tag,
+                buf: rbuf,
+                offset: 0,
+                len: msg,
+            }],
             _ => vec![],
         });
     }
@@ -76,7 +97,12 @@ fn run_scenario(s: &Scenario) -> (f64, u64, u64, f64) {
                     offset: (i as u64) * 4096 % 32768,
                     len: 16 * 1024,
                 });
-                recv_ops.push(Op::RecvAny { tag, buf: fbuf, offset: 0, len: 16 * 1024 });
+                recv_ops.push(Op::RecvAny {
+                    tag,
+                    buf: fbuf,
+                    offset: 0,
+                    len: 16 * 1024,
+                });
             }
             scripts[2].push(openmx_mpi::Step { ops: send_ops });
             scripts[3].push(openmx_mpi::Step { ops: recv_ops });
@@ -145,34 +171,84 @@ fn run_scenario(s: &Scenario) -> (f64, u64, u64, f64) {
     let misses = c.get("overlap_miss_rx") + c.get("overlap_miss_tx");
     let frames = c.get("frames_rx").max(1);
     let _ = summarize; // (records already checked per-rank above)
-    (
-        bw.bytes_per_sec() / 1e6,
+    let pin = &cl.metrics().pin_latency;
+    let q = |p: f64| {
+        if pin.count() == 0 {
+            0.0
+        } else {
+            pin.quantile(p).as_micros_f64()
+        }
+    };
+    ScenarioRun {
+        mbps: bw.bytes_per_sec() / 1e6,
         misses,
-        c.get("pull_stall_timeouts"),
-        misses as f64 / frames as f64,
-    )
+        stalls: c.get("pull_stall_timeouts"),
+        miss_rate: misses as f64 / frames as f64,
+        pin_p50_us: q(0.50),
+        pin_p99_us: q(0.99),
+    }
 }
 
 fn main() {
     let scenarios = [
-        Scenario { name: "regular (irq on its own core)", colocate: false, flood: false, presync: 0, ioat: false },
-        Scenario { name: "colocated with bottom half", colocate: true, flood: false, presync: 0, ioat: false },
-        Scenario { name: "colocated + eager flood", colocate: true, flood: true, presync: 0, ioat: false },
-        Scenario { name: "colocated + presync 64 pages", colocate: true, flood: false, presync: 64, ioat: false },
-        Scenario { name: "colocated + I/OAT offload", colocate: true, flood: false, presync: 0, ioat: true },
+        Scenario {
+            name: "regular (irq on its own core)",
+            colocate: false,
+            flood: false,
+            presync: 0,
+            ioat: false,
+        },
+        Scenario {
+            name: "colocated with bottom half",
+            colocate: true,
+            flood: false,
+            presync: 0,
+            ioat: false,
+        },
+        Scenario {
+            name: "colocated + eager flood",
+            colocate: true,
+            flood: true,
+            presync: 0,
+            ioat: false,
+        },
+        Scenario {
+            name: "colocated + presync 64 pages",
+            colocate: true,
+            flood: false,
+            presync: 64,
+            ioat: false,
+        },
+        Scenario {
+            name: "colocated + I/OAT offload",
+            colocate: true,
+            flood: false,
+            presync: 0,
+            ioat: true,
+        },
     ];
     let mut t = Table::new(
         "§4.3 — overlap misses and the overloaded-core collapse (16MiB stream, overlapped pinning)",
-        &["scenario", "MB/s", "overlap misses", "1s stalls", "miss rate"],
+        &[
+            "scenario",
+            "MB/s",
+            "overlap misses",
+            "1s stalls",
+            "miss rate",
+            "pin p50 µs",
+            "pin p99 µs",
+        ],
     );
     for s in &scenarios {
-        let (mbps, misses, stalls, rate) = run_scenario(s);
+        let r = run_scenario(s);
         t.row(vec![
             s.name.to_string(),
-            format!("{mbps:.0}"),
-            format!("{misses}"),
-            format!("{stalls}"),
-            format!("{rate:.2e}"),
+            format!("{:.0}", r.mbps),
+            format!("{}", r.misses),
+            format!("{}", r.stalls),
+            format!("{:.2e}", r.miss_rate),
+            format!("{:.1}", r.pin_p50_us),
+            format!("{:.1}", r.pin_p99_us),
         ]);
     }
     t.emit(Some("overload.csv"));

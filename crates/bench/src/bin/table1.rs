@@ -30,7 +30,13 @@ fn micro_pin_unpin_us(profile: &CpuProfile, pages: u64) -> f64 {
     let mut mem = Memory::new((pages + 16) as usize, 0);
     let space = mem.create_space();
     let addr = mem.mmap(space, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
-    let mut region = DriverRegion::new(space, &[Segment { addr, len: pages * PAGE_SIZE }]);
+    let mut region = DriverRegion::new(
+        space,
+        &[Segment {
+            addr,
+            len: pages * PAGE_SIZE,
+        }],
+    );
     let mut elapsed = simcore::SimDuration::ZERO;
     let mut first = true;
     loop {
@@ -47,13 +53,16 @@ fn micro_pin_unpin_us(profile: &CpuProfile, pages: u64) -> f64 {
     elapsed.as_micros_f64()
 }
 
-fn iter_time_us(profile: &CpuProfile, mode: PinningMode, msg: u64) -> f64 {
+fn iter_time_us(profile: &CpuProfile, mode: PinningMode, msg: u64) -> (f64, openmx_core::Metrics) {
     let mut cfg = OpenMxConfig::with_mode(mode);
     cfg.profile = profile.clone();
     let iters = 24;
     let (scripts, mark) = imb_job(ImbKernel::PingPong, 2, msg, 4, iters);
-    let (_cl, records) = run_job(&cfg, 2, 1, scripts);
-    summarize(&records, mark, iters).avg_iter.as_micros_f64()
+    let (cl, records) = run_job(&cfg, 2, 1, scripts);
+    (
+        summarize(&records, mark, iters).avg_iter.as_micros_f64(),
+        cl.metrics().clone(),
+    )
 }
 
 fn main() {
@@ -89,17 +98,24 @@ fn main() {
             .iter()
             .flat_map(|&s| [(s, PinningMode::PinPerComm), (s, PinningMode::Permanent)])
             .collect();
-        let times = parallel_map(jobs, |(msg, mode)| iter_time_us(profile, mode, msg));
+        let results = parallel_map(jobs, |(msg, mode)| iter_time_us(profile, mode, msg));
         let mut points = Vec::new();
+        let mut pin_metrics = openmx_core::Metrics::new();
         for (i, &msg) in sizes.iter().enumerate() {
             let pages = (msg / PAGE_SIZE) as f64;
             // 4 pin+unpin cycles per pingpong iteration; permanent mode
             // pays a cache lookup per op that pin-per-comm does not.
             let lookup_us = 4.0 * profile.cache_lookup.as_nanos() as f64 / 1e3;
-            let diff = (times[2 * i] - times[2 * i + 1] + lookup_us) / 4.0;
+            let diff = (results[2 * i].0 - results[2 * i + 1].0 + lookup_us) / 4.0;
             points.push((pages, diff));
+            pin_metrics.merge(&results[2 * i].1);
         }
         let (e_base, e_per_page_us) = linear_fit(&points);
+        println!(
+            "{}: pin-per-comm runs: {}",
+            profile.name,
+            pin_metrics.pin_latency_summary()
+        );
 
         out.row(vec![
             profile.name.to_string(),

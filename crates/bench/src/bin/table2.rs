@@ -17,28 +17,72 @@ use openmx_core::{OpenMxConfig, PinningMode};
 use openmx_mpi::{imb_job, is_job, run_job, summarize, ImbKernel, IsConfig};
 use simcore::SimDuration;
 
+/// One benchmark run's timed duration plus its pin/overlap observability.
+struct BenchRun {
+    total: SimDuration,
+    pin_p50_us: f64,
+    pin_bursts: u64,
+    overlap_misses: u64,
+}
+
+fn observe(cl: &openmx_core::Cluster) -> (f64, u64, u64) {
+    let pin = &cl.metrics().pin_latency;
+    let p50 = if pin.count() == 0 {
+        0.0
+    } else {
+        pin.quantile(0.5).as_micros_f64()
+    };
+    let c = cl.counters();
+    (
+        p50,
+        pin.count(),
+        c.get("overlap_miss_rx") + c.get("overlap_miss_tx"),
+    )
+}
+
 /// Total timed duration of one IMB kernel's large-message sweep.
-fn imb_total(mode: PinningMode, kernel: ImbKernel) -> SimDuration {
+fn imb_total(mode: PinningMode, kernel: ImbKernel) -> BenchRun {
     let cfg = OpenMxConfig::with_mode(mode);
     let mut total = SimDuration::ZERO;
+    let mut pin = openmx_core::Metrics::new();
+    let mut misses = 0;
     for msg in [256 * 1024u64, 512 * 1024, 1 << 20, 2 << 20] {
         let iters = 12;
         let (scripts, mark) = imb_job(kernel, 2, msg, 2, iters);
-        let (_cl, records) = run_job(&cfg, 2, 1, scripts);
+        let (cl, records) = run_job(&cfg, 2, 1, scripts);
         let res = summarize(&records, mark, iters);
         total += res.avg_iter * iters as u64;
+        pin.merge(cl.metrics());
+        let (_, _, m) = observe(&cl);
+        misses += m;
     }
-    total
+    let p50 = if pin.pin_latency.count() == 0 {
+        0.0
+    } else {
+        pin.pin_latency.quantile(0.5).as_micros_f64()
+    };
+    BenchRun {
+        total,
+        pin_p50_us: p50,
+        pin_bursts: pin.pin_latency.count(),
+        overlap_misses: misses,
+    }
 }
 
 /// Total timed duration of the NPB IS kernel (4 ranks on 2 nodes).
-fn is_total(mode: PinningMode) -> SimDuration {
+fn is_total(mode: PinningMode) -> BenchRun {
     let cfg = OpenMxConfig::with_mode(mode);
     let is = IsConfig::c4_scaled();
     let (scripts, mark) = is_job(&is);
-    let (_cl, records) = run_job(&cfg, 2, 2, scripts);
+    let (cl, records) = run_job(&cfg, 2, 2, scripts);
     let res = summarize(&records, mark, is.iterations);
-    res.avg_iter * is.iterations as u64
+    let (pin_p50_us, pin_bursts, overlap_misses) = observe(&cl);
+    BenchRun {
+        total: res.avg_iter * is.iterations as u64,
+        pin_p50_us,
+        pin_bursts,
+        overlap_misses,
+    }
 }
 
 fn main() {
@@ -76,9 +120,9 @@ fn main() {
         ],
     );
     for (b, (name, _)) in benches.iter().enumerate() {
-        let base = times[b * 3].as_secs_f64();
-        let cache = times[b * 3 + 1].as_secs_f64();
-        let overlap = times[b * 3 + 2].as_secs_f64();
+        let base = times[b * 3].total.as_secs_f64();
+        let cache = times[b * 3 + 1].total.as_secs_f64();
+        let overlap = times[b * 3 + 2].total.as_secs_f64();
         let cache_pct = 100.0 * (base - cache) / base;
         let overlap_pct = 100.0 * (base - overlap) / base;
         let paper = TABLE2[b];
@@ -92,6 +136,21 @@ fn main() {
         ]);
     }
     t.emit(Some("table2.csv"));
+
+    let mut obs = Table::new(
+        "observability — overlapped-mode pin latency and overlap misses per benchmark",
+        &["Application", "pin p50 µs", "pin bursts", "overlap misses"],
+    );
+    for (b, (name, _)) in benches.iter().enumerate() {
+        let r = &times[b * 3 + 2];
+        obs.row(vec![
+            name.to_string(),
+            format!("{:.1}", r.pin_p50_us),
+            format!("{}", r.pin_bursts),
+            format!("{}", r.overlap_misses),
+        ]);
+    }
+    obs.emit(None);
     println!(
         "expected shape (paper §4.4): the cache helps whenever buffers are\n\
          reused (most kernels); overlap helps less for collectives that already\n\

@@ -1,10 +1,14 @@
 //! Figures 2 / 3 / 5 — event timelines of one large-message transfer.
 //!
-//! Prints the engine's trace of a single 1 MiB MPI-style transfer under
-//! regular pinning (Figure 2: pin → rndv → pull → notify) and under
-//! overlapped pinning with the cache (Figures 3/5: rndv leaves first,
-//! pinning proceeds during the round trip; the second transfer hits the
-//! cache and pins nothing).
+//! A thin consumer of the engine's tracer (`openmx_core::obs`): prints the
+//! event stream of a single 1 MiB MPI-style transfer under regular pinning
+//! (Figure 2: pin → rndv → pull → notify) and under overlapped pinning with
+//! the cache (Figures 3/5: rndv leaves first, pinning proceeds during the
+//! round trip; the second transfer hits the cache and pins nothing).
+//!
+//! Each run is also exported as Chrome trace-event JSON
+//! (`timeline_<mode>.json`) — load it in <https://ui.perfetto.dev> or
+//! `chrome://tracing` to see pin spans against the packet flow.
 //!
 //! Run: `cargo run --release -p openmx-bench --bin timeline`
 
@@ -64,28 +68,50 @@ fn show(mode: PinningMode, header: &str) {
     let mut cl = Cluster::new(cfg, 2);
     cl.enable_trace();
     let len = 1 << 20;
-    cl.add_process(0, Box::new(Sender { len, sent: 0, msgs: 2, buf: VirtAddr(0) }));
-    cl.add_process(1, Box::new(Receiver { len, got: 0, msgs: 2, buf: VirtAddr(0) }));
+    cl.add_process(
+        0,
+        Box::new(Sender {
+            len,
+            sent: 0,
+            msgs: 2,
+            buf: VirtAddr(0),
+        }),
+    );
+    cl.add_process(
+        1,
+        Box::new(Receiver {
+            len,
+            got: 0,
+            msgs: 2,
+            buf: VirtAddr(0),
+        }),
+    );
     cl.run(None);
     println!("=== {header} ({}) ===", mode.label());
-    println!("{:>12}  {:<8} {:<12} detail", "time", "node", "event");
+    println!("{:>12}  {:<8} {:<16} detail", "time", "node", "event");
     let mut shown = 0;
-    for e in cl.trace() {
-        // Thin out the pull-request/block chatter after the pattern is clear.
-        if matches!(e.kind, "pull_req" | "block_done" | "pin") || shown < 1000 {
-            println!(
-                "{:>12}  node{:<4} {:<12} {}",
-                format!("{}", e.time),
-                e.node,
-                e.kind,
-                e.detail
-            );
-            shown += 1;
-            if shown > 60 {
-                println!("  … ({} more events)", cl.trace().len() - shown);
-                break;
-            }
+    for r in cl.tracer().iter() {
+        println!(
+            "{:>12}  node{:<4} {:<16} {}",
+            format!("{}", r.time),
+            r.node,
+            r.event.kind(),
+            r.event.detail()
+        );
+        shown += 1;
+        if shown > 60 {
+            println!("  … ({} more events)", cl.tracer().len() - shown);
+            break;
         }
+    }
+    let json = openmx_core::obs::chrome_trace_json(cl.tracer());
+    let path = format!("timeline_{}.json", mode.label().replace([' ', '+'], "_"));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {path} ({} events) — load in ui.perfetto.dev or chrome://tracing",
+            cl.tracer().len()
+        ),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
     println!();
 }

@@ -3,10 +3,12 @@
 //! * [`table`] — plain-text table rendering + CSV output,
 //! * [`pingpong`] — the IMB PingPong throughput runner behind Figs. 6–7,
 //! * [`sweep`] — parallel parameter sweeps (one simulation per thread),
+//! * [`microbench`] — wall-clock timing harness for the bench targets,
 //! * [`paper`] — the published numbers we compare against.
 
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod paper;
 pub mod pingpong;
 pub mod sweep;

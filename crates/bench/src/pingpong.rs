@@ -13,6 +13,15 @@ pub struct PingPongPoint {
     pub mib_per_sec: f64,
     /// Overlap misses observed during the run (both sides).
     pub overlap_misses: u64,
+    /// Pin-latency percentiles over the run's pin bursts, in µs
+    /// (0 when the mode never pinned, e.g. permanent after warmup).
+    pub pin_p50_us: f64,
+    /// 95th percentile pin latency, µs.
+    pub pin_p95_us: f64,
+    /// 99th percentile pin latency, µs.
+    pub pin_p99_us: f64,
+    /// Pin bursts the percentiles are over.
+    pub pin_bursts: u64,
 }
 
 /// Run an IMB PingPong at one message size and return its throughput.
@@ -27,10 +36,23 @@ pub fn pingpong_throughput(cfg: &OpenMxConfig, msg: u64) -> PingPongPoint {
     let half = res.avg_iter / 2;
     let bw = Bandwidth::measured(msg, half);
     let c = cl.counters();
+    let m = cl.metrics();
+    let pin = &m.pin_latency;
+    let q = |p: f64| {
+        if pin.count() == 0 {
+            0.0
+        } else {
+            pin.quantile(p).as_micros_f64()
+        }
+    };
     PingPongPoint {
         msg,
         mib_per_sec: bw.as_mib_per_sec(),
         overlap_misses: c.get("overlap_miss_rx") + c.get("overlap_miss_tx"),
+        pin_p50_us: q(0.50),
+        pin_p95_us: q(0.95),
+        pin_p99_us: q(0.99),
+        pin_bursts: pin.count(),
     }
 }
 

@@ -1,6 +1,6 @@
 //! Parallel parameter sweeps: each simulation is independent and
 //! deterministic, so points of a figure can run on separate threads
-//! (crossbeam scoped threads) and still produce identical results to a
+//! (std scoped threads) and still produce identical results to a
 //! sequential run.
 
 /// Map `f` over `inputs` in parallel, preserving order. `f` must build
@@ -12,16 +12,18 @@ where
     F: Fn(I) -> O + Sync,
 {
     let mut results: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, input) in results.iter_mut().zip(inputs) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(input));
             });
         }
-    })
-    .expect("sweep thread panicked");
-    results.into_iter().map(|o| o.expect("slot filled")).collect()
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use crate::driver::RegionId;
+use crate::obs::CacheStats;
 use crate::region::Segment;
 
 /// Outcome of a cache lookup.
@@ -103,9 +104,12 @@ impl RegionCache {
         self.map.drain().map(|(_, (id, _))| id).collect()
     }
 
-    /// `(hits, misses)` so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     /// Entries currently cached.
@@ -138,7 +142,7 @@ mod tests {
         assert_eq!(c.lookup(&s), CacheOutcome::Miss);
         assert_eq!(c.insert(s.clone(), RegionId(7)), None);
         assert_eq!(c.lookup(&s), CacheOutcome::Hit(RegionId(7)));
-        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]
@@ -147,10 +151,19 @@ mod tests {
         c.insert(vec![seg(0x1000, 4096)], RegionId(1));
         c.insert(vec![seg(0x1000, 8192)], RegionId(2));
         c.insert(vec![seg(0x2000, 4096)], RegionId(3));
-        assert_eq!(c.lookup(&[seg(0x1000, 4096)]), CacheOutcome::Hit(RegionId(1)));
-        assert_eq!(c.lookup(&[seg(0x1000, 8192)]), CacheOutcome::Hit(RegionId(2)));
+        assert_eq!(
+            c.lookup(&[seg(0x1000, 4096)]),
+            CacheOutcome::Hit(RegionId(1))
+        );
+        assert_eq!(
+            c.lookup(&[seg(0x1000, 8192)]),
+            CacheOutcome::Hit(RegionId(2))
+        );
         // Vectorial key includes all segments.
-        assert_eq!(c.lookup(&[seg(0x1000, 4096), seg(0x2000, 4096)]), CacheOutcome::Miss);
+        assert_eq!(
+            c.lookup(&[seg(0x1000, 4096), seg(0x2000, 4096)]),
+            CacheOutcome::Miss
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use simcore::SimTime;
 use simmem::{Memory, NotifierEvent};
 
+use crate::obs::DriverStats;
 use crate::region::{DriverRegion, Segment};
 
 /// The integer descriptor user space holds for a declared region.
@@ -79,9 +80,7 @@ impl Driver {
 
     /// True if `id` names a declared region.
     pub fn is_declared(&self, id: RegionId) -> bool {
-        self.regions
-            .get(id.0 as usize)
-            .is_some_and(Option::is_some)
+        self.regions.get(id.0 as usize).is_some_and(Option::is_some)
     }
 
     /// MMU-notifier callback: unpin every region whose pages intersect the
@@ -144,9 +143,12 @@ impl Driver {
         evicted
     }
 
-    /// `(pressure_unpinned_pages, notifier_invalidations)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.pressure_unpins, self.notifier_invalidations)
+    /// Pressure/notifier counters.
+    pub fn stats(&self) -> DriverStats {
+        DriverStats {
+            pressure_unpinned_pages: self.pressure_unpins,
+            notifier_invalidations: self.notifier_invalidations,
+        }
     }
 
     /// Number of declared regions.
@@ -172,11 +174,29 @@ mod tests {
     fn declare_ids_are_reused() {
         let (mut mem, space, addr) = setup();
         let mut d = Driver::new(None);
-        let a = d.declare(space, &[Segment { addr, len: PAGE_SIZE }]);
-        let b = d.declare(space, &[Segment { addr: addr.add(PAGE_SIZE), len: PAGE_SIZE }]);
+        let a = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: PAGE_SIZE,
+            }],
+        );
+        let b = d.declare(
+            space,
+            &[Segment {
+                addr: addr.add(PAGE_SIZE),
+                len: PAGE_SIZE,
+            }],
+        );
         assert_ne!(a, b);
         d.undeclare(&mut mem, a);
-        let c = d.declare(space, &[Segment { addr, len: PAGE_SIZE }]);
+        let c = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: PAGE_SIZE,
+            }],
+        );
         assert_eq!(a, c);
         assert_eq!(d.declared_count(), 2);
     }
@@ -185,8 +205,20 @@ mod tests {
     fn invalidate_unpins_intersecting_regions_only() {
         let (mut mem, space, addr) = setup();
         let mut d = Driver::new(None);
-        let r1 = d.declare(space, &[Segment { addr, len: 4 * PAGE_SIZE }]);
-        let r2 = d.declare(space, &[Segment { addr: addr.add(8 * PAGE_SIZE), len: 4 * PAGE_SIZE }]);
+        let r1 = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        let r2 = d.declare(
+            space,
+            &[Segment {
+                addr: addr.add(8 * PAGE_SIZE),
+                len: 4 * PAGE_SIZE,
+            }],
+        );
         d.region_mut(r1).pin_next_chunk(&mut mem, 100).unwrap();
         d.region_mut(r2).pin_next_chunk(&mut mem, 100).unwrap();
         assert_eq!(mem.frames().pinned_pages(), 8);
@@ -207,7 +239,13 @@ mod tests {
     fn repin_after_invalidate_sees_new_mapping() {
         let (mut mem, space, addr) = setup();
         let mut d = Driver::new(None);
-        let r = d.declare(space, &[Segment { addr, len: 2 * PAGE_SIZE }]);
+        let r = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: 2 * PAGE_SIZE,
+            }],
+        );
         mem.write(space, addr, b"first").unwrap();
         d.region_mut(r).pin_next_chunk(&mut mem, 100).unwrap();
 
@@ -232,8 +270,20 @@ mod tests {
     fn pressure_evicts_idle_lru_regions() {
         let (mut mem, space, addr) = setup();
         let mut d = Driver::new(Some(8));
-        let r1 = d.declare(space, &[Segment { addr, len: 4 * PAGE_SIZE }]);
-        let r2 = d.declare(space, &[Segment { addr: addr.add(4 * PAGE_SIZE), len: 4 * PAGE_SIZE }]);
+        let r1 = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        let r2 = d.declare(
+            space,
+            &[Segment {
+                addr: addr.add(4 * PAGE_SIZE),
+                len: 4 * PAGE_SIZE,
+            }],
+        );
         d.region_mut(r1).pin_next_chunk(&mut mem, 100).unwrap();
         d.region_mut(r1).last_use = SimTime::from_nanos(10);
         d.region_mut(r2).pin_next_chunk(&mut mem, 100).unwrap();
@@ -249,7 +299,7 @@ mod tests {
         d.region_mut(r2).use_count = 1;
         let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40));
         assert!(evicted.is_empty());
-        assert_eq!(d.stats().0, 4);
+        assert_eq!(d.stats().pressure_unpinned_pages, 4);
     }
 
     #[test]
@@ -257,7 +307,13 @@ mod tests {
     fn undeclare_in_use_panics() {
         let (mut mem, space, addr) = setup();
         let mut d = Driver::new(None);
-        let r = d.declare(space, &[Segment { addr, len: PAGE_SIZE }]);
+        let r = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: PAGE_SIZE,
+            }],
+        );
         d.region_mut(r).use_count = 1;
         d.undeclare(&mut mem, r);
     }

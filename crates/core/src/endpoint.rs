@@ -139,9 +139,7 @@ impl Unexpected {
     pub fn match_info(&self) -> u64 {
         match self {
             Unexpected::Eager(e) => e.match_info,
-            Unexpected::Rndv { match_info, .. } | Unexpected::Shm { match_info, .. } => {
-                *match_info
-            }
+            Unexpected::Rndv { match_info, .. } | Unexpected::Shm { match_info, .. } => *match_info,
         }
     }
 
@@ -326,7 +324,13 @@ mod tests {
     #[test]
     fn find_unexpected_eager_in_progress() {
         let mut ep = Endpoint::new();
-        ep.push_unexpected(Unexpected::Eager(EagerRx::new(MsgId(4), addr(2), 1, 100, 2)));
+        ep.push_unexpected(Unexpected::Eager(EagerRx::new(
+            MsgId(4),
+            addr(2),
+            1,
+            100,
+            2,
+        )));
         assert!(ep.unexpected_eager_mut(MsgId(4)).is_some());
         assert!(ep.unexpected_eager_mut(MsgId(5)).is_none());
         assert!(ep.has_unexpected(MsgId(4)));

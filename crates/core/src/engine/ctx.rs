@@ -113,12 +113,7 @@ impl<'a> Ctx<'a> {
     /// Vectorial (iovec-style) send: the message is the concatenation of
     /// `segments`, gathered by the driver — "regions may be vectorial"
     /// (paper §3.2). The receiver sees one contiguous message.
-    pub fn isendv(
-        &mut self,
-        peer: ProcId,
-        match_info: u64,
-        segments: &[Segment],
-    ) -> RequestId {
+    pub fn isendv(&mut self, peer: ProcId, match_info: u64, segments: &[Segment]) -> RequestId {
         self.isendv_hinted(peer, match_info, segments, OverlapHint::Auto)
     }
 
@@ -217,6 +212,16 @@ impl<'a> Ctx<'a> {
                 remaining: duration - slice,
             },
         );
+    }
+
+    /// Drop an application-level marker into the trace (free; no-op when
+    /// tracing is off). Shows up as an `app_mark` instant in the exports —
+    /// useful to delimit phases of a workload on the timeline.
+    pub fn annotate(&mut self, label: &'static str) {
+        let node = self.cl.procs[self.proc.0 as usize].node;
+        let proc = self.proc;
+        self.cl
+            .emit(node, Some(proc), crate::obs::TraceEvent::AppMark { label });
     }
 
     /// Mark this process finished. No further events are delivered to it.

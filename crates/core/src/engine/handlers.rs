@@ -11,6 +11,7 @@ use super::xfer::{
 use super::{AppEvent, Cluster, Event, OverlapHint, ProcId, SyscallAction, TimerToken, Work};
 use crate::driver::RegionId;
 use crate::endpoint::{EagerRx, EndpointAddr, PostedRecv, RequestId, Unexpected};
+use crate::obs::{RetransKind, TraceEvent};
 use crate::region::Segment;
 use crate::wire::{Frame, MsgId, PullId, WireMsg};
 
@@ -155,7 +156,11 @@ impl Cluster {
         for seg in segments {
             self.nodes[node]
                 .mem
-                .read(space, seg.addr, &mut data[cursor..cursor + seg.len as usize])
+                .read(
+                    space,
+                    seg.addr,
+                    &mut data[cursor..cursor + seg.len as usize],
+                )
                 .expect("send source fault");
             cursor += seg.len as usize;
         }
@@ -187,7 +192,15 @@ impl Cluster {
             },
         );
         let cost = SimDuration::from_nanos(500) + self.cfg.profile.memcpy_cost(len);
-        self.submit_sliced_proc_work(proc, cost, Work::ShmSend { owner: proc, msg, req });
+        self.submit_sliced_proc_work(
+            proc,
+            cost,
+            Work::ShmSend {
+                owner: proc,
+                msg,
+                req,
+            },
+        );
         self.nodes[node].counters.bump("shm_msgs_tx");
     }
 
@@ -220,7 +233,14 @@ impl Cluster {
         let parked = self.xfers.shm.get_mut(&msg).expect("shm xfer");
         parked.dst = Some((posted.req, receiver, posted.addr, copy_len));
         let cost = self.cfg.profile.memcpy_cost(copy_len);
-        self.submit_sliced_proc_work(receiver, cost, Work::ShmDeliver { owner: receiver, msg });
+        self.submit_sliced_proc_work(
+            receiver,
+            cost,
+            Work::ShmDeliver {
+                owner: receiver,
+                msg,
+            },
+        );
     }
 
     fn on_shm_deliver(&mut self, msg: MsgId) {
@@ -265,7 +285,15 @@ impl Cluster {
         );
         let frags = simnet::frame::frame_count(len, self.cfg.net.mtu);
         let cost = self.cfg.profile.memcpy_cost(len) + self.cfg.profile.tx_setup.times(frags);
-        self.submit_sliced_proc_work(proc, cost, Work::EagerCopyOut { owner: proc, msg, req });
+        self.submit_sliced_proc_work(
+            proc,
+            cost,
+            Work::EagerCopyOut {
+                owner: proc,
+                msg,
+                req,
+            },
+        );
         self.nodes[node].counters.bump("eager_msgs_tx");
     }
 
@@ -290,8 +318,8 @@ impl Cluster {
         for frag in 0..frag_count {
             let offset = frag as u64 * chunk;
             let flen = chunk.min(total - offset);
-            let data = self.xfers.eager_tx[&msg].data[offset as usize..(offset + flen) as usize]
-                .to_vec();
+            let data =
+                self.xfers.eager_tx[&msg].data[offset as usize..(offset + flen) as usize].to_vec();
             frames.push(self.frame(
                 proc,
                 peer,
@@ -420,6 +448,7 @@ impl Cluster {
                 total_len: len,
                 owned,
                 pull_seen: false,
+                rndv_sent_at: None,
                 rndv_timer: None,
                 retries: 0,
             },
@@ -463,8 +492,12 @@ impl Cluster {
     }
 
     fn send_rndv(&mut self, msg: MsgId) {
+        let now = self.now;
         let x = self.xfers.send.get_mut(&msg).expect("send xfer");
         let (proc, peer, match_info, total_len) = (x.proc, x.peer, x.match_info, x.total_len);
+        if x.rndv_sent_at.is_none() {
+            x.rndv_sent_at = Some(now);
+        }
         self.cancel_timer(self.xfers.send[&msg].rndv_timer);
         let f = self.frame(
             proc,
@@ -479,22 +512,42 @@ impl Cluster {
         let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::RndvRetrans(msg));
         self.xfers.send.get_mut(&msg).expect("send xfer").rndv_timer = Some(t);
         let node = self.xfers.send[&msg].node;
-        self.trace_event(node, "rndv_tx", format!("msg {msg:?} len {total_len}"));
+        self.emit(
+            node,
+            Some(proc),
+            TraceEvent::RndvTx {
+                msg,
+                len: total_len,
+            },
+        );
     }
 
-    fn on_pull_req(&mut self, msg: MsgId, pull: PullId, block: u32, frame_mask: u64, xfer_len: u64) {
+    fn on_pull_req(
+        &mut self,
+        msg: MsgId,
+        pull: PullId,
+        block: u32,
+        frame_mask: u64,
+        xfer_len: u64,
+    ) {
         let Some(x) = self.xfers.send.get_mut(&msg) else {
             self.counters.bump("pull_req_stale");
             return;
         };
         if !x.pull_seen {
             x.pull_seen = true;
+            // The first pull request closes the overlap window: everything
+            // between the rendezvous and here was free pinning time.
+            if let Some(sent) = x.rndv_sent_at {
+                self.metrics
+                    .overlap_window
+                    .record(self.now.duration_since(sent));
+            }
             let t = x.rndv_timer.take();
             self.cancel_timer(t);
         }
         let x = &self.xfers.send[&msg];
-        let (node, region, proc, peer, total_len) =
-            (x.node, x.region, x.proc, x.peer, x.total_len);
+        let (node, region, proc, peer, total_len) = (x.node, x.region, x.proc, x.peer, x.total_len);
         // The receiver may have truncated the transfer to its posted size.
         let limit = total_len.min(xfer_len);
         let chunk = self.frame_payload();
@@ -526,6 +579,7 @@ impl Cluster {
         }
         if missed {
             self.nodes[node].counters.bump("overlap_miss_tx");
+            self.emit(node, Some(proc), TraceEvent::OverlapMissTx { msg, block });
             // Make sure pinning is (still) progressing toward the end.
             let target = self.pin_target(node, region, limit);
             self.ensure_pinned(node, proc, region, target, None);
@@ -554,8 +608,11 @@ impl Cluster {
             return; // duplicate notify
         };
         self.cancel_timer(x.rndv_timer);
+        if let Some(sent) = x.rndv_sent_at {
+            self.metrics.rndv_rtt.record(self.now.duration_since(sent));
+        }
         self.release_region(x.proc, x.node, x.region, x.owned);
-        self.trace_event(x.node, "send_done", format!("msg {msg:?}"));
+        self.emit(x.node, Some(x.proc), TraceEvent::SendDone { msg });
         self.notify_app(x.proc, AppEvent::SendDone(x.req));
     }
 
@@ -600,7 +657,11 @@ impl Cluster {
                 );
                 if complete {
                     let cost = self.cfg.profile.memcpy_cost(copy_len);
-                    self.submit_sliced_proc_work(proc, cost, Work::EagerDeliver { owner: proc, msg });
+                    self.submit_sliced_proc_work(
+                        proc,
+                        cost,
+                        Work::EagerDeliver { owner: proc, msg },
+                    );
                 }
             }
             Some(Unexpected::Rndv {
@@ -647,8 +708,13 @@ impl Cluster {
         } else {
             xfer_len
         };
-        let (region, owned) =
-            self.acquire_region(proc, vec![Segment { addr: posted.addr, len: reg_len }]);
+        let (region, owned) = self.acquire_region(
+            proc,
+            vec![Segment {
+                addr: posted.addr,
+                len: reg_len,
+            }],
+        );
         let target = self.pin_target(node, region, xfer_len);
         let pull = self.alloc_pull();
         let chunk = self.frame_payload();
@@ -690,7 +756,7 @@ impl Cluster {
             },
         );
         self.xfers.recv_by_msg.insert(msg, pull);
-        self.trace_event(node, "rndv_rx", format!("msg {msg:?} len {xfer_len}"));
+        self.emit(node, Some(proc), TraceEvent::RndvRx { msg, len: xfer_len });
         let hint = self
             .xfers
             .recv_hints
@@ -758,10 +824,8 @@ impl Cluster {
         x.blocks[b as usize].requested_at = self.now;
         let mask = x.blocks[b as usize].missing_mask();
         let (proc, peer, msg, xfer_len) = (x.proc, x.peer, x.msg, x.xfer_len);
-        if self.trace.is_some() {
-            let node = self.procs[proc.0 as usize].node;
-            self.trace_event(node, "pull_req", format!("msg {:?} block {b}", msg.0));
-        }
+        let node = self.procs[proc.0 as usize].node;
+        self.emit(node, Some(proc), TraceEvent::PullReq { msg, block: b });
         let f = self.frame(
             proc,
             peer,
@@ -803,7 +867,14 @@ impl Cluster {
         self.transmit(f);
     }
 
-    fn on_rndv(&mut self, src: EndpointAddr, dst: ProcId, msg: MsgId, match_info: u64, total_len: u64) {
+    fn on_rndv(
+        &mut self,
+        src: EndpointAddr,
+        dst: ProcId,
+        msg: MsgId,
+        match_info: u64,
+        total_len: u64,
+    ) {
         let idx = dst.0 as usize;
         // Duplicate suppression: already matched, queued, or finished.
         if self.procs[idx].endpoint.is_completed(msg)
@@ -852,15 +923,16 @@ impl Cluster {
         if !pinned {
             self.nodes[node].counters.bump("overlap_miss_rx");
             self.nodes[node].counters.bump("frames_dropped_unpinned");
-            if self.trace.is_some() {
-                self.trace_event(node, "overlap_miss", format!("pull {:?} offset {offset}", pull.0));
-            }
+            self.metrics.record_overlap_miss();
+            self.emit(node, Some(proc), TraceEvent::OverlapMissRx { pull, offset });
+            self.emit(node, Some(proc), TraceEvent::PacketDrop { pull, offset });
             let x = self.xfers.recv.get(&pull).expect("recv xfer");
             let (xfer_len, proc) = (x.xfer_len, x.proc);
             let target = self.pin_target(node, region, xfer_len);
             self.ensure_pinned(node, proc, region, target, None);
             return;
         }
+        self.metrics.record_pull_frame_ok();
 
         if self.cfg.use_ioat {
             let token = self.next_ioat_token;
@@ -900,10 +972,8 @@ impl Cluster {
         };
         // Block finished -> keep the pipeline full.
         if x.blocks[block as usize].complete() {
-            if self.trace.is_some() {
-                let node = self.xfers.recv[&pull].node;
-                self.trace_event(node, "block_done", format!("pull {:?} block {block}", pull.0));
-            }
+            let (node, proc) = (x.node, x.proc);
+            self.emit(node, Some(proc), TraceEvent::BlockDone { pull, block });
             self.request_next_block(pull);
         }
         // Optimistic re-request (§4.3): receiving a frame of block `b`
@@ -925,7 +995,16 @@ impl Cluster {
         }
         for b in rerequests {
             let x = self.xfers.recv.get(&pull).expect("recv xfer");
-            self.nodes[x.node].counters.bump("pull_rereq_optimistic");
+            let (node, proc) = (x.node, x.proc);
+            self.nodes[node].counters.bump("pull_rereq_optimistic");
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::Retransmit {
+                    kind: RetransKind::OptimisticRereq,
+                    id: pull.0,
+                },
+            );
             self.rerequest_block(pull, b);
         }
         // Progress: push the stall timer out.
@@ -989,7 +1068,14 @@ impl Cluster {
         );
         debug_assert_eq!(x.frames_placed, x.frames_total, "placed every frame");
         self.release_region(x.proc, x.node, x.region, x.owned);
-        self.trace_event(x.node, "recv_done", format!("msg {:?} len {}", x.msg, x.xfer_len));
+        self.emit(
+            x.node,
+            Some(x.proc),
+            TraceEvent::RecvDone {
+                msg: x.msg,
+                len: x.xfer_len,
+            },
+        );
         self.notify_app(x.proc, AppEvent::RecvDone(x.req, x.xfer_len));
     }
 
@@ -1007,7 +1093,13 @@ impl Cluster {
         let duration = self.bh_duration(node, &frame.msg);
         self.nodes[node].counters.bump("frames_rx");
         let bh = self.nodes[node].bh_core;
-        self.submit_work(node, bh, Priority::BottomHalf, duration, Work::BhFrame(frame));
+        self.submit_work(
+            node,
+            bh,
+            Priority::BottomHalf,
+            duration,
+            Work::BhFrame(frame),
+        );
     }
 
     fn bh_duration(&self, node: usize, msg: &WireMsg) -> SimDuration {
@@ -1082,11 +1174,19 @@ impl Cluster {
             match self.procs[idx].cache.lookup(&segments) {
                 crate::cache::CacheOutcome::Hit(rid) => {
                     self.nodes[node].counters.bump("cache_hit");
+                    self.emit(node, Some(proc), TraceEvent::CacheHit { region: rid });
                     (rid, false)
                 }
                 crate::cache::CacheOutcome::Miss => {
                     self.nodes[node].counters.bump("cache_miss");
+                    self.emit(node, Some(proc), TraceEvent::CacheMiss);
                     let rid = self.nodes[node].driver.declare(space, &segments);
+                    let pages = self.nodes[node].driver.region(rid).layout.total_pages();
+                    self.emit(
+                        node,
+                        Some(proc),
+                        TraceEvent::RegionDeclare { region: rid, pages },
+                    );
                     if let Some(victim) = self.procs[idx].cache.insert(segments, rid) {
                         self.evict_cached_region(proc, node, victim);
                     }
@@ -1094,7 +1194,14 @@ impl Cluster {
                 }
             }
         } else {
-            (self.nodes[node].driver.declare(space, &segments), true)
+            let rid = self.nodes[node].driver.declare(space, &segments);
+            let pages = self.nodes[node].driver.region(rid).layout.total_pages();
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::RegionDeclare { region: rid, pages },
+            );
+            (rid, true)
         };
         let now = self.now;
         let r = self.nodes[node].driver.region_mut(rid);
@@ -1106,6 +1213,7 @@ impl Cluster {
     /// LRU-evicted cache entry: undeclare now if idle, else defer.
     fn evict_cached_region(&mut self, proc: ProcId, node: usize, victim: RegionId) {
         self.nodes[node].counters.bump("cache_evictions");
+        self.emit(node, Some(proc), TraceEvent::CacheEvict { region: victim });
         if self.nodes[node].driver.region(victim).use_count == 0 {
             let pages = self.nodes[node].driver.region(victim).pinned_pages();
             let cost = self.cfg.profile.unpin_cost(pages);
@@ -1163,6 +1271,7 @@ impl Cluster {
         n.counters.add("unpin_pages", pages);
         if undeclare {
             n.driver.undeclare(&mut n.mem, region);
+            self.emit(node, None, TraceEvent::RegionUndeclare { region });
         }
         self.xfers.pin_plans.remove(&(node, region.0));
     }
@@ -1205,15 +1314,30 @@ impl Cluster {
         let target = plan.target;
         let in_progress = plan.in_progress;
         if cursor < target && !in_progress {
-            self.xfers
+            let now = self.now;
+            let plan = self
+                .xfers
                 .pin_plans
                 .get_mut(&(node, region.0))
-                .expect("plan")
-                .in_progress = true;
+                .expect("plan");
+            plan.in_progress = true;
+            plan.started_at = Some(now);
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::PinStart {
+                    region,
+                    target_pages: target,
+                },
+            );
             self.submit_pin_chunk(node, proc, region, cursor, target);
         } else if cursor >= target {
             // Nothing to pin; a waiterless plan can go away.
-            let plan = self.xfers.pin_plans.get_mut(&(node, region.0)).expect("plan");
+            let plan = self
+                .xfers
+                .pin_plans
+                .get_mut(&(node, region.0))
+                .expect("plan");
             if plan.waiters.is_empty() && !plan.in_progress {
                 self.xfers.pin_plans.remove(&(node, region.0));
             }
@@ -1232,13 +1356,23 @@ impl Cluster {
         let pages = self.cfg.pin_chunk_pages.min(target - cursor);
         // Enforce the pinned-pages ceiling before growing the pin set.
         let now = self.now;
-        {
+        let evicted = {
             let n = &mut self.nodes[node];
             let evicted = n.driver.pressure_evict(&mut n.mem, pages, now);
-            for (rid, p) in &evicted {
+            for (_, p) in &evicted {
                 n.counters.add("pressure_unpinned_pages", *p);
-                let _ = rid;
             }
+            evicted
+        };
+        for (rid, p) in evicted {
+            self.emit(
+                node,
+                None,
+                TraceEvent::PressureUnpin {
+                    region: rid,
+                    pages: p,
+                },
+            );
         }
         let duration = self.cfg.profile.pin_cost(pages, cursor == 0);
         self.submit_kernel_work(proc, duration, Work::PinChunk { node, region });
@@ -1276,13 +1410,15 @@ impl Cluster {
                     .add("pin_pages", progress.pages_pinned);
                 self.nodes[node].counters.bump("pin_chunks");
                 let cursor = self.nodes[node].driver.region(region).pinned_pages();
-                if self.trace.is_some() {
-                    self.trace_event(
-                        node,
-                        "pin",
-                        format!("region {:?} cursor {} pages", region.0, cursor),
-                    );
-                }
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::PinChunk {
+                        region,
+                        pages: progress.pages_pinned,
+                        cursor_pages: cursor,
+                    },
+                );
                 // Fire satisfied waiters.
                 let fired: Vec<PinAction> = {
                     let plan = self
@@ -1319,11 +1455,28 @@ impl Cluster {
         }
     }
 
-    fn finish_pin_plan(&mut self, node: usize, region: RegionId, _cursor: u64) {
+    fn finish_pin_plan(&mut self, node: usize, region: RegionId, cursor: u64) {
+        let now = self.now;
         if let Some(plan) = self.xfers.pin_plans.get_mut(&(node, region.0)) {
+            let was_running = plan.in_progress;
             plan.in_progress = false;
+            if let Some(started) = plan.started_at.take() {
+                self.metrics.pin_latency.record(now.duration_since(started));
+                self.metrics.pin_burst_pages.push(cursor as f64);
+            }
+            let proc = plan.proc;
             if plan.waiters.is_empty() {
                 self.xfers.pin_plans.remove(&(node, region.0));
+            }
+            if was_running {
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::PinComplete {
+                        region,
+                        cursor_pages: cursor,
+                    },
+                );
             }
         }
     }
@@ -1362,6 +1515,14 @@ impl Cluster {
             }
         }
         if let Some((proc, target)) = need {
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::Repin {
+                    region,
+                    target_pages: target,
+                },
+            );
             self.ensure_pinned(node, proc, region, target, None);
         }
     }
@@ -1427,9 +1588,19 @@ impl Cluster {
                     self.fail_send(msg, "rendezvous timed out");
                     return;
                 }
-                self.nodes[self.xfers.send[&msg].node]
-                    .counters
-                    .bump("rndv_retrans");
+                let (node, proc) = {
+                    let x = &self.xfers.send[&msg];
+                    (x.node, x.proc)
+                };
+                self.nodes[node].counters.bump("rndv_retrans");
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::Retransmit {
+                        kind: RetransKind::Rndv,
+                        id: msg.0,
+                    },
+                );
                 self.send_rndv(msg);
             }
             TimerToken::EagerRetrans(msg) => {
@@ -1443,6 +1614,16 @@ impl Cluster {
                     return;
                 }
                 self.counters.bump("eager_retrans");
+                let proc = self.xfers.eager_tx[&msg].proc;
+                let node = self.procs[proc.0 as usize].node;
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::Retransmit {
+                        kind: RetransKind::Eager,
+                        id: msg.0,
+                    },
+                );
                 self.transmit_eager_frames(msg);
                 let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::EagerRetrans(msg));
                 self.xfers.eager_tx.get_mut(&msg).expect("eager tx").timer = Some(t);
@@ -1456,9 +1637,19 @@ impl Cluster {
                     self.fail_recv(pull, "pull transfer stalled");
                     return;
                 }
-                self.nodes[self.xfers.recv[&pull].node]
-                    .counters
-                    .bump("pull_stall_timeouts");
+                let (node, proc) = {
+                    let x = &self.xfers.recv[&pull];
+                    (x.node, x.proc)
+                };
+                self.nodes[node].counters.bump("pull_stall_timeouts");
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::Retransmit {
+                        kind: RetransKind::PullStall,
+                        id: pull.0,
+                    },
+                );
                 // Re-request everything outstanding.
                 let stalled: Vec<u32> = {
                     let x = &self.xfers.recv[&pull];
@@ -1472,7 +1663,8 @@ impl Cluster {
                 for b in stalled {
                     self.rerequest_block(pull, b);
                 }
-                let timer = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
+                let timer =
+                    self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
                 let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
                 x.stall_timer = Some(timer);
             }
@@ -1488,6 +1680,15 @@ impl Cluster {
                 }
                 let (proc, peer) = (p.proc, p.peer);
                 self.counters.bump("notify_retrans");
+                let node = self.procs[proc.0 as usize].node;
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::Retransmit {
+                        kind: RetransKind::Notify,
+                        id: msg.0,
+                    },
+                );
                 let f = self.frame(proc, peer, WireMsg::Notify { msg });
                 self.transmit(f);
                 let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::NotifyRetrans(msg));

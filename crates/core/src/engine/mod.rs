@@ -29,6 +29,8 @@ use crate::cache::RegionCache;
 use crate::config::OpenMxConfig;
 use crate::driver::{Driver, RegionId};
 use crate::endpoint::{Endpoint, EndpointAddr, RequestId};
+use crate::obs::tracer::DEFAULT_CAPACITY;
+use crate::obs::{CacheStats, Metrics, TraceEvent, TraceRecord, Tracer};
 use crate::wire::{Frame, MsgId, PullId, WireMsg};
 use xfer::XferTables;
 
@@ -202,19 +204,6 @@ pub(crate) struct ProcSlot {
     pub stopped: bool,
 }
 
-/// One line of the event trace (used by the timeline harness).
-#[derive(Clone, Debug)]
-pub struct TraceEntry {
-    /// When it happened.
-    pub time: SimTime,
-    /// Node index.
-    pub node: usize,
-    /// Short event tag.
-    pub kind: &'static str,
-    /// Free-form detail.
-    pub detail: String,
-}
-
 /// The simulation engine. See the module docs.
 pub struct Cluster {
     pub(crate) cfg: OpenMxConfig,
@@ -228,7 +217,8 @@ pub struct Cluster {
     pub(crate) next_req: u64,
     pub(crate) next_ioat_token: u64,
     pub(crate) counters: Counters,
-    pub(crate) trace: Option<Vec<TraceEntry>>,
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: Metrics,
     pub(crate) now: SimTime,
     /// Max protocol retries before a request fails.
     pub(crate) max_retries: u32,
@@ -266,7 +256,8 @@ impl Cluster {
             next_req: 0,
             next_ioat_token: 0,
             counters: Counters::new(),
-            trace: None,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::new(),
             now: SimTime::ZERO,
             max_retries: 16,
         }
@@ -305,14 +296,26 @@ impl Cluster {
         ProcId(self.procs.len() as u32 - 1)
     }
 
-    /// Record a full event trace (timeline harness).
+    /// Start recording trace events into a default-capacity ring buffer
+    /// (see [`crate::obs::tracer::DEFAULT_CAPACITY`]).
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.tracer = Tracer::enabled(DEFAULT_CAPACITY);
     }
 
-    /// The recorded trace, if enabled.
-    pub fn trace(&self) -> &[TraceEntry] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// Start recording trace events into a ring holding `capacity` records.
+    pub fn enable_trace_with_capacity(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// The trace ring buffer (empty and disabled unless
+    /// [`Cluster::enable_trace`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Latency metrics recorded so far (always on).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Run: start every process, then drain events until quiescence or
@@ -363,7 +366,7 @@ impl Cluster {
     }
 
     /// Region cache hit/miss stats of one process.
-    pub fn cache_stats(&self, proc: ProcId) -> (u64, u64) {
+    pub fn cache_stats(&self, proc: ProcId) -> CacheStats {
         self.procs[proc.0 as usize].cache.stats()
     }
 
@@ -413,16 +416,17 @@ impl Cluster {
         PullId(self.next_pull)
     }
 
-    pub(crate) fn trace_event(&mut self, node: usize, kind: &'static str, detail: String) {
-        let now = self.now;
-        if let Some(t) = self.trace.as_mut() {
-            t.push(TraceEntry {
-                time: now,
-                node,
-                kind,
-                detail,
-            });
+    /// Record one trace event (free when tracing is off).
+    pub(crate) fn emit(&mut self, node: usize, proc: Option<ProcId>, event: TraceEvent) {
+        if !self.tracer.is_enabled() {
+            return;
         }
+        self.tracer.record(TraceRecord {
+            time: self.now,
+            node,
+            proc,
+            event,
+        });
     }
 
     /// Submit CPU work on (node, core); schedules the completion event if
@@ -551,11 +555,15 @@ impl Cluster {
             for (rid, pages) in hit {
                 n.counters.bump("notifier_invalidations");
                 n.counters.add("notifier_unpinned_pages", pages);
-                affected.push(rid);
+                affected.push((rid, pages));
             }
         }
-        for rid in affected {
-            self.trace_event(node, "invalidate", format!("region {rid:?} unpinned"));
+        for (rid, pages) in affected {
+            self.emit(
+                node,
+                None,
+                TraceEvent::NotifierInvalidate { region: rid, pages },
+            );
             // In-use regions must repin: restart their pin plan.
             self.restart_pin_plan_if_needed(node, rid);
         }

@@ -50,6 +50,10 @@ pub(crate) struct SendXfer {
     pub owned: bool,
     /// A pull request arrived — the rendezvous got through.
     pub pull_seen: bool,
+    /// When the first rendezvous went on the wire (metrics: the overlap
+    /// window is measured from here to the first pull request, the
+    /// rendezvous round trip from here to the notify).
+    pub rndv_sent_at: Option<SimTime>,
     pub rndv_timer: Option<EventId>,
     pub retries: u32,
 }
@@ -161,6 +165,9 @@ pub(crate) struct PinPlan {
     pub target: u64,
     /// A PinChunk work item is queued or running.
     pub in_progress: bool,
+    /// When the current pin burst started driving the cursor (metrics:
+    /// pin latency is measured from here to quiescence).
+    pub started_at: Option<SimTime>,
     pub waiters: Vec<PinWaiter>,
     /// Process whose core is charged for the pin work.
     pub proc: ProcId,
@@ -171,6 +178,7 @@ impl PinPlan {
         PinPlan {
             target: 0,
             in_progress: false,
+            started_at: None,
             waiters: Vec::new(),
             proc,
         }

@@ -20,7 +20,10 @@
 //!   time) to the right core at the right virtual instant, implementing
 //!   all five pinning strategies of the paper's evaluation;
 //! * [`config`] — Table 1 CPU cost profiles and every knob the paper's
-//!   experiments sweep.
+//!   experiments sweep;
+//! * [`obs`] — observability: typed trace events over the whole pinning
+//!   lifecycle, a bounded ring-buffer tracer, latency histograms, and
+//!   Chrome-trace/CSV exporters.
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,7 @@ pub mod config;
 pub mod driver;
 pub mod endpoint;
 pub mod engine;
+pub mod obs;
 pub mod region;
 pub mod wire;
 
@@ -36,6 +40,7 @@ pub use cache::{CacheOutcome, RegionCache};
 pub use config::{CpuProfile, OpenMxConfig, PinningMode};
 pub use driver::{Driver, RegionId};
 pub use endpoint::{Endpoint, EndpointAddr, RequestId};
-pub use engine::{AppEvent, Cluster, Ctx, OverlapHint, ProcId, Process, TraceEntry};
+pub use engine::{AppEvent, Cluster, Ctx, OverlapHint, ProcId, Process};
+pub use obs::{CacheStats, DriverStats, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer};
 pub use region::{DriverRegion, RegionLayout, Segment};
 pub use wire::{Frame, MsgId, PullId, WireMsg};

@@ -1,0 +1,220 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and CSV.
+//!
+//! Both exporters are pure functions of a [`Tracer`] snapshot; neither
+//! touches the filesystem, so callers decide where bytes go. The JSON is
+//! hand-assembled (the trace-event format is flat and tiny; no serializer
+//! is needed) and loads in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::driver::RegionId;
+use crate::obs::event::TraceEvent;
+use crate::obs::tracer::Tracer;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → trace-event timestamp (microseconds, fractional).
+fn ts_us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Export the tracer's contents as Chrome trace-event JSON.
+///
+/// Pinning shows up as duration spans: each `pin_start` is paired with the
+/// next `pin_complete` for the same `(node, region)` into a `ph:"X"`
+/// complete event named `pin`, so the overlap between pinning and the
+/// rendezvous round trip is visible as a bar on the timeline. Every other
+/// record becomes a `ph:"i"` instant. Tracks are `pid` = node index and
+/// `tid` = process id + 1 (0 for events not attributable to a process,
+/// e.g. driver work).
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(tracer.len());
+    // (node, region) -> index into `events` of a pending pin_start, plus
+    // its start ns, so pin_complete can rewrite it as a span in place.
+    let mut open_pins: HashMap<(usize, RegionId), (usize, u64)> = HashMap::new();
+
+    for rec in tracer.iter() {
+        let pid = rec.node;
+        let tid = rec.proc.map(|p| p.0 as u64 + 1).unwrap_or(0);
+        let ns = rec.time.as_nanos();
+        match rec.event {
+            TraceEvent::PinStart { region, .. } => {
+                // Placeholder instant; upgraded to a span on pin_complete.
+                let idx = events.len();
+                events.push(format!(
+                    r#"{{"name":"pin_start","ph":"i","s":"t","ts":{:.3},"pid":{pid},"tid":{tid},"args":{{"detail":"{}"}}}}"#,
+                    ts_us(ns),
+                    json_escape(&rec.detail()),
+                ));
+                open_pins.insert((rec.node, region), (idx, ns));
+            }
+            TraceEvent::PinComplete {
+                region,
+                cursor_pages,
+            } => {
+                if let Some((idx, start_ns)) = open_pins.remove(&(rec.node, region)) {
+                    events[idx] = format!(
+                        r#"{{"name":"pin","ph":"X","ts":{:.3},"dur":{:.3},"pid":{pid},"tid":{tid},"args":{{"region":{},"cursor_pages":{cursor_pages}}}}}"#,
+                        ts_us(start_ns),
+                        ts_us(ns - start_ns),
+                        region.0,
+                    );
+                } else {
+                    events.push(format!(
+                        r#"{{"name":"pin_complete","ph":"i","s":"t","ts":{:.3},"pid":{pid},"tid":{tid},"args":{{"detail":"{}"}}}}"#,
+                        ts_us(ns),
+                        json_escape(&rec.detail()),
+                    ));
+                }
+            }
+            ref ev => {
+                events.push(format!(
+                    r#"{{"name":"{}","ph":"i","s":"t","ts":{:.3},"pid":{pid},"tid":{tid},"args":{{"detail":"{}"}}}}"#,
+                    ev.kind(),
+                    ts_us(ns),
+                    json_escape(&ev.detail()),
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&events.join(","));
+    out.push_str("]}");
+    out
+}
+
+/// Export the tracer's contents as CSV with header
+/// `time_ns,node,proc,kind,detail` (proc empty when unattributed; detail
+/// double-quoted with embedded quotes doubled).
+pub fn csv(tracer: &Tracer) -> String {
+    let mut out = String::from("time_ns,node,proc,kind,detail\n");
+    for rec in tracer.iter() {
+        let proc = rec.proc.map(|p| p.0.to_string()).unwrap_or_default();
+        let detail = rec.detail().replace('"', "\"\"");
+        let _ = writeln!(
+            out,
+            "{},{},{},{},\"{}\"",
+            rec.time.as_nanos(),
+            rec.node,
+            proc,
+            rec.kind(),
+            detail,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ProcId;
+    use crate::obs::event::TraceRecord;
+    use simcore::SimTime;
+
+    fn rec(ns: u64, node: usize, proc: Option<u32>, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_nanos(ns),
+            node,
+            proc: proc.map(ProcId),
+            event,
+        }
+    }
+
+    #[test]
+    fn pin_pairs_become_spans() {
+        let mut t = Tracer::enabled(16);
+        let region = RegionId(7);
+        t.record(rec(
+            1_000,
+            0,
+            Some(0),
+            TraceEvent::PinStart {
+                region,
+                target_pages: 4,
+            },
+        ));
+        t.record(rec(
+            1_500,
+            0,
+            Some(0),
+            TraceEvent::PinChunk {
+                region,
+                pages: 2,
+                cursor_pages: 2,
+            },
+        ));
+        t.record(rec(
+            3_000,
+            0,
+            Some(0),
+            TraceEvent::PinComplete {
+                region,
+                cursor_pages: 4,
+            },
+        ));
+        let json = chrome_trace_json(&t);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // The start/complete pair collapsed into one complete-event span.
+        assert!(
+            json.contains(r#""name":"pin","ph":"X","ts":1.000,"dur":2.000"#),
+            "{json}"
+        );
+        assert!(!json.contains(r#""name":"pin_start""#));
+        assert!(json.contains(r#""name":"pin_chunk""#));
+    }
+
+    #[test]
+    fn unmatched_pin_start_stays_an_instant() {
+        let mut t = Tracer::enabled(16);
+        t.record(rec(
+            500,
+            1,
+            None,
+            TraceEvent::PinStart {
+                region: RegionId(1),
+                target_pages: 8,
+            },
+        ));
+        let json = chrome_trace_json(&t);
+        assert!(json.contains(r#""name":"pin_start","ph":"i""#));
+        assert!(json.contains(r#""pid":1,"tid":0"#));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Tracer::enabled(16);
+        t.record(rec(42, 2, Some(3), TraceEvent::CacheMiss));
+        t.record(rec(99, 0, None, TraceEvent::AppMark { label: "phase one" }));
+        let text = csv(&t);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time_ns,node,proc,kind,detail");
+        assert_eq!(lines[1], "42,2,3,cache_miss,\"\"");
+        assert_eq!(lines[2], "99,0,,app_mark,\"phase one\"");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

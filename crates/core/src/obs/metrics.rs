@@ -1,0 +1,135 @@
+//! The always-on metrics registry: latency histograms and derived rates.
+
+use simcore::{FixedHistogram, OnlineStats, SimDuration};
+
+/// Cluster-wide latency metrics, recorded whether or not tracing is on
+/// (every record is a fixed-cost histogram increment).
+///
+/// * **Pin latency** — pin-start to pin-complete of one pin plan burst:
+///   how long the driver took to walk the cursor to its target.
+/// * **Rendezvous round trip** — rendezvous transmission to the matching
+///   notify: the full large-message transaction as the sender sees it.
+/// * **Overlap window** — rendezvous transmission to the first pull
+///   request: the round trip the paper hides pinning behind (§3.3).
+/// * **Overlap-miss rate** — dropped-for-unpinned frames over all pull
+///   reply frames: how often the transfer outran the pin cursor.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Pin-start → pin-complete, per pin plan burst.
+    pub pin_latency: FixedHistogram,
+    /// Rendezvous → notify, per large-message send.
+    pub rndv_rtt: FixedHistogram,
+    /// Rendezvous → first pull request, per large-message send.
+    pub overlap_window: FixedHistogram,
+    /// Pages covered per completed pin burst.
+    pub pin_burst_pages: OnlineStats,
+    /// Pull-reply frames that landed on unpinned pages and were dropped.
+    overlap_misses: u64,
+    /// Pull-reply frames accepted (pinned landing pages).
+    pull_frames_ok: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh registry with bucket geometries sized for the paper's
+    /// platforms (10 µs pin buckets, 100 µs round-trip buckets, 1 µs
+    /// overlap-window buckets; out-of-range values are still counted and
+    /// report exact maxima).
+    pub fn new() -> Self {
+        Metrics {
+            pin_latency: FixedHistogram::new(SimDuration::from_millis(100), 10_000),
+            rndv_rtt: FixedHistogram::new(SimDuration::from_secs(1), 10_000),
+            overlap_window: FixedHistogram::new(SimDuration::from_millis(10), 10_000),
+            pin_burst_pages: OnlineStats::new(),
+            overlap_misses: 0,
+            pull_frames_ok: 0,
+        }
+    }
+
+    /// Count one dropped-for-unpinned pull frame.
+    pub fn record_overlap_miss(&mut self) {
+        self.overlap_misses += 1;
+    }
+
+    /// Count one accepted pull frame.
+    pub fn record_pull_frame_ok(&mut self) {
+        self.pull_frames_ok += 1;
+    }
+
+    /// Frames dropped because their landing pages were unpinned.
+    pub fn overlap_misses(&self) -> u64 {
+        self.overlap_misses
+    }
+
+    /// Dropped frames over all pull frames seen; 0 when no pull traffic.
+    pub fn overlap_miss_rate(&self) -> f64 {
+        let total = self.overlap_misses + self.pull_frames_ok;
+        if total == 0 {
+            0.0
+        } else {
+            self.overlap_misses as f64 / total as f64
+        }
+    }
+
+    /// Merge another registry (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.pin_latency.merge(&other.pin_latency);
+        self.rndv_rtt.merge(&other.rndv_rtt);
+        self.overlap_window.merge(&other.overlap_window);
+        self.pin_burst_pages.merge(&other.pin_burst_pages);
+        self.overlap_misses += other.overlap_misses;
+        self.pull_frames_ok += other.pull_frames_ok;
+    }
+
+    /// One-line pin-latency summary for the bench harness:
+    /// `p50/p95/p99 µs over n bursts`.
+    pub fn pin_latency_summary(&self) -> String {
+        if self.pin_latency.count() == 0 {
+            return "no pin bursts".to_string();
+        }
+        format!(
+            "pin p50 {:.1} us, p95 {:.1} us, p99 {:.1} us ({} bursts)",
+            self.pin_latency.quantile(0.50).as_micros_f64(),
+            self.pin_latency.quantile(0.95).as_micros_f64(),
+            self.pin_latency.quantile(0.99).as_micros_f64(),
+            self.pin_latency.count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_arithmetic() {
+        let mut m = Metrics::new();
+        assert_eq!(m.overlap_miss_rate(), 0.0);
+        for _ in 0..3 {
+            m.record_overlap_miss();
+        }
+        for _ in 0..7 {
+            m.record_pull_frame_ok();
+        }
+        assert_eq!(m.overlap_misses(), 3);
+        assert!((m.overlap_miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.pin_latency.record(SimDuration::from_micros(100));
+        b.pin_latency.record(SimDuration::from_micros(300));
+        b.record_overlap_miss();
+        a.merge(&b);
+        assert_eq!(a.pin_latency.count(), 2);
+        assert_eq!(a.overlap_misses(), 1);
+        assert!(a.pin_latency_summary().contains("2 bursts"));
+    }
+}

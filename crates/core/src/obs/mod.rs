@@ -1,0 +1,64 @@
+//! Observability: the unified pinning-lifecycle tracing and metrics layer.
+//!
+//! The paper's entire argument is about *when* things happen — pinning
+//! overlapped with the rendezvous round trip, overlap misses recovered by
+//! retransmission, notifier invalidations racing communications. This
+//! module makes all of it observable as first-class data instead of
+//! ad-hoc printing:
+//!
+//! * [`TraceEvent`] / [`TraceRecord`] — one typed event per step of the
+//!   pinning lifecycle (declare, pin-start/chunk/complete, overlap miss,
+//!   packet drop, retransmit, invalidation, pressure unpin, repin, cache
+//!   hit/miss/evict) and of the rendezvous protocol, stamped with
+//!   [`simcore::SimTime`], node and process;
+//! * [`Tracer`] — a bounded ring buffer owned by the
+//!   [`Cluster`](crate::Cluster): a no-op when disabled, O(1) per event
+//!   when enabled, oldest events evicted first;
+//! * [`Metrics`] — always-on latency registry built on
+//!   [`simcore::FixedHistogram`] / [`simcore::OnlineStats`]: pin latency,
+//!   rendezvous round trip, overlap-window width, overlap-miss rate;
+//! * [`export`] — Chrome trace-event JSON (loadable in Perfetto / (chrome
+//!   or edge)://tracing) and CSV.
+//!
+//! Named stats structs ([`DriverStats`], [`CacheStats`]) replace the old
+//! anonymous tuple returns of `Driver::stats()` / `RegionCache::stats()`.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{RetransKind, TraceEvent, TraceRecord};
+pub use export::{chrome_trace_json, csv};
+pub use metrics::Metrics;
+pub use tracer::Tracer;
+
+/// Driver-side pinning counters (was an anonymous `(u64, u64)` tuple).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DriverStats {
+    /// Pages unpinned to stay under the pinned-page ceiling (§3.1).
+    pub pressure_unpinned_pages: u64,
+    /// Regions invalidated by the MMU notifier.
+    pub notifier_invalidations: u64,
+}
+
+/// Region-cache effectiveness counters (was an anonymous `(u64, u64)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to declare a fresh region.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}

@@ -109,12 +109,7 @@ impl RegionLayout {
     ///
     /// # Panics
     /// Panics if the range exceeds the region.
-    pub fn for_each_chunk(
-        &self,
-        offset: u64,
-        len: u64,
-        mut f: impl FnMut(u64, Vpn, u64, u64),
-    ) {
+    pub fn for_each_chunk(&self, offset: u64, len: u64, mut f: impl FnMut(u64, Vpn, u64, u64)) {
         assert!(
             offset + len <= self.total_len,
             "region access out of bounds: {offset}+{len} > {}",
@@ -284,12 +279,7 @@ impl DriverRegion {
 
     /// Driver read of region bytes into `buf` (pull-reply construction on
     /// the send side). Fails if the range is not pinned yet.
-    pub fn read(
-        &self,
-        mem: &Memory,
-        offset: u64,
-        buf: &mut [u8],
-    ) -> Result<(), RegionAccessError> {
+    pub fn read(&self, mem: &Memory, offset: u64, buf: &mut [u8]) -> Result<(), RegionAccessError> {
         if !self.pinned_through(offset, buf.len() as u64) {
             return Err(RegionAccessError::NotPinned);
         }
@@ -340,7 +330,10 @@ mod tests {
     #[test]
     fn layout_geometry_contiguous() {
         let (_m, _s, addr) = setup(4);
-        let l = RegionLayout::new(&[Segment { addr, len: 4 * PAGE_SIZE }]);
+        let l = RegionLayout::new(&[Segment {
+            addr,
+            len: 4 * PAGE_SIZE,
+        }]);
         assert_eq!(l.total_len(), 4 * PAGE_SIZE);
         assert_eq!(l.total_pages(), 4);
         assert_eq!(l.vpn_of_page(0), addr.vpn());
@@ -351,7 +344,10 @@ mod tests {
     fn layout_unaligned_segment_spans_extra_page() {
         let (_m, _s, addr) = setup(4);
         // 2 pages of bytes starting mid-page covers 3 pages.
-        let l = RegionLayout::new(&[Segment { addr: addr.add(100), len: 2 * PAGE_SIZE }]);
+        let l = RegionLayout::new(&[Segment {
+            addr: addr.add(100),
+            len: 2 * PAGE_SIZE,
+        }]);
         assert_eq!(l.total_pages(), 3);
         assert_eq!(l.vpn_of_page(0), addr.vpn());
     }
@@ -360,8 +356,14 @@ mod tests {
     fn layout_vectorial() {
         let (_m, _s, addr) = setup(10);
         let l = RegionLayout::new(&[
-            Segment { addr, len: PAGE_SIZE },
-            Segment { addr: addr.add(5 * PAGE_SIZE), len: 2 * PAGE_SIZE },
+            Segment {
+                addr,
+                len: PAGE_SIZE,
+            },
+            Segment {
+                addr: addr.add(5 * PAGE_SIZE),
+                len: 2 * PAGE_SIZE,
+            },
         ]);
         assert_eq!(l.total_len(), 3 * PAGE_SIZE);
         assert_eq!(l.total_pages(), 3);
@@ -374,15 +376,35 @@ mod tests {
     #[test]
     fn chunked_pinning_moves_cursor() {
         let (mut mem, space, addr) = setup(10);
-        let mut r = DriverRegion::new(space, &[Segment { addr, len: 10 * PAGE_SIZE }]);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 10 * PAGE_SIZE,
+            }],
+        );
         assert!(r.unpinned());
         let p = r.pin_next_chunk(&mut mem, 4).unwrap();
-        assert_eq!(p, PinProgress { pages_pinned: 4, complete: false, first_chunk: true });
+        assert_eq!(
+            p,
+            PinProgress {
+                pages_pinned: 4,
+                complete: false,
+                first_chunk: true
+            }
+        );
         assert_eq!(r.pinned_pages(), 4);
         assert!(r.pinned_through(0, 4 * PAGE_SIZE));
         assert!(!r.pinned_through(0, 4 * PAGE_SIZE + 1));
         let p = r.pin_next_chunk(&mut mem, 100).unwrap();
-        assert_eq!(p, PinProgress { pages_pinned: 6, complete: true, first_chunk: false });
+        assert_eq!(
+            p,
+            PinProgress {
+                pages_pinned: 6,
+                complete: true,
+                first_chunk: false
+            }
+        );
         assert!(r.fully_pinned());
         assert_eq!(mem.frames().pinned_pages(), 10);
         assert_eq!(r.unpin_all(&mut mem), 10);
@@ -392,7 +414,13 @@ mod tests {
     #[test]
     fn read_write_roundtrip_through_pins() {
         let (mut mem, space, addr) = setup(4);
-        let mut r = DriverRegion::new(space, &[Segment { addr: addr.add(64), len: 2 * PAGE_SIZE }]);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr: addr.add(64),
+                len: 2 * PAGE_SIZE,
+            }],
+        );
         r.pin_next_chunk(&mut mem, 100).unwrap();
         let data: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
         r.write(&mut mem, 0, &data).unwrap();
@@ -408,7 +436,13 @@ mod tests {
     #[test]
     fn access_beyond_cursor_is_overlap_miss() {
         let (mut mem, space, addr) = setup(8);
-        let mut r = DriverRegion::new(space, &[Segment { addr, len: 8 * PAGE_SIZE }]);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 8 * PAGE_SIZE,
+            }],
+        );
         r.pin_next_chunk(&mut mem, 2).unwrap();
         let mut buf = [0u8; 16];
         // Inside the cursor: fine.
@@ -433,7 +467,10 @@ mod tests {
         // fine, pinning fails (paper §3.1).
         let mut r = DriverRegion::new(
             space,
-            &[Segment { addr: VirtAddr(0x4000_0000), len: 2 * PAGE_SIZE }],
+            &[Segment {
+                addr: VirtAddr(0x4000_0000),
+                len: 2 * PAGE_SIZE,
+            }],
         );
         assert!(matches!(
             r.pin_next_chunk(&mut mem, 10),
@@ -449,7 +486,13 @@ mod tests {
         let space = mem.create_space();
         let addr = mem.mmap(space, 2 * PAGE_SIZE, Prot::ReadWrite).unwrap();
         // Region claims 4 pages but only 2 are mapped.
-        let mut r = DriverRegion::new(space, &[Segment { addr, len: 4 * PAGE_SIZE }]);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
         let p = r.pin_next_chunk(&mut mem, 2).unwrap();
         assert_eq!(p.pages_pinned, 2);
         assert!(r.pin_next_chunk(&mut mem, 2).is_err());
@@ -461,8 +504,14 @@ mod tests {
     fn intersects_notifier_ranges() {
         let (_m, _s, addr) = setup(10);
         let l = RegionLayout::new(&[
-            Segment { addr, len: PAGE_SIZE },
-            Segment { addr: addr.add(5 * PAGE_SIZE), len: PAGE_SIZE },
+            Segment {
+                addr,
+                len: PAGE_SIZE,
+            },
+            Segment {
+                addr: addr.add(5 * PAGE_SIZE),
+                len: PAGE_SIZE,
+            },
         ]);
         let v = addr.vpn().0;
         assert!(l.intersects(&VpnRange::new(Vpn(v), Vpn(v + 1))));
@@ -473,7 +522,13 @@ mod tests {
     #[test]
     fn zero_len_access_is_trivially_pinned() {
         let (_m, space, addr) = setup(2);
-        let r = DriverRegion::new(space, &[Segment { addr, len: PAGE_SIZE }]);
+        let r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: PAGE_SIZE,
+            }],
+        );
         assert!(r.pinned_through(0, 0));
         assert!(!r.pinned_through(0, 1));
     }

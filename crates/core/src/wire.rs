@@ -137,7 +137,9 @@ mod tests {
     use super::*;
 
     fn addr(p: u32) -> EndpointAddr {
-        EndpointAddr { proc: crate::engine::ProcId(p) }
+        EndpointAddr {
+            proc: crate::engine::ProcId(p),
+        }
     }
 
     #[test]

@@ -53,7 +53,13 @@ fn run(mode: PinningMode, hint: OverlapHint) -> (SimTime, u64) {
     let done_at = Rc::new(Cell::new(SimTime::ZERO));
     let cfg = OpenMxConfig::with_mode(mode);
     let mut cl = Cluster::new(cfg, 2);
-    cl.add_process(0, Box::new(HintedSender { hint, done_at: done_at.clone() }));
+    cl.add_process(
+        0,
+        Box::new(HintedSender {
+            hint,
+            done_at: done_at.clone(),
+        }),
+    );
     cl.add_process(1, Box::new(HintedReceiver { hint }));
     cl.run(None);
     assert_eq!(cl.counters().get("requests_failed"), 0);
@@ -80,7 +86,10 @@ fn disable_overlap_reverts_overlapped_mode_to_sync() {
     // Disabling overlap lands on the synchronous timing.
     let a = t_disabled.as_nanos() as f64;
     let b = t_sync.as_nanos() as f64;
-    assert!((a - b).abs() / b < 0.02, "disabled {t_disabled} ≈ sync {t_sync}");
+    assert!(
+        (a - b).abs() / b < 0.02,
+        "disabled {t_disabled} ≈ sync {t_sync}"
+    );
 }
 
 #[test]

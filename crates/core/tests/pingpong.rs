@@ -161,9 +161,9 @@ fn cached_mode_hits_cache_on_reuse() {
     let (cl, _) = pingpong(PinningMode::Cached, 1 << 20, 10, false);
     // Pinger: 10 sends of buf + 10 recvs of rbuf -> first use of each
     // misses, the rest hit.
-    let (hits, misses) = cl.cache_stats(ProcId(0));
-    assert_eq!(misses, 2, "one per distinct buffer");
-    assert_eq!(hits, 18);
+    let stats = cl.cache_stats(ProcId(0));
+    assert_eq!(stats.misses, 2, "one per distinct buffer");
+    assert_eq!(stats.hits, 18);
     // Pinning happened once per buffer, not once per iteration.
     let c = cl.counters();
     let pages_per_buffer = (1u64 << 20) / 4096;
@@ -200,7 +200,10 @@ fn overlapped_mode_is_faster_than_pin_per_comm() {
         t_overlap < t_sync,
         "overlap {t_overlap} should beat sync {t_sync}"
     );
-    assert!(t_cache < t_sync, "cache {t_cache} should beat sync {t_sync}");
+    assert!(
+        t_cache < t_sync,
+        "cache {t_cache} should beat sync {t_sync}"
+    );
 }
 
 #[test]

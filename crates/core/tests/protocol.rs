@@ -26,7 +26,10 @@ impl Process for Closures {
     }
 }
 
-fn proc_of(start: impl FnMut(&mut Ctx<'_>) + 'static, event: impl FnMut(&mut Ctx<'_>, AppEvent) + 'static) -> Box<dyn Process> {
+fn proc_of(
+    start: impl FnMut(&mut Ctx<'_>) + 'static,
+    event: impl FnMut(&mut Ctx<'_>, AppEvent) + 'static,
+) -> Box<dyn Process> {
     Box::new(Closures {
         start: Box::new(start),
         event: Box::new(event),
@@ -364,9 +367,18 @@ fn vectorial_send_gathers_segments() {
                     let c = ctx.malloc(per_seg + 8192);
                     // Unaligned starts, distinct fill per segment.
                     let segs = [
-                        Segment { addr: a.add(13), len: per_seg },
-                        Segment { addr: b.add(4099), len: per_seg },
-                        Segment { addr: c.add(1), len: per_seg },
+                        Segment {
+                            addr: a.add(13),
+                            len: per_seg,
+                        },
+                        Segment {
+                            addr: b.add(4099),
+                            len: per_seg,
+                        },
+                        Segment {
+                            addr: c.add(1),
+                            len: per_seg,
+                        },
                     ];
                     for (i, s) in segs.iter().enumerate() {
                         let fill: Vec<u8> =
@@ -424,8 +436,14 @@ fn vectorial_send_data_verified() {
                 let a = ctx.malloc(per_seg + 4096);
                 let b = ctx.malloc(per_seg + 4096);
                 let segs = [
-                    Segment { addr: a.add(7), len: per_seg },
-                    Segment { addr: b.add(513), len: per_seg },
+                    Segment {
+                        addr: a.add(7),
+                        len: per_seg,
+                    },
+                    Segment {
+                        addr: b.add(513),
+                        len: per_seg,
+                    },
                 ];
                 ctx.write_buf(segs[0].addr, &vec![0xA1; per_seg as usize]);
                 ctx.write_buf(segs[1].addr, &vec![0xB2; per_seg as usize]);

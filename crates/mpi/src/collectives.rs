@@ -86,13 +86,37 @@ impl JobBuilder {
         let t1 = self.tag();
         let t2 = self.tag();
         self.step_all(|r| match r {
-            0 => vec![Op::Send { to: 1, tag: t1, buf: buf_a, offset: 0, len }],
-            1 => vec![Op::Recv { from: 0, tag: t1, buf: buf_a, offset: 0, len }],
+            0 => vec![Op::Send {
+                to: 1,
+                tag: t1,
+                buf: buf_a,
+                offset: 0,
+                len,
+            }],
+            1 => vec![Op::Recv {
+                from: 0,
+                tag: t1,
+                buf: buf_a,
+                offset: 0,
+                len,
+            }],
             _ => vec![],
         });
         self.step_all(|r| match r {
-            0 => vec![Op::Recv { from: 1, tag: t2, buf: buf_b, offset: 0, len }],
-            1 => vec![Op::Send { to: 0, tag: t2, buf: buf_b, offset: 0, len }],
+            0 => vec![Op::Recv {
+                from: 1,
+                tag: t2,
+                buf: buf_b,
+                offset: 0,
+                len,
+            }],
+            1 => vec![Op::Send {
+                to: 0,
+                tag: t2,
+                buf: buf_b,
+                offset: 0,
+                len,
+            }],
             _ => vec![],
         });
     }
@@ -104,8 +128,20 @@ impl JobBuilder {
         let tag = self.tag();
         self.step_all(|r| {
             vec![
-                Op::Send { to: (r + 1) % n, tag, buf: sbuf, offset: 0, len },
-                Op::Recv { from: (r + n - 1) % n, tag, buf: rbuf, offset: 0, len },
+                Op::Send {
+                    to: (r + 1) % n,
+                    tag,
+                    buf: sbuf,
+                    offset: 0,
+                    len,
+                },
+                Op::Recv {
+                    from: (r + n - 1) % n,
+                    tag,
+                    buf: rbuf,
+                    offset: 0,
+                    len,
+                },
             ]
         });
     }
@@ -119,10 +155,34 @@ impl JobBuilder {
             let left = (r + n - 1) % n;
             let right = (r + 1) % n;
             vec![
-                Op::Send { to: left, tag: tl, buf: sbuf, offset: 0, len },
-                Op::Send { to: right, tag: tr, buf: sbuf, offset: 0, len },
-                Op::Recv { from: right, tag: tl, buf: rbuf, offset: 0, len },
-                Op::Recv { from: left, tag: tr, buf: rbuf, offset: 0, len },
+                Op::Send {
+                    to: left,
+                    tag: tl,
+                    buf: sbuf,
+                    offset: 0,
+                    len,
+                },
+                Op::Send {
+                    to: right,
+                    tag: tr,
+                    buf: sbuf,
+                    offset: 0,
+                    len,
+                },
+                Op::Recv {
+                    from: right,
+                    tag: tl,
+                    buf: rbuf,
+                    offset: 0,
+                    len,
+                },
+                Op::Recv {
+                    from: left,
+                    tag: tr,
+                    buf: rbuf,
+                    offset: 0,
+                    len,
+                },
             ]
         });
     }
@@ -141,10 +201,22 @@ impl JobBuilder {
                 let vr = (r + n - root) % n;
                 if vr < stride && vr + stride < n {
                     let peer = (vr + stride + root) % n;
-                    vec![Op::Send { to: peer, tag, buf, offset: 0, len }]
+                    vec![Op::Send {
+                        to: peer,
+                        tag,
+                        buf,
+                        offset: 0,
+                        len,
+                    }]
                 } else if (stride..2 * stride).contains(&vr) && vr < n {
                     let peer = (vr - stride + root) % n;
-                    vec![Op::Recv { from: peer, tag, buf, offset: 0, len }]
+                    vec![Op::Recv {
+                        from: peer,
+                        tag,
+                        buf,
+                        offset: 0,
+                        len,
+                    }]
                 } else {
                     vec![]
                 }
@@ -168,10 +240,22 @@ impl JobBuilder {
                 let vr = (r + n - root) % n;
                 if vr % (2 * stride) == stride {
                     let peer = (vr - stride + root) % n;
-                    vec![Op::Send { to: peer, tag: tag + k, buf, offset: 0, len }]
+                    vec![Op::Send {
+                        to: peer,
+                        tag: tag + k,
+                        buf,
+                        offset: 0,
+                        len,
+                    }]
                 } else if vr.is_multiple_of(2 * stride) && vr + stride < n {
                     let peer = (vr + stride + root) % n;
-                    vec![Op::Recv { from: peer, tag: tag + k, buf: scratch, offset: 0, len }]
+                    vec![Op::Recv {
+                        from: peer,
+                        tag: tag + k,
+                        buf: scratch,
+                        offset: 0,
+                        len,
+                    }]
                 } else {
                     vec![]
                 }
@@ -216,8 +300,20 @@ impl JobBuilder {
             self.step_all(|r| {
                 let peer = r ^ stride;
                 vec![
-                    Op::Send { to: peer, tag, buf, offset: 0, len },
-                    Op::Recv { from: peer, tag, buf: scratch, offset: 0, len },
+                    Op::Send {
+                        to: peer,
+                        tag,
+                        buf,
+                        offset: 0,
+                        len,
+                    },
+                    Op::Recv {
+                        from: peer,
+                        tag,
+                        buf: scratch,
+                        offset: 0,
+                        len,
+                    },
                 ]
             });
             self.compute_all(cost);
@@ -244,8 +340,20 @@ impl JobBuilder {
         let offs = offsets.clone();
         self.step_all(|r| {
             vec![
-                Op::Send { to: r, tag: tag_self, buf: sbuf, offset: 0, len: counts_v[r] },
-                Op::Recv { from: r, tag: tag_self, buf: rbuf, offset: offs[r], len: counts_v[r] },
+                Op::Send {
+                    to: r,
+                    tag: tag_self,
+                    buf: sbuf,
+                    offset: 0,
+                    len: counts_v[r],
+                },
+                Op::Recv {
+                    from: r,
+                    tag: tag_self,
+                    buf: rbuf,
+                    offset: offs[r],
+                    len: counts_v[r],
+                },
             ]
         });
         // n-1 ring steps; piece (r - s) travels rightward. After the first
@@ -263,8 +371,20 @@ impl JobBuilder {
                     (rbuf, offs[send_piece])
                 };
                 vec![
-                    Op::Send { to: (r + 1) % n, tag, buf: sb, offset: so, len: counts_v[send_piece] },
-                    Op::Recv { from: (r + n - 1) % n, tag, buf: rbuf, offset: offs[recv_piece], len: counts_v[recv_piece] },
+                    Op::Send {
+                        to: (r + 1) % n,
+                        tag,
+                        buf: sb,
+                        offset: so,
+                        len: counts_v[send_piece],
+                    },
+                    Op::Recv {
+                        from: (r + n - 1) % n,
+                        tag,
+                        buf: rbuf,
+                        offset: offs[recv_piece],
+                        len: counts_v[recv_piece],
+                    },
                 ]
             });
         }
@@ -304,7 +424,13 @@ impl JobBuilder {
                 });
                 ops
             } else {
-                vec![Op::Recv { from: 0, tag, buf: scratch, offset: 0, len: counts_v[r] }]
+                vec![Op::Recv {
+                    from: 0,
+                    tag,
+                    buf: scratch,
+                    offset: 0,
+                    len: counts_v[r],
+                }]
             }
         });
     }
@@ -361,8 +487,20 @@ impl JobBuilder {
             let stride = 1usize << k;
             self.step_all(|r| {
                 vec![
-                    Op::Send { to: (r + stride) % n, tag, buf: 0, offset: 0, len: 8 },
-                    Op::Recv { from: (r + n - stride) % n, tag, buf: 0, offset: 0, len: 8 },
+                    Op::Send {
+                        to: (r + stride) % n,
+                        tag,
+                        buf: 0,
+                        offset: 0,
+                        len: 8,
+                    },
+                    Op::Recv {
+                        from: (r + n - stride) % n,
+                        tag,
+                        buf: 0,
+                        offset: 0,
+                        len: 8,
+                    },
                 ]
             });
         }

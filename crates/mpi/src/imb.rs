@@ -251,16 +251,12 @@ mod tests {
 
     #[test]
     fn kernels_complete_with_two_ranks_per_node() {
-        for kernel in [ImbKernel::SendRecv, ImbKernel::Allreduce, ImbKernel::Exchange] {
-            let r = run_imb(
-                &cfg(PinningMode::Cached),
-                2,
-                2,
-                kernel,
-                128 * 1024,
-                1,
-                2,
-            );
+        for kernel in [
+            ImbKernel::SendRecv,
+            ImbKernel::Allreduce,
+            ImbKernel::Exchange,
+        ] {
+            let r = run_imb(&cfg(PinningMode::Cached), 2, 2, kernel, 128 * 1024, 1, 2);
             assert!(r.avg_iter > SimDuration::ZERO, "{}", kernel.name());
         }
     }

@@ -102,7 +102,10 @@ mod tests {
         let c = IsConfig::c4_scaled();
         assert_eq!(c.bytes_per_rank(), 16 << 20);
         assert_eq!(c.bytes_per_peer(), 4 << 20);
-        assert!(c.bytes_per_peer() >= 32 * 1024, "must stay rendezvous-sized");
+        assert!(
+            c.bytes_per_peer() >= 32 * 1024,
+            "must stay rendezvous-sized"
+        );
     }
 
     #[test]

@@ -231,7 +231,9 @@ impl ScriptProcess {
             }
             if self.outstanding.is_empty() && self.computes_outstanding == 0 {
                 // Purely local step (e.g. realloc only): complete at once.
-                self.recorder.borrow_mut()[self.rank].step_done.push(ctx.now());
+                self.recorder.borrow_mut()[self.rank]
+                    .step_done
+                    .push(ctx.now());
                 self.step += 1;
                 continue;
             }
@@ -244,7 +246,9 @@ impl ScriptProcess {
 
     fn maybe_advance(&mut self, ctx: &mut Ctx<'_>) {
         if self.outstanding.is_empty() && self.computes_outstanding == 0 {
-            self.recorder.borrow_mut()[self.rank].step_done.push(ctx.now());
+            self.recorder.borrow_mut()[self.rank]
+                .step_done
+                .push(ctx.now());
             self.step += 1;
             self.issue_step(ctx);
         }

@@ -288,7 +288,11 @@ mod tests {
         let mut c = CpuCore::new();
         c.submit(
             t(0),
-            Work { duration: d(5), priority: Priority::Kernel, payload: "pin1" },
+            Work {
+                duration: d(5),
+                priority: Priority::Kernel,
+                payload: "pin1",
+            },
         )
         .unwrap();
         c.submit(t(0), task(5, "syscall"));
@@ -298,7 +302,11 @@ mod tests {
         assert!(c
             .submit(
                 t(5),
-                Work { duration: d(5), priority: Priority::Kernel, payload: "pin2" },
+                Work {
+                    duration: d(5),
+                    priority: Priority::Kernel,
+                    payload: "pin2"
+                },
             )
             .is_none());
         let next = c.resume(t(5)).unwrap();
@@ -315,7 +323,11 @@ mod tests {
         c.submit(t(0), task(10, "compute")).unwrap();
         c.submit(
             t(1),
-            Work { duration: d(2), priority: Priority::Kernel, payload: "pin" },
+            Work {
+                duration: d(2),
+                priority: Priority::Kernel,
+                payload: "pin",
+            },
         );
         c.submit(t(2), bh(1, "rx"));
         c.submit(t(2), task(10, "compute2"));

@@ -212,11 +212,7 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimDuration underflow"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
     }
 }
 
@@ -360,7 +356,10 @@ impl Bandwidth {
     /// Panics if `elapsed` is zero.
     #[inline]
     pub fn measured(bytes: u64, elapsed: SimDuration) -> Bandwidth {
-        assert!(!elapsed.is_zero(), "cannot measure bandwidth over zero time");
+        assert!(
+            !elapsed.is_zero(),
+            "cannot measure bandwidth over zero time"
+        );
         Bandwidth::from_bytes_per_sec(bytes as f64 * 1e9 / elapsed.as_nanos() as f64)
     }
 }

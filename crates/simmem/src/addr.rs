@@ -52,12 +52,7 @@ impl VirtAddr {
     /// Round up to the next page boundary.
     #[inline]
     pub fn page_ceil(self) -> VirtAddr {
-        VirtAddr(
-            self.0
-                .checked_add(PAGE_SIZE - 1)
-                .expect("address overflow")
-                & !(PAGE_SIZE - 1),
-        )
+        VirtAddr(self.0.checked_add(PAGE_SIZE - 1).expect("address overflow") & !(PAGE_SIZE - 1))
     }
 
     /// Offset this address by `n` bytes.
@@ -231,10 +226,7 @@ mod tests {
     #[test]
     fn page_chunks_cover_exactly() {
         let chunks: Vec<_> = page_chunks(VirtAddr(0x1f00), 0x300).collect();
-        assert_eq!(
-            chunks,
-            vec![(Vpn(1), 0xf00, 0x100), (Vpn(2), 0, 0x200)]
-        );
+        assert_eq!(chunks, vec![(Vpn(1), 0xf00, 0x100), (Vpn(2), 0, 0x200)]);
         let total: u64 = chunks.iter().map(|c| c.2).sum();
         assert_eq!(total, 0x300);
         assert_eq!(page_chunks(VirtAddr(0), 0).count(), 0);

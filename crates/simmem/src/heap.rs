@@ -67,11 +67,7 @@ impl SimHeap {
         let is_mmap = rounded >= self.mmap_threshold;
         let addr = if is_mmap {
             mem.mmap(self.space, rounded, Prot::ReadWrite)?
-        } else if let Some(addr) = self
-            .arena_free
-            .get_mut(&rounded)
-            .and_then(Vec::pop)
-        {
+        } else if let Some(addr) = self.arena_free.get_mut(&rounded).and_then(Vec::pop) {
             addr
         } else {
             mem.mmap(self.space, rounded, Prot::ReadWrite)?

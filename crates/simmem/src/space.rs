@@ -303,7 +303,10 @@ impl Memory {
         events: &mut Vec<NotifierEvent>,
     ) -> Result<Pfn, MemError> {
         let space = self.space(id)?;
-        let vma = space.vmas.find(vpn).ok_or(MemError::BadAddress(vpn.base()))?;
+        let vma = space
+            .vmas
+            .find(vpn)
+            .ok_or(MemError::BadAddress(vpn.base()))?;
         if write && !vma.prot.writable() {
             return Err(MemError::ProtectionFault(vpn.base()));
         }
@@ -334,9 +337,13 @@ impl Memory {
                         let new = self.frames.alloc()?;
                         self.frames.copy_frame(pfn, new);
                         self.frames.put(pfn);
-                        self.space_mut(id)?
-                            .ptes
-                            .insert(vpn.0, Pte::Resident { pfn: new, cow: false });
+                        self.space_mut(id)?.ptes.insert(
+                            vpn.0,
+                            Pte::Resident {
+                                pfn: new,
+                                cow: false,
+                            },
+                        );
                         if notifier {
                             events.push(NotifierEvent {
                                 space: id,
@@ -371,7 +378,8 @@ impl Memory {
         let mut cursor = 0usize;
         for (vpn, off, n) in page_chunks(addr, data.len() as u64) {
             let pfn = self.fault(id, vpn, true, &mut events)?;
-            self.frames.write(pfn, off, &data[cursor..cursor + n as usize]);
+            self.frames
+                .write(pfn, off, &data[cursor..cursor + n as usize]);
             cursor += n as usize;
         }
         Ok(events)
@@ -383,7 +391,8 @@ impl Memory {
         let mut cursor = 0usize;
         for (vpn, off, n) in page_chunks(addr, buf.len() as u64) {
             let pfn = self.fault(id, vpn, false, &mut events)?;
-            self.frames.read(pfn, off, &mut buf[cursor..cursor + n as usize]);
+            self.frames
+                .read(pfn, off, &mut buf[cursor..cursor + n as usize]);
             cursor += n as usize;
         }
         debug_assert!(events.is_empty(), "read faults never invalidate");
@@ -643,7 +652,8 @@ mod tests {
         let mut m = memory();
         let a = m.create_space();
         let addr = m.mmap(a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
-        m.write(a, addr, &vec![7u8; 4 * PAGE_SIZE as usize]).unwrap();
+        m.write(a, addr, &vec![7u8; 4 * PAGE_SIZE as usize])
+            .unwrap();
         assert_eq!(m.frames().allocated(), 4);
         m.munmap(a, addr, 4 * PAGE_SIZE).unwrap();
         assert_eq!(m.frames().allocated(), 0);
@@ -806,7 +816,8 @@ mod tests {
         let mut m = memory();
         let a = m.create_space();
         let addr = m.mmap(a, 8 * PAGE_SIZE, Prot::ReadWrite).unwrap();
-        m.write(a, addr, &vec![3u8; 8 * PAGE_SIZE as usize]).unwrap();
+        m.write(a, addr, &vec![3u8; 8 * PAGE_SIZE as usize])
+            .unwrap();
         m.swap_out(a, addr.vpn()).unwrap();
         m.register_notifier(a).unwrap();
         let ev = m.destroy_space(a).unwrap();
@@ -814,7 +825,10 @@ mod tests {
         assert_eq!(ev[0].cause, InvalidateCause::Release);
         assert_eq!(m.frames().allocated(), 0);
         assert_eq!(m.swap_used(), 0);
-        assert!(matches!(m.mmap(a, 1, Prot::ReadWrite), Err(MemError::NoSuchSpace)));
+        assert!(matches!(
+            m.mmap(a, 1, Prot::ReadWrite),
+            Err(MemError::NoSuchSpace)
+        ));
     }
 
     #[test]
@@ -851,7 +865,9 @@ mod tests {
     fn mmap_at_rejects_busy_range() {
         let mut m = memory();
         let a = m.create_space();
-        let x = m.mmap_at(a, VirtAddr(0x10_0000), PAGE_SIZE * 2, Prot::ReadWrite).unwrap();
+        let x = m
+            .mmap_at(a, VirtAddr(0x10_0000), PAGE_SIZE * 2, Prot::ReadWrite)
+            .unwrap();
         assert!(matches!(
             m.mmap_at(a, x, PAGE_SIZE, Prot::ReadWrite),
             Err(MemError::RangeBusy(_))

@@ -83,12 +83,7 @@ impl VmaSet {
         }
         // A candidate overlapper either starts inside `range` or is the
         // last VMA starting before it.
-        if self
-            .map
-            .range(range.start.0..range.end.0)
-            .next()
-            .is_some()
-        {
+        if self.map.range(range.start.0..range.end.0).next().is_some() {
             return true;
         }
         if let Some((_, vma)) = self.map.range(..range.start.0).next_back() {

@@ -1,41 +1,84 @@
-//! Property-based tests for the memory substrate.
+//! Randomized property tests for the memory substrate.
 //!
 //! Strategy: drive [`simmem`] with random operation sequences and check it
 //! against trivially-correct reference models (a `HashMap<u64, u8>` for
-//! byte contents, a `HashSet<u64>` for mapped pages). The substrate must
-//! agree with the reference regardless of interleaving, and global
-//! invariants (frame accounting, pin balance) must hold at every step.
+//! byte contents). The substrate must agree with the reference regardless
+//! of interleaving, and global invariants (frame accounting, pin balance)
+//! must hold at every step.
+//!
+//! Sequences are generated from a fixed-seed [`simcore::SimRng`], so every
+//! run explores the same inputs — failures reproduce by case index.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use proptest::prelude::*;
+use simcore::SimRng;
 use simmem::{InvalidateCause, MemError, Memory, Prot, VirtAddr, PAGE_SIZE};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Mmap { pages: u64 },
-    Munmap { alloc_idx: usize },
-    Write { alloc_idx: usize, offset: u64, len: u64, byte: u8 },
-    Read { alloc_idx: usize, offset: u64, len: u64 },
-    Pin { alloc_idx: usize },
+    Mmap {
+        pages: u64,
+    },
+    Munmap {
+        alloc_idx: usize,
+    },
+    Write {
+        alloc_idx: usize,
+        offset: u64,
+        len: u64,
+        byte: u8,
+    },
+    Read {
+        alloc_idx: usize,
+        offset: u64,
+        len: u64,
+    },
+    Pin {
+        alloc_idx: usize,
+    },
     UnpinOldest,
-    SwapOut { alloc_idx: usize, page: u64 },
-    Migrate { alloc_idx: usize, page: u64 },
+    SwapOut {
+        alloc_idx: usize,
+        page: u64,
+    },
+    Migrate {
+        alloc_idx: usize,
+        page: u64,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..16).prop_map(|pages| Op::Mmap { pages }),
-        any::<usize>().prop_map(|alloc_idx| Op::Munmap { alloc_idx }),
-        (any::<usize>(), 0u64..8192, 1u64..4096, any::<u8>())
-            .prop_map(|(alloc_idx, offset, len, byte)| Op::Write { alloc_idx, offset, len, byte }),
-        (any::<usize>(), 0u64..8192, 1u64..4096)
-            .prop_map(|(alloc_idx, offset, len)| Op::Read { alloc_idx, offset, len }),
-        any::<usize>().prop_map(|alloc_idx| Op::Pin { alloc_idx }),
-        Just(Op::UnpinOldest),
-        (any::<usize>(), 0u64..16).prop_map(|(alloc_idx, page)| Op::SwapOut { alloc_idx, page }),
-        (any::<usize>(), 0u64..16).prop_map(|(alloc_idx, page)| Op::Migrate { alloc_idx, page }),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.below(8) {
+        0 => Op::Mmap {
+            pages: rng.range_inclusive(1, 15),
+        },
+        1 => Op::Munmap {
+            alloc_idx: rng.next_u64() as usize,
+        },
+        2 => Op::Write {
+            alloc_idx: rng.next_u64() as usize,
+            offset: rng.below(8192),
+            len: rng.range_inclusive(1, 4095),
+            byte: rng.next_u64() as u8,
+        },
+        3 => Op::Read {
+            alloc_idx: rng.next_u64() as usize,
+            offset: rng.below(8192),
+            len: rng.range_inclusive(1, 4095),
+        },
+        4 => Op::Pin {
+            alloc_idx: rng.next_u64() as usize,
+        },
+        5 => Op::UnpinOldest,
+        6 => Op::SwapOut {
+            alloc_idx: rng.next_u64() as usize,
+            page: rng.below(16),
+        },
+        _ => Op::Migrate {
+            alloc_idx: rng.next_u64() as usize,
+            page: rng.below(16),
+        },
+    }
 }
 
 struct Alloc {
@@ -43,136 +86,174 @@ struct Alloc {
     pages: u64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Reads agree with a reference byte map under arbitrary interleavings of
+/// mmap/munmap/write/swap/migrate/pin, and frame/pin accounting balances
+/// at the end.
+#[test]
+fn memory_agrees_with_reference_model() {
+    let mut rng = SimRng::new(0x5133_0001);
+    for case in 0..64 {
+        let nops = rng.range_inclusive(1, 119);
+        let ops: Vec<Op> = (0..nops).map(|_| random_op(&mut rng)).collect();
+        run_reference_case(case, ops);
+    }
+}
 
-    /// Reads agree with a reference byte map under arbitrary interleavings
-    /// of mmap/munmap/write/swap/migrate/pin, and frame/pin accounting
-    /// balances at the end.
-    #[test]
-    fn memory_agrees_with_reference_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        let mut mem = Memory::new(2048, 1024);
-        let space = mem.create_space();
-        mem.register_notifier(space).unwrap();
+fn run_reference_case(case: u32, ops: Vec<Op>) {
+    let mut mem = Memory::new(2048, 1024);
+    let space = mem.create_space();
+    mem.register_notifier(space).unwrap();
 
-        let mut allocs: Vec<Alloc> = Vec::new();
-        // Reference: absolute byte address -> value (unwritten bytes are 0).
-        let mut reference: HashMap<u64, u8> = HashMap::new();
-        let mut pins: Vec<Vec<simmem::Pfn>> = Vec::new();
-        let mut pinned_pages_by_addr: HashSet<u64> = HashSet::new();
+    let mut allocs: Vec<Alloc> = Vec::new();
+    // Reference: absolute byte address -> value (unwritten bytes are 0).
+    let mut reference: HashMap<u64, u8> = HashMap::new();
+    let mut pins: Vec<Vec<simmem::Pfn>> = Vec::new();
 
-        for op in ops {
-            match op {
-                Op::Mmap { pages } => {
-                    let addr = mem.mmap(space, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
-                    allocs.push(Alloc { addr, pages });
+    for op in ops {
+        match op {
+            Op::Mmap { pages } => {
+                let addr = mem.mmap(space, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
+                allocs.push(Alloc { addr, pages });
+            }
+            Op::Munmap { alloc_idx } => {
+                if allocs.is_empty() {
+                    continue;
                 }
-                Op::Munmap { alloc_idx } => {
-                    if allocs.is_empty() { continue; }
-                    let a = allocs.remove(alloc_idx % allocs.len());
-                    // Pinned pages inside are allowed: frames survive pins.
-                    let evs = mem.munmap(space, a.addr, a.pages * PAGE_SIZE).unwrap();
-                    for ev in &evs {
-                        prop_assert_eq!(ev.cause, InvalidateCause::Unmap);
-                    }
-                    for b in a.addr.0..a.addr.0 + a.pages * PAGE_SIZE {
-                        reference.remove(&b);
-                    }
+                let a = allocs.remove(alloc_idx % allocs.len());
+                // Pinned pages inside are allowed: frames survive pins.
+                let evs = mem.munmap(space, a.addr, a.pages * PAGE_SIZE).unwrap();
+                for ev in &evs {
+                    assert_eq!(ev.cause, InvalidateCause::Unmap, "case {case}");
                 }
-                Op::Write { alloc_idx, offset, len, byte } => {
-                    if allocs.is_empty() { continue; }
-                    let a = &allocs[alloc_idx % allocs.len()];
-                    let size = a.pages * PAGE_SIZE;
-                    let offset = offset % size;
-                    let len = len.min(size - offset);
-                    let data = vec![byte; len as usize];
-                    mem.write(space, a.addr.add(offset), &data).unwrap();
-                    for i in 0..len {
-                        reference.insert(a.addr.0 + offset + i, byte);
-                    }
-                }
-                Op::Read { alloc_idx, offset, len } => {
-                    if allocs.is_empty() { continue; }
-                    let a = &allocs[alloc_idx % allocs.len()];
-                    let size = a.pages * PAGE_SIZE;
-                    let offset = offset % size;
-                    let len = len.min(size - offset);
-                    let mut buf = vec![0u8; len as usize];
-                    mem.read(space, a.addr.add(offset), &mut buf).unwrap();
-                    for (i, &b) in buf.iter().enumerate() {
-                        let expect = reference.get(&(a.addr.0 + offset + i as u64)).copied().unwrap_or(0);
-                        prop_assert_eq!(b, expect, "mismatch at offset {}", offset + i as u64);
-                    }
-                }
-                Op::Pin { alloc_idx } => {
-                    if allocs.is_empty() { continue; }
-                    let a = &allocs[alloc_idx % allocs.len()];
-                    let (pfns, _ev) = mem.pin_user_pages(space, a.addr, a.pages * PAGE_SIZE).unwrap();
-                    prop_assert_eq!(pfns.len() as u64, a.pages);
-                    for p in 0..a.pages {
-                        pinned_pages_by_addr.insert(a.addr.0 + p * PAGE_SIZE);
-                    }
-                    pins.push(pfns);
-                }
-                Op::UnpinOldest => {
-                    if let Some(pfns) = pins.pop() {
-                        mem.unpin_pages(&pfns);
-                    }
-                }
-                Op::SwapOut { alloc_idx, page } => {
-                    if allocs.is_empty() { continue; }
-                    let a = &allocs[alloc_idx % allocs.len()];
-                    let page = page % a.pages;
-                    let vaddr = a.addr.add(page * PAGE_SIZE);
-                    match mem.swap_out(space, vaddr.vpn()) {
-                        Ok(_) | Err(MemError::NotResident(_)) | Err(MemError::PagePinned(_)) => {}
-                        Err(e) => prop_assert!(false, "unexpected swap_out error {e}"),
-                    }
-                }
-                Op::Migrate { alloc_idx, page } => {
-                    if allocs.is_empty() { continue; }
-                    let a = &allocs[alloc_idx % allocs.len()];
-                    let page = page % a.pages;
-                    let vaddr = a.addr.add(page * PAGE_SIZE);
-                    match mem.migrate(space, vaddr.vpn()) {
-                        Ok(_) | Err(MemError::NotResident(_)) | Err(MemError::PagePinned(_)) => {}
-                        Err(e) => prop_assert!(false, "unexpected migrate error {e}"),
-                    }
+                for b in a.addr.0..a.addr.0 + a.pages * PAGE_SIZE {
+                    reference.remove(&b);
                 }
             }
-            // Invariant: pinned page count equals the pins we hold.
-            let held: usize = pins.iter().map(Vec::len).sum();
-            prop_assert_eq!(mem.frames().pinned_pages(), held);
+            Op::Write {
+                alloc_idx,
+                offset,
+                len,
+                byte,
+            } => {
+                if allocs.is_empty() {
+                    continue;
+                }
+                let a = &allocs[alloc_idx % allocs.len()];
+                let size = a.pages * PAGE_SIZE;
+                let offset = offset % size;
+                let len = len.min(size - offset);
+                let data = vec![byte; len as usize];
+                mem.write(space, a.addr.add(offset), &data).unwrap();
+                for i in 0..len {
+                    reference.insert(a.addr.0 + offset + i, byte);
+                }
+            }
+            Op::Read {
+                alloc_idx,
+                offset,
+                len,
+            } => {
+                if allocs.is_empty() {
+                    continue;
+                }
+                let a = &allocs[alloc_idx % allocs.len()];
+                let size = a.pages * PAGE_SIZE;
+                let offset = offset % size;
+                let len = len.min(size - offset);
+                let mut buf = vec![0u8; len as usize];
+                mem.read(space, a.addr.add(offset), &mut buf).unwrap();
+                for (i, &b) in buf.iter().enumerate() {
+                    let expect = reference
+                        .get(&(a.addr.0 + offset + i as u64))
+                        .copied()
+                        .unwrap_or(0);
+                    assert_eq!(
+                        b,
+                        expect,
+                        "case {case}: mismatch at offset {}",
+                        offset + i as u64
+                    );
+                }
+            }
+            Op::Pin { alloc_idx } => {
+                if allocs.is_empty() {
+                    continue;
+                }
+                let a = &allocs[alloc_idx % allocs.len()];
+                let (pfns, _ev) = mem
+                    .pin_user_pages(space, a.addr, a.pages * PAGE_SIZE)
+                    .unwrap();
+                assert_eq!(pfns.len() as u64, a.pages, "case {case}");
+                pins.push(pfns);
+            }
+            Op::UnpinOldest => {
+                if let Some(pfns) = pins.pop() {
+                    mem.unpin_pages(&pfns);
+                }
+            }
+            Op::SwapOut { alloc_idx, page } => {
+                if allocs.is_empty() {
+                    continue;
+                }
+                let a = &allocs[alloc_idx % allocs.len()];
+                let page = page % a.pages;
+                let vaddr = a.addr.add(page * PAGE_SIZE);
+                match mem.swap_out(space, vaddr.vpn()) {
+                    Ok(_) | Err(MemError::NotResident(_)) | Err(MemError::PagePinned(_)) => {}
+                    Err(e) => panic!("case {case}: unexpected swap_out error {e}"),
+                }
+            }
+            Op::Migrate { alloc_idx, page } => {
+                if allocs.is_empty() {
+                    continue;
+                }
+                let a = &allocs[alloc_idx % allocs.len()];
+                let page = page % a.pages;
+                let vaddr = a.addr.add(page * PAGE_SIZE);
+                match mem.migrate(space, vaddr.vpn()) {
+                    Ok(_) | Err(MemError::NotResident(_)) | Err(MemError::PagePinned(_)) => {}
+                    Err(e) => panic!("case {case}: unexpected migrate error {e}"),
+                }
+            }
         }
-
-        // Teardown: release pins, unmap everything; all frames return.
-        for pfns in pins.drain(..) {
-            mem.unpin_pages(&pfns);
-        }
-        for a in allocs.drain(..) {
-            mem.munmap(space, a.addr, a.pages * PAGE_SIZE).unwrap();
-        }
-        prop_assert_eq!(mem.frames().allocated(), 0);
-        prop_assert_eq!(mem.frames().pinned_pages(), 0);
+        // Invariant: pinned page count equals the pins we hold.
+        let held: usize = pins.iter().map(Vec::len).sum();
+        assert_eq!(mem.frames().pinned_pages(), held, "case {case}");
     }
 
-    /// Data written before a fork is visible in both spaces; writes after
-    /// the fork are private to the writer, under random offsets/sizes.
-    #[test]
-    fn fork_cow_isolation(
-        pages in 1u64..8,
-        pre in any::<u8>(),
-        post_parent in any::<u8>(),
-        post_child in any::<u8>(),
-        offset in 0u64..4096,
-    ) {
+    // Teardown: release pins, unmap everything; all frames return.
+    for pfns in pins.drain(..) {
+        mem.unpin_pages(&pfns);
+    }
+    for a in allocs.drain(..) {
+        mem.munmap(space, a.addr, a.pages * PAGE_SIZE).unwrap();
+    }
+    assert_eq!(mem.frames().allocated(), 0, "case {case}");
+    assert_eq!(mem.frames().pinned_pages(), 0, "case {case}");
+}
+
+/// Data written before a fork is visible in both spaces; writes after the
+/// fork are private to the writer, under random offsets/sizes.
+#[test]
+fn fork_cow_isolation() {
+    let mut rng = SimRng::new(0x5133_0002);
+    for case in 0..32 {
+        let pages = rng.range_inclusive(1, 7);
+        let pre = rng.next_u64() as u8;
+        let post_parent = rng.next_u64() as u8;
+        let post_child = rng.next_u64() as u8;
+        let offset = rng.below(4096);
+
         let mut mem = Memory::new(256, 64);
         let parent = mem.create_space();
-        let addr = mem.mmap(parent, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let addr = mem
+            .mmap(parent, pages * PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
         let size = pages * PAGE_SIZE;
         let offset = offset % size;
         let len = (size - offset).min(2 * PAGE_SIZE);
-        mem.write(parent, addr.add(offset), &vec![pre; len as usize]).unwrap();
+        mem.write(parent, addr.add(offset), &vec![pre; len as usize])
+            .unwrap();
 
         let child = mem.fork_space(parent).unwrap();
 
@@ -180,43 +261,58 @@ proptest! {
         for space in [parent, child] {
             let mut buf = vec![0u8; len as usize];
             mem.read(space, addr.add(offset), &mut buf).unwrap();
-            prop_assert!(buf.iter().all(|&b| b == pre));
+            assert!(buf.iter().all(|&b| b == pre), "case {case}");
         }
 
         // Post-fork writes are isolated.
-        mem.write(parent, addr.add(offset), &vec![post_parent; len as usize]).unwrap();
-        mem.write(child, addr.add(offset), &vec![post_child; len as usize]).unwrap();
+        mem.write(parent, addr.add(offset), &vec![post_parent; len as usize])
+            .unwrap();
+        mem.write(child, addr.add(offset), &vec![post_child; len as usize])
+            .unwrap();
         let mut buf = vec![0u8; len as usize];
         mem.read(parent, addr.add(offset), &mut buf).unwrap();
-        prop_assert!(buf.iter().all(|&b| b == post_parent));
+        assert!(buf.iter().all(|&b| b == post_parent), "case {case}");
         mem.read(child, addr.add(offset), &mut buf).unwrap();
-        prop_assert!(buf.iter().all(|&b| b == post_child));
+        assert!(buf.iter().all(|&b| b == post_child), "case {case}");
     }
+}
 
-    /// A pinned frame's bytes are stable across any sequence of swap-out
-    /// attempts, migrations and the final munmap; the driver's phys reads
-    /// see exactly what the app wrote at pin time.
-    #[test]
-    fn pinned_frames_are_immovable(pages in 1u64..8, fill in any::<u8>()) {
+/// A pinned frame's bytes are stable across any sequence of swap-out
+/// attempts, migrations and the final munmap; the driver's phys reads see
+/// exactly what the app wrote at pin time.
+#[test]
+fn pinned_frames_are_immovable() {
+    let mut rng = SimRng::new(0x5133_0003);
+    for case in 0..32 {
+        let pages = rng.range_inclusive(1, 7);
+        let fill = rng.next_u64() as u8;
+
         let mut mem = Memory::new(256, 64);
         let space = mem.create_space();
         mem.register_notifier(space).unwrap();
         let addr = mem.mmap(space, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
-        mem.write(space, addr, &vec![fill; (pages * PAGE_SIZE) as usize]).unwrap();
+        mem.write(space, addr, &vec![fill; (pages * PAGE_SIZE) as usize])
+            .unwrap();
         let (pfns, _) = mem.pin_user_pages(space, addr, pages * PAGE_SIZE).unwrap();
 
         for p in 0..pages {
             let vpn = addr.add(p * PAGE_SIZE).vpn();
-            prop_assert!(matches!(mem.swap_out(space, vpn), Err(MemError::PagePinned(_))));
-            prop_assert!(matches!(mem.migrate(space, vpn), Err(MemError::PagePinned(_))));
+            assert!(
+                matches!(mem.swap_out(space, vpn), Err(MemError::PagePinned(_))),
+                "case {case}"
+            );
+            assert!(
+                matches!(mem.migrate(space, vpn), Err(MemError::PagePinned(_))),
+                "case {case}"
+            );
         }
         mem.munmap(space, addr, pages * PAGE_SIZE).unwrap();
         for &pfn in &pfns {
             let mut buf = [0u8; 64];
             mem.read_phys(pfn, 512, &mut buf);
-            prop_assert!(buf.iter().all(|&b| b == fill));
+            assert!(buf.iter().all(|&b| b == fill), "case {case}");
         }
         mem.unpin_pages(&pfns);
-        prop_assert_eq!(mem.frames().allocated(), 0);
+        assert_eq!(mem.frames().allocated(), 0, "case {case}");
     }
 }

@@ -264,7 +264,12 @@ mod tests {
         let mut last = SimTime::ZERO;
         for _ in 0..100 {
             last = deliver(n.transmit(SimTime::ZERO, NodeId(0), NodeId(2), full));
-            last = last.max(deliver(n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), full)));
+            last = last.max(deliver(n.transmit(
+                SimTime::ZERO,
+                NodeId(1),
+                NodeId(2),
+                full,
+            )));
         }
         let bw = Bandwidth::measured(200 * full, last.duration_since(SimTime::ZERO));
         // Aggregate is capped at one egress line rate.

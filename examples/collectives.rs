@@ -40,10 +40,7 @@ fn main() {
         assert!(rec.failures.is_empty());
         let addr = rec.buffer_addrs[buf];
         let got = cl.read_proc(openmx_core::ProcId(rank as u32), addr, len);
-        let ok = got
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v == (i as u8) ^ 0xC3);
+        let ok = got.iter().enumerate().all(|(i, &v)| v == (i as u8) ^ 0xC3);
         assert!(ok, "rank {rank}: broadcast payload mismatch");
     }
     println!("bcast:       every rank verified the root's 1 MiB pattern");

@@ -93,7 +93,13 @@ fn run(use_notifiers: bool) -> bool {
     let mut cfg = OpenMxConfig::with_mode(PinningMode::Cached);
     cfg.use_mmu_notifiers = use_notifiers;
     let mut cl = Cluster::new(cfg, 2);
-    cl.add_process(0, Box::new(Sender { buf: VirtAddr(0), round: 0 }));
+    cl.add_process(
+        0,
+        Box::new(Sender {
+            buf: VirtAddr(0),
+            round: 0,
+        }),
+    );
     cl.add_process(
         1,
         Box::new(Receiver {
@@ -122,7 +128,10 @@ fn main() {
             "fresh (unexpected)"
         }
     );
-    assert!(corrupted, "expected the stale cache to corrupt the transfer");
+    assert!(
+        corrupted,
+        "expected the stale cache to corrupt the transfer"
+    );
 
     println!("with MMU notifiers (the paper's design):");
     let corrupted = run(true);

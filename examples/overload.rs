@@ -8,8 +8,8 @@
 
 use openmx_core::{OpenMxConfig, PinningMode};
 use openmx_mpi::collectives::JobBuilder;
-use openmx_mpi::script::Op;
 use openmx_mpi::run_job;
+use openmx_mpi::script::Op;
 use simcore::Bandwidth;
 
 fn stream(colocate: bool, ioat: bool) -> (f64, u64, u64) {
@@ -25,8 +25,20 @@ fn stream(colocate: bool, ioat: bool) -> (f64, u64, u64) {
     for _ in 0..=msgs {
         let tag = b.tag();
         b.step_all(|r| match r {
-            0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len: msg }],
-            1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len: msg }],
+            0 => vec![Op::Send {
+                to: 1,
+                tag,
+                buf: sbuf,
+                offset: 0,
+                len: msg,
+            }],
+            1 => vec![Op::Recv {
+                from: 0,
+                tag,
+                buf: rbuf,
+                offset: 0,
+                len: msg,
+            }],
             _ => vec![],
         });
     }
@@ -51,9 +63,7 @@ fn main() {
         ("interrupt core + I/OAT copy offload", true, true),
     ] {
         let (mbps, misses, stalls) = stream(colocate, ioat);
-        println!(
-            "{name:<40} {mbps:>6.0} MB/s   misses: {misses:<5} 1s-stalls: {stalls}"
-        );
+        println!("{name:<40} {mbps:>6.0} MB/s   misses: {misses:<5} 1s-stalls: {stalls}");
     }
     println!(
         "\nThe receive bottom half outranks the task that pins pages (§4.3):\n\

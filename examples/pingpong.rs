@@ -30,7 +30,11 @@ fn main() {
                 base = Some(bw);
                 String::new()
             }
-            Some(b) => format!("  ({:+.1}% vs {})", 100.0 * (bw / b - 1.0), PinningMode::PinPerComm.label()),
+            Some(b) => format!(
+                "  ({:+.1}% vs {})",
+                100.0 * (bw / b - 1.0),
+                PinningMode::PinPerComm.label()
+            ),
         };
         println!(
             "{:<18} {:>12.1} {:>12.0}{delta}",

@@ -60,10 +60,7 @@ impl Process for Receiver {
                 let got = ctx.read_buf(self.buf, LEN);
                 let ok = got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8);
                 assert!(ok, "payload corrupted in flight");
-                println!(
-                    "[{}] receiver: {n} bytes delivered and verified",
-                    ctx.now()
-                );
+                println!("[{}] receiver: {n} bytes delivered and verified", ctx.now());
                 ctx.stop();
             }
             other => panic!("unexpected event {other:?}"),

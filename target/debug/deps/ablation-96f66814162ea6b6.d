@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-96f66814162ea6b6.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-96f66814162ea6b6: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

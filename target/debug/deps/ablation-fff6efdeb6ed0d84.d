@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-fff6efdeb6ed0d84.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-fff6efdeb6ed0d84: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

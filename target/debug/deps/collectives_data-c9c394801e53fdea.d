@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/collectives_data-c9c394801e53fdea.d: tests/collectives_data.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives_data-c9c394801e53fdea.rmeta: tests/collectives_data.rs tests/common/mod.rs Cargo.toml
+
+tests/collectives_data.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

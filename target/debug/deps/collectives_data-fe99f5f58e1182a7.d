@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/collectives_data-fe99f5f58e1182a7.d: tests/collectives_data.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/collectives_data-fe99f5f58e1182a7: tests/collectives_data.rs tests/common/mod.rs
+
+tests/collectives_data.rs:
+tests/common/mod.rs:

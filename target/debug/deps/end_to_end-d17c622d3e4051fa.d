@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/end_to_end-d17c622d3e4051fa.d: tests/end_to_end.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/end_to_end-d17c622d3e4051fa: tests/end_to_end.rs tests/common/mod.rs
+
+tests/end_to_end.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2de2d56f286e35ed.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2de2d56f286e35ed: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-56b9403db1f67353.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-56b9403db1f67353: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2f2f18983a513885.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2f2f18983a513885: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

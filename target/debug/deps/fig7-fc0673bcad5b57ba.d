@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-fc0673bcad5b57ba.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-fc0673bcad5b57ba: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

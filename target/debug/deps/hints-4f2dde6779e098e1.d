@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hints-4f2dde6779e098e1.d: crates/core/tests/hints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhints-4f2dde6779e098e1.rmeta: crates/core/tests/hints.rs Cargo.toml
+
+crates/core/tests/hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

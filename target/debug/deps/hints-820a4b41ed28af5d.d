@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hints-820a4b41ed28af5d.d: crates/core/tests/hints.rs
+
+/root/repo/target/debug/deps/hints-820a4b41ed28af5d: crates/core/tests/hints.rs
+
+crates/core/tests/hints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_trace-10822c133b326a2d.d: crates/core/tests/obs_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_trace-10822c133b326a2d.rmeta: crates/core/tests/obs_trace.rs Cargo.toml
+
+crates/core/tests/obs_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-8cca6e5155fc365f.d: crates/core/tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-8cca6e5155fc365f: crates/core/tests/obs_trace.rs
+
+crates/core/tests/obs_trace.rs:

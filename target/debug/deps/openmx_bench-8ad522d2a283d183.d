@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/openmx_bench-8ad522d2a283d183.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmx_bench-8ad522d2a283d183.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/pingpong.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/openmx_mpi-8ceb196f12a32a21.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+/root/repo/target/debug/deps/libopenmx_mpi-8ceb196f12a32a21.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+/root/repo/target/debug/deps/libopenmx_mpi-8ceb196f12a32a21.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/imb.rs:
+crates/mpi/src/npb.rs:
+crates/mpi/src/script.rs:

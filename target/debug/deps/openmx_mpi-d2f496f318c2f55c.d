@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/openmx_mpi-d2f496f318c2f55c.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmx_mpi-d2f496f318c2f55c.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/imb.rs:
+crates/mpi/src/npb.rs:
+crates/mpi/src/script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmx_mpi-d358ea86c88afe3c.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+/root/repo/target/debug/deps/openmx_mpi-d358ea86c88afe3c: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/imb.rs:
+crates/mpi/src/npb.rs:
+crates/mpi/src/script.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmx_repro-829509dd5ccd148c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmx_repro-829509dd5ccd148c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/openmx_repro-9caacbcc312870ac.d: src/lib.rs
+
+/root/repo/target/debug/deps/libopenmx_repro-9caacbcc312870ac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libopenmx_repro-9caacbcc312870ac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openmx_repro-ab66d4730a85a873.d: src/lib.rs
+
+/root/repo/target/debug/deps/openmx_repro-ab66d4730a85a873: src/lib.rs
+
+src/lib.rs:

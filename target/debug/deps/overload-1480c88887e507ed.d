@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overload-1480c88887e507ed.d: crates/bench/src/bin/overload.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverload-1480c88887e507ed.rmeta: crates/bench/src/bin/overload.rs Cargo.toml
+
+crates/bench/src/bin/overload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

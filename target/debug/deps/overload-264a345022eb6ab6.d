@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overload-264a345022eb6ab6.d: crates/bench/src/bin/overload.rs
+
+/root/repo/target/debug/deps/overload-264a345022eb6ab6: crates/bench/src/bin/overload.rs
+
+crates/bench/src/bin/overload.rs:

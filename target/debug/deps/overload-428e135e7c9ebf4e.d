@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overload-428e135e7c9ebf4e.d: crates/bench/src/bin/overload.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverload-428e135e7c9ebf4e.rmeta: crates/bench/src/bin/overload.rs Cargo.toml
+
+crates/bench/src/bin/overload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overload-b2c57f0835c17f95.d: crates/bench/src/bin/overload.rs
+
+/root/repo/target/debug/deps/overload-b2c57f0835c17f95: crates/bench/src/bin/overload.rs
+
+crates/bench/src/bin/overload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pingpong-b8c434ebec3fe4ff.d: crates/core/tests/pingpong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpingpong-b8c434ebec3fe4ff.rmeta: crates/core/tests/pingpong.rs Cargo.toml
+
+crates/core/tests/pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pingpong-d16c49e9d800e14f.d: crates/core/tests/pingpong.rs
+
+/root/repo/target/debug/deps/pingpong-d16c49e9d800e14f: crates/core/tests/pingpong.rs
+
+crates/core/tests/pingpong.rs:

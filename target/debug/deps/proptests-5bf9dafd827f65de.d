@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-5bf9dafd827f65de.d: tests/proptests.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5bf9dafd827f65de.rmeta: tests/proptests.rs tests/common/mod.rs Cargo.toml
+
+tests/proptests.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptests-7c403d8391bf83e0.d: tests/proptests.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/proptests-7c403d8391bf83e0: tests/proptests.rs tests/common/mod.rs
+
+tests/proptests.rs:
+tests/common/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-842f8e95757ff631.d: crates/simmem/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-842f8e95757ff631.rmeta: crates/simmem/tests/proptests.rs Cargo.toml
+
+crates/simmem/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d977073c89bf1689.d: crates/simmem/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d977073c89bf1689: crates/simmem/tests/proptests.rs
+
+crates/simmem/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-750027ebde292dff.d: crates/core/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-750027ebde292dff.rmeta: crates/core/tests/protocol.rs Cargo.toml
+
+crates/core/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

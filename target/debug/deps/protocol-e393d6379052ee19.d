@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-e393d6379052ee19.d: crates/core/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-e393d6379052ee19: crates/core/tests/protocol.rs
+
+crates/core/tests/protocol.rs:

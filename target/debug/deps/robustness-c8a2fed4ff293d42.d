@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/robustness-c8a2fed4ff293d42.d: tests/robustness.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/robustness-c8a2fed4ff293d42: tests/robustness.rs tests/common/mod.rs
+
+tests/robustness.rs:
+tests/common/mod.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simmem-0786a17562d5eb46.d: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+/root/repo/target/debug/deps/simmem-0786a17562d5eb46: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+crates/simmem/src/lib.rs:
+crates/simmem/src/addr.rs:
+crates/simmem/src/error.rs:
+crates/simmem/src/frame.rs:
+crates/simmem/src/heap.rs:
+crates/simmem/src/space.rs:
+crates/simmem/src/vma.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simmem-85d3d95c2af44aef.d: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimmem-85d3d95c2af44aef.rmeta: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs Cargo.toml
+
+crates/simmem/src/lib.rs:
+crates/simmem/src/addr.rs:
+crates/simmem/src/error.rs:
+crates/simmem/src/frame.rs:
+crates/simmem/src/heap.rs:
+crates/simmem/src/space.rs:
+crates/simmem/src/vma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

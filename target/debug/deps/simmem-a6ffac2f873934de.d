@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simmem-a6ffac2f873934de.d: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+/root/repo/target/debug/deps/libsimmem-a6ffac2f873934de.rlib: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+/root/repo/target/debug/deps/libsimmem-a6ffac2f873934de.rmeta: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+crates/simmem/src/lib.rs:
+crates/simmem/src/addr.rs:
+crates/simmem/src/error.rs:
+crates/simmem/src/frame.rs:
+crates/simmem/src/heap.rs:
+crates/simmem/src/space.rs:
+crates/simmem/src/vma.rs:

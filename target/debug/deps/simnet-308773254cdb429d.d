@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simnet-308773254cdb429d.d: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimnet-308773254cdb429d.rmeta: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/frame.rs:
+crates/simnet/src/ioat.rs:
+crates/simnet/src/net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

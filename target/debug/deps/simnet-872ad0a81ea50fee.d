@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simnet-872ad0a81ea50fee.d: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+/root/repo/target/debug/deps/libsimnet-872ad0a81ea50fee.rlib: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+/root/repo/target/debug/deps/libsimnet-872ad0a81ea50fee.rmeta: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/frame.rs:
+crates/simnet/src/ioat.rs:
+crates/simnet/src/net.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simnet-d4405d59d314a758.d: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+/root/repo/target/debug/deps/simnet-d4405d59d314a758: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/frame.rs:
+crates/simnet/src/ioat.rs:
+crates/simnet/src/net.rs:

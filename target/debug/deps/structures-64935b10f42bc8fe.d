@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structures-64935b10f42bc8fe.d: crates/bench/benches/structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructures-64935b10f42bc8fe.rmeta: crates/bench/benches/structures.rs Cargo.toml
+
+crates/bench/benches/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4346983f689b0c3f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4346983f689b0c3f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-871ae496722b3a83.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-871ae496722b3a83: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-156b32608795b0cf.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-156b32608795b0cf: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5b99ec5bd62226aa.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5b99ec5bd62226aa: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-46447350f369491c.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-46447350f369491c: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-a1d6e9d975b757bc.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-a1d6e9d975b757bc: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

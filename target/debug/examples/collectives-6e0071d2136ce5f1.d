@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collectives-6e0071d2136ce5f1.d: examples/collectives.rs
+
+/root/repo/target/debug/examples/collectives-6e0071d2136ce5f1: examples/collectives.rs
+
+examples/collectives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collectives-8d717c656a496904.d: examples/collectives.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollectives-8d717c656a496904.rmeta: examples/collectives.rs Cargo.toml
+
+examples/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/invalidation-1498bf783a1647a5.d: examples/invalidation.rs
+
+/root/repo/target/debug/examples/invalidation-1498bf783a1647a5: examples/invalidation.rs
+
+examples/invalidation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/invalidation-656120be9a5d3435.d: examples/invalidation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinvalidation-656120be9a5d3435.rmeta: examples/invalidation.rs Cargo.toml
+
+examples/invalidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overload-31355787e4b7ff72.d: examples/overload.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverload-31355787e4b7ff72.rmeta: examples/overload.rs Cargo.toml
+
+examples/overload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

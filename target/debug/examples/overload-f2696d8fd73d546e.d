@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload-f2696d8fd73d546e.d: examples/overload.rs
+
+/root/repo/target/debug/examples/overload-f2696d8fd73d546e: examples/overload.rs
+
+examples/overload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pingpong-29a58e65615fb7d5.d: examples/pingpong.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpingpong-29a58e65615fb7d5.rmeta: examples/pingpong.rs Cargo.toml
+
+examples/pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

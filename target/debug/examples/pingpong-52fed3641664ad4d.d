@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pingpong-52fed3641664ad4d.d: examples/pingpong.rs
+
+/root/repo/target/debug/examples/pingpong-52fed3641664ad4d: examples/pingpong.rs
+
+examples/pingpong.rs:

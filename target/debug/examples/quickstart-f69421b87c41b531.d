@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f69421b87c41b531.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f69421b87c41b531: examples/quickstart.rs
+
+examples/quickstart.rs:

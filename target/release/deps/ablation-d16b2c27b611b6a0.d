@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d16b2c27b611b6a0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d16b2c27b611b6a0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

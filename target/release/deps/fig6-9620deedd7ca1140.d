@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-9620deedd7ca1140.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-9620deedd7ca1140: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

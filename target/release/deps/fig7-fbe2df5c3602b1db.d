@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-fbe2df5c3602b1db.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-fbe2df5c3602b1db: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

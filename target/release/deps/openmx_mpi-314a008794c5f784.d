@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/openmx_mpi-314a008794c5f784.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+/root/repo/target/release/deps/libopenmx_mpi-314a008794c5f784.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+/root/repo/target/release/deps/libopenmx_mpi-314a008794c5f784.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/imb.rs crates/mpi/src/npb.rs crates/mpi/src/script.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/imb.rs:
+crates/mpi/src/npb.rs:
+crates/mpi/src/script.rs:

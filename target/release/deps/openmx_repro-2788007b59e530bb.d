@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/openmx_repro-2788007b59e530bb.d: src/lib.rs
+
+/root/repo/target/release/deps/libopenmx_repro-2788007b59e530bb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libopenmx_repro-2788007b59e530bb.rmeta: src/lib.rs
+
+src/lib.rs:

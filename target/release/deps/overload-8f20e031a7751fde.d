@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overload-8f20e031a7751fde.d: crates/bench/src/bin/overload.rs
+
+/root/repo/target/release/deps/overload-8f20e031a7751fde: crates/bench/src/bin/overload.rs
+
+crates/bench/src/bin/overload.rs:

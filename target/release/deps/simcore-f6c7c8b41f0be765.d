@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/simcore-f6c7c8b41f0be765.d: crates/simcore/src/lib.rs crates/simcore/src/cpu.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-f6c7c8b41f0be765.rlib: crates/simcore/src/lib.rs crates/simcore/src/cpu.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-f6c7c8b41f0be765.rmeta: crates/simcore/src/lib.rs crates/simcore/src/cpu.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/cpu.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

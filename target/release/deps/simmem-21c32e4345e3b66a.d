@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simmem-21c32e4345e3b66a.d: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+/root/repo/target/release/deps/libsimmem-21c32e4345e3b66a.rlib: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+/root/repo/target/release/deps/libsimmem-21c32e4345e3b66a.rmeta: crates/simmem/src/lib.rs crates/simmem/src/addr.rs crates/simmem/src/error.rs crates/simmem/src/frame.rs crates/simmem/src/heap.rs crates/simmem/src/space.rs crates/simmem/src/vma.rs
+
+crates/simmem/src/lib.rs:
+crates/simmem/src/addr.rs:
+crates/simmem/src/error.rs:
+crates/simmem/src/frame.rs:
+crates/simmem/src/heap.rs:
+crates/simmem/src/space.rs:
+crates/simmem/src/vma.rs:

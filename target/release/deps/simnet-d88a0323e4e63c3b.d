@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/simnet-d88a0323e4e63c3b.d: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+/root/repo/target/release/deps/libsimnet-d88a0323e4e63c3b.rlib: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+/root/repo/target/release/deps/libsimnet-d88a0323e4e63c3b.rmeta: crates/simnet/src/lib.rs crates/simnet/src/frame.rs crates/simnet/src/ioat.rs crates/simnet/src/net.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/frame.rs:
+crates/simnet/src/ioat.rs:
+crates/simnet/src/net.rs:

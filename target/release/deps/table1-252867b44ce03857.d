@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-252867b44ce03857.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-252867b44ce03857: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-580bad62205703ea.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-580bad62205703ea: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

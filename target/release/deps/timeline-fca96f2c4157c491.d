@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timeline-fca96f2c4157c491.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/release/deps/timeline-fca96f2c4157c491: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

@@ -19,7 +19,12 @@ fn bcast_delivers_roots_bytes_to_everyone() {
         let mut b = JobBuilder::new(ranks);
         let buf = b.alloc(len, |r| Some(if r == 2 % ranks { 0xAB } else { 0x00 }));
         b.bcast(2 % ranks, buf, len);
-        let (mut cl, records) = run_job(&cfg(PinningMode::OverlappedCached), 2, ranks.div_ceil(2), b.scripts);
+        let (mut cl, records) = run_job(
+            &cfg(PinningMode::OverlappedCached),
+            2,
+            ranks.div_ceil(2),
+            b.scripts,
+        );
         for (rank, rec) in records.iter().enumerate() {
             assert!(rec.failures.is_empty(), "rank {rank}: {:?}", rec.failures);
             let got = cl.read_proc(ProcId(rank as u32), rec.buffer_addrs[buf], len);
@@ -103,7 +108,11 @@ fn sendrecv_ring_rotates_payloads() {
         assert!(rec.failures.is_empty());
         let got = cl.read_proc(ProcId(rank as u32), rec.buffer_addrs[rbuf], len);
         let left = (rank + n - 1) % n;
-        assert_eq!(got, pattern(left as u8, len), "rank {rank} gets left's data");
+        assert_eq!(
+            got,
+            pattern(left as u8, len),
+            "rank {rank} gets left's data"
+        );
     }
 }
 

@@ -15,8 +15,20 @@ pub fn verified_stream(cfg: &OpenMxConfig, len: u64, msgs: u32) -> (Cluster, Vec
     for _ in 0..msgs {
         let tag = b.tag();
         b.step_all(|r| match r {
-            0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len }],
-            1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len }],
+            0 => vec![Op::Send {
+                to: 1,
+                tag,
+                buf: sbuf,
+                offset: 0,
+                len,
+            }],
+            1 => vec![Op::Recv {
+                from: 0,
+                tag,
+                buf: rbuf,
+                offset: 0,
+                len,
+            }],
             _ => vec![],
         });
     }

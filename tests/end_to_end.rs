@@ -37,7 +37,7 @@ fn eager_and_rendezvous_boundary_sizes() {
         32 * 1024,     // smallest rendezvous
         64 * 1024,     // exactly one pull block
         64 * 1024 + 1,
-        8968,  // exactly one jumbo frame payload
+        8968, // exactly one jumbo frame payload
         8969,
         128 * 1024 + 13,
     ] {
@@ -86,8 +86,20 @@ fn receive_truncation_delivers_posted_length() {
     let rbuf = b.alloc(recv_len, |_| None);
     let tag = b.tag();
     b.step_all(|r| match r {
-        0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len: send_len }],
-        1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len: recv_len }],
+        0 => vec![Op::Send {
+            to: 1,
+            tag,
+            buf: sbuf,
+            offset: 0,
+            len: send_len,
+        }],
+        1 => vec![Op::Recv {
+            from: 0,
+            tag,
+            buf: rbuf,
+            offset: 0,
+            len: recv_len,
+        }],
         _ => vec![],
     });
     let (mut cl, records) = run_job(&cfg(PinningMode::OverlappedCached), 2, 1, b.scripts);

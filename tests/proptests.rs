@@ -1,58 +1,66 @@
-//! Workspace-level property tests: the full stack delivers arbitrary
-//! payload sizes intact under every pinning strategy, and the region
-//! layer's vectorial geometry is internally consistent.
+//! Workspace-level randomized property tests: the full stack delivers
+//! arbitrary payload sizes intact under every pinning strategy, and the
+//! region layer's vectorial geometry is internally consistent.
+//!
+//! Cases are generated from a fixed-seed [`simcore::SimRng`], so every run
+//! explores the same inputs — failures reproduce by case index.
 
 mod common;
 
 use common::cfg;
 use openmx_core::region::{DriverRegion, RegionLayout, Segment};
 use openmx_core::PinningMode;
-use proptest::prelude::*;
+use simcore::SimRng;
 use simmem::{Memory, Prot, PAGE_SIZE};
 
-fn any_mode() -> impl Strategy<Value = PinningMode> {
-    prop_oneof![
-        Just(PinningMode::PinPerComm),
-        Just(PinningMode::Permanent),
-        Just(PinningMode::Cached),
-        Just(PinningMode::Overlapped),
-        Just(PinningMode::OverlappedCached),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any message size in [1, 2 MiB], any mode, I/OAT on or off: the
-    /// bytes arrive intact and nothing fails or leaks pins.
-    #[test]
-    fn stream_integrity_any_size(
-        len in 1u64..2 * 1024 * 1024,
-        mode in any_mode(),
-        ioat in any::<bool>(),
-    ) {
+/// Any message size in [1, 2 MiB], any mode, I/OAT on or off: the bytes
+/// arrive intact and nothing fails or leaks pins.
+#[test]
+fn stream_integrity_any_size() {
+    let mut rng = SimRng::new(0x51e4_0001);
+    let modes = PinningMode::all();
+    for case in 0..24 {
+        let len = rng.range_inclusive(1, 2 * 1024 * 1024 - 1);
+        let mode = modes[rng.below(modes.len() as u64) as usize];
+        let ioat = rng.chance(0.5);
         let mut c = cfg(mode);
         c.use_ioat = ioat;
         let (cl, _) = common::verified_stream(&c, len, 1);
-        prop_assert_eq!(cl.counters().get("requests_failed"), 0);
+        assert_eq!(
+            cl.counters().get("requests_failed"),
+            0,
+            "case {case}: len={len} mode={mode:?} ioat={ioat}"
+        );
         if !mode.caches() {
             for node in 0..2 {
                 let nc = cl.node_counters(node);
-                prop_assert_eq!(nc.get("pin_pages"), nc.get("unpin_pages"));
+                assert_eq!(
+                    nc.get("pin_pages"),
+                    nc.get("unpin_pages"),
+                    "case {case}: len={len} mode={mode:?} node={node}"
+                );
             }
         }
     }
+}
 
-    /// Vectorial regions: chunk iteration covers exactly the requested
-    /// byte range, in order, and region read/write round-trips match the
-    /// application's view through its page tables.
-    #[test]
-    fn region_geometry_and_roundtrip(
-        seg_lens in prop::collection::vec(1u64..3 * PAGE_SIZE, 1..5),
-        gaps in prop::collection::vec(0u64..2 * PAGE_SIZE, 1..5),
-        offset_frac in 0.0f64..1.0,
-        len_frac in 0.01f64..1.0,
-    ) {
+/// Vectorial regions: chunk iteration covers exactly the requested byte
+/// range, in order, and region read/write round-trips match the
+/// application's view through its page tables.
+#[test]
+fn region_geometry_and_roundtrip() {
+    let mut rng = SimRng::new(0x51e4_0002);
+    for case in 0..32 {
+        let nsegs = rng.range_inclusive(1, 4) as usize;
+        let seg_lens: Vec<u64> = (0..nsegs)
+            .map(|_| rng.range_inclusive(1, 3 * PAGE_SIZE - 1))
+            .collect();
+        let gaps: Vec<u64> = (0..rng.range_inclusive(1, 4))
+            .map(|_| rng.below(2 * PAGE_SIZE))
+            .collect();
+        let offset_frac = rng.unit_f64();
+        let len_frac = rng.unit_f64().max(0.01);
+
         let mut mem = Memory::new(256, 0);
         let space = mem.create_space();
         // Build segments with gaps between them.
@@ -61,11 +69,14 @@ proptest! {
             let gap = gaps[i % gaps.len()];
             let span = sl + gap + 2 * PAGE_SIZE;
             let base = mem.mmap(space, span, Prot::ReadWrite).unwrap();
-            segments.push(Segment { addr: base.add(gap % PAGE_SIZE), len: sl });
+            segments.push(Segment {
+                addr: base.add(gap % PAGE_SIZE),
+                len: sl,
+            });
         }
         let layout = RegionLayout::new(&segments);
         let total = layout.total_len();
-        prop_assert_eq!(total, seg_lens.iter().sum::<u64>());
+        assert_eq!(total, seg_lens.iter().sum::<u64>(), "case {case}");
 
         // Chunks cover [offset, offset+len) exactly, in order.
         let offset = ((total - 1) as f64 * offset_frac) as u64;
@@ -80,7 +91,7 @@ proptest! {
             last_idx = Some(idx);
             covered += n;
         });
-        prop_assert_eq!(covered, len);
+        assert_eq!(covered, len, "case {case}");
 
         // Pin everything and round-trip bytes through the driver view.
         let mut region = DriverRegion::new(space, &segments);
@@ -89,7 +100,7 @@ proptest! {
         region.write(&mut mem, offset, &data).unwrap();
         let mut back = vec![0u8; len as usize];
         region.read(&mem, offset, &mut back).unwrap();
-        prop_assert_eq!(&back, &data);
+        assert_eq!(&back, &data, "case {case}");
 
         // The application sees the same bytes through its page tables.
         let mut cursor = offset;
@@ -102,15 +113,15 @@ proptest! {
             let in_seg = ((seg.len - cursor) as usize).min(data.len() - checked);
             let mut app = vec![0u8; in_seg];
             mem.read(space, seg.addr.add(cursor), &mut app).unwrap();
-            prop_assert_eq!(&app[..], &data[checked..checked + in_seg]);
+            assert_eq!(&app[..], &data[checked..checked + in_seg], "case {case}");
             checked += in_seg;
             cursor = 0;
             if checked == data.len() {
                 break;
             }
         }
-        prop_assert_eq!(checked, data.len());
+        assert_eq!(checked, data.len(), "case {case}");
         region.unpin_all(&mut mem);
-        prop_assert_eq!(mem.frames().pinned_pages(), 0);
+        assert_eq!(mem.frames().pinned_pages(), 0, "case {case}");
     }
 }

@@ -33,8 +33,20 @@ fn pinned_page_pressure_evicts_idle_regions() {
         for (i, &sbuf) in sbufs.iter().enumerate() {
             let tag = (round * bufs + i) as u32 + 100;
             b.step_all(move |r| match r {
-                0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len }],
-                1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len }],
+                0 => vec![Op::Send {
+                    to: 1,
+                    tag,
+                    buf: sbuf,
+                    offset: 0,
+                    len,
+                }],
+                1 => vec![Op::Recv {
+                    from: 0,
+                    tag,
+                    buf: rbuf,
+                    offset: 0,
+                    len,
+                }],
                 _ => vec![],
             });
         }
@@ -93,7 +105,12 @@ fn invalid_region_aborts_request_with_error() {
     for mode in [PinningMode::PinPerComm, PinningMode::Overlapped] {
         let failed = Rc::new(Cell::new(false));
         let mut cl = Cluster::new(cfg(mode), 2);
-        cl.add_process(0, Box::new(BadSender { failed: failed.clone() }));
+        cl.add_process(
+            0,
+            Box::new(BadSender {
+                failed: failed.clone(),
+            }),
+        );
         cl.add_process(1, Box::new(IdleReceiver));
         cl.run(Some(simcore::SimTime::from_nanos(30_000_000_000)));
         assert!(failed.get(), "{mode:?}: request must abort");
@@ -113,13 +130,31 @@ fn buffer_churn_with_cache_stays_correct() {
     for i in 0..rounds {
         let tag = 50 + i;
         b.step_all(|r| match r {
-            0 => vec![Op::Send { to: 1, tag, buf: sbuf, offset: 0, len }],
-            1 => vec![Op::Recv { from: 0, tag, buf: rbuf, offset: 0, len }],
+            0 => vec![Op::Send {
+                to: 1,
+                tag,
+                buf: sbuf,
+                offset: 0,
+                len,
+            }],
+            1 => vec![Op::Recv {
+                from: 0,
+                tag,
+                buf: rbuf,
+                offset: 0,
+                len,
+            }],
             _ => vec![],
         });
         // Sender frees and re-mallocs its buffer (and must re-fill it,
         // since the fresh pages are zero).
-        b.step_all(|r| if r == 0 { vec![Op::Realloc { buf: sbuf }] } else { vec![] });
+        b.step_all(|r| {
+            if r == 0 {
+                vec![Op::Realloc { buf: sbuf }]
+            } else {
+                vec![]
+            }
+        });
         // Refill happens implicitly: Realloc keeps the init pattern? No —
         // ScriptProcess does not refill; so send rounds after the first
         // would carry zeros. To keep verification meaningful we stop the
@@ -183,7 +218,12 @@ fn large_transfer_through_tiny_frame_pool_fails_gracefully() {
     }
 
     let mut cl = Cluster::new(c, 2);
-    cl.add_process(0, Box::new(OomSender { failed: failed.clone() }));
+    cl.add_process(
+        0,
+        Box::new(OomSender {
+            failed: failed.clone(),
+        }),
+    );
     cl.add_process(1, Box::new(IdleReceiver));
     cl.run(Some(simcore::SimTime::from_nanos(30_000_000_000)));
     assert!(failed.get(), "OOM during pin must abort the request");
