@@ -1,0 +1,254 @@
+//! Chaos soak harness: hostile-fabric sweeps asserting protocol liveness.
+//!
+//! Each run streams verified payloads between two ranks through a fabric
+//! with injected faults (bursty loss, reordering, duplication, or all at
+//! once) and classifies the outcome:
+//!
+//! * **intact** — every rank finished and every received byte matches,
+//! * **failed cleanly** — at least one request errored through the normal
+//!   completion path (the application saw it; nothing is stuck silently),
+//! * **hung** — a rank neither finished nor observed a failure: the
+//!   protocol lost liveness. The soak treats this as a hard error.
+//!
+//! The sweep axes (seeds × profiles × message sizes) and the adaptive-vs-
+//! fixed retransmission comparison are driven by the `chaos` binary.
+
+use openmx_core::{OpenMxConfig, PinningMode, ProcId};
+use openmx_mpi::collectives::JobBuilder;
+use openmx_mpi::{run_job, Op};
+use simcore::SimDuration;
+use simnet::{FaultConfig, FaultProfile, GilbertElliott};
+
+/// How one chaos run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// All ranks finished and the payload verified byte-for-byte.
+    Intact,
+    /// Requests failed, but through the completion path — the run
+    /// terminated and the application observed every error.
+    FailedCleanly,
+    /// A rank neither finished nor saw a failure: liveness lost.
+    Hung,
+}
+
+/// Counters harvested from one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Outcome classification.
+    pub verdict: Verdict,
+    /// Failure reasons observed across ranks (empty when intact).
+    pub failures: Vec<&'static str>,
+    /// Retransmissions / re-requests the protocol fired.
+    pub retransmits: u64,
+    /// Duplicate frames the protocol received and discarded.
+    pub dup_frames_rx: u64,
+    /// Faults the fabric injected (loss, duplication, reordering).
+    pub faults_injected: u64,
+    /// Frames the fabric dropped in the bursty-loss bad state.
+    pub frames_burst_lost: u64,
+    /// Frames the fabric duplicated.
+    pub frames_duplicated: u64,
+    /// Frames the fabric delivered out of order.
+    pub frames_reordered: u64,
+}
+
+/// The soak's fault-profile axis: every hostile behavior alone, then all
+/// of them together, each applied to both directions of the 0 ↔ 1 pair.
+pub fn profiles() -> Vec<(&'static str, FaultProfile)> {
+    let burst = FaultProfile {
+        burst: Some(GilbertElliott::bursty(0.05, 8.0)),
+        ..FaultProfile::default()
+    };
+    let reorder = FaultProfile {
+        reorder: 0.15,
+        reorder_jitter: SimDuration::from_micros(200),
+        ..FaultProfile::default()
+    };
+    let duplicate = FaultProfile {
+        duplicate: 0.10,
+        ..FaultProfile::default()
+    };
+    let combined = FaultProfile {
+        burst: Some(GilbertElliott::bursty(0.03, 4.0)),
+        reorder: 0.05,
+        reorder_jitter: SimDuration::from_micros(100),
+        duplicate: 0.05,
+        loss: 0.01,
+        ..FaultProfile::default()
+    };
+    vec![
+        ("burst-loss", burst),
+        ("reorder", reorder),
+        ("duplicate", duplicate),
+        ("combined", combined),
+    ]
+}
+
+/// Baseline config for chaos runs: overlapped+cached pinning, a short
+/// retransmission ceiling so lossy runs converge in reasonable virtual
+/// time, and the caller's seed / retry budget.
+pub fn chaos_cfg(seed: u64, max_retries: u32, adaptive: bool) -> OpenMxConfig {
+    let mut cfg = OpenMxConfig::with_mode(PinningMode::OverlappedCached);
+    cfg.seed = seed;
+    cfg.max_retries = max_retries;
+    cfg.adaptive_retransmit = adaptive;
+    cfg.retransmit_timeout = SimDuration::from_millis(50);
+    cfg
+}
+
+/// Run `msgs` verified messages of `len` bytes from rank 0 to rank 1 under
+/// `profile` on both directions of the link, and classify the outcome.
+/// Never panics on protocol failure — that is the point of the harness.
+pub fn run_chaos(cfg: &OpenMxConfig, profile: &FaultProfile, len: u64, msgs: u32) -> ChaosOutcome {
+    let mut cfg = cfg.clone();
+    let mut faults = FaultConfig::clean();
+    faults.set_link(0, 1, *profile);
+    faults.set_link(1, 0, *profile);
+    cfg.net.faults = faults;
+
+    let mut b = JobBuilder::new(2);
+    let sbuf = b.alloc(len, |_| Some(0x6b));
+    let rbuf = b.alloc(len, |_| None);
+    for _ in 0..msgs {
+        let tag = b.tag();
+        b.step_all(|r| match r {
+            0 => vec![Op::Send {
+                to: 1,
+                tag,
+                buf: sbuf,
+                offset: 0,
+                len,
+            }],
+            1 => vec![Op::Recv {
+                from: 0,
+                tag,
+                buf: rbuf,
+                offset: 0,
+                len,
+            }],
+            _ => vec![],
+        });
+    }
+    let (mut cl, records) = run_job(&cfg, 2, 1, b.scripts);
+
+    let failures: Vec<&'static str> = records
+        .iter()
+        .flat_map(|r| r.failures.iter().copied())
+        .collect();
+    let all_finished = records.iter().all(|r| r.finished.is_some());
+    let verdict = if failures.is_empty() && all_finished {
+        let addr = records[1].buffer_addrs[rbuf];
+        let got = cl.read_proc(ProcId(1), addr, len);
+        let intact = got.iter().enumerate().all(|(i, &v)| v == (i as u8) ^ 0x6b);
+        if intact {
+            Verdict::Intact
+        } else {
+            // Data corruption with no reported error is a silent failure.
+            Verdict::Hung
+        }
+    } else if failures.is_empty() {
+        // Unfinished ranks with no recorded failure anywhere: stuck.
+        Verdict::Hung
+    } else {
+        // Errors surfaced through the completion path. A peer of a failed
+        // transfer may legitimately not finish (its partner is gone) —
+        // what matters is that the run terminated and the error was seen.
+        Verdict::FailedCleanly
+    };
+
+    let m = cl.metrics();
+    let s = cl.net_stats();
+    ChaosOutcome {
+        verdict,
+        failures,
+        retransmits: m.retransmits(),
+        dup_frames_rx: m.dup_frames_rx(),
+        faults_injected: m.faults_injected(),
+        frames_burst_lost: s.frames_burst_lost,
+        frames_duplicated: s.frames_duplicated,
+        frames_reordered: s.frames_reordered,
+    }
+}
+
+/// One row of the adaptive-vs-fixed duplicate comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct DupComparison {
+    /// Duplicate frames received under the fixed 1 s timeout policy.
+    pub fixed_dups: u64,
+    /// Retransmissions fired under the fixed policy.
+    pub fixed_retransmits: u64,
+    /// Duplicate frames received under adaptive backoff.
+    pub adaptive_dups: u64,
+    /// Retransmissions fired under adaptive backoff.
+    pub adaptive_retransmits: u64,
+}
+
+/// Measure duplicate retransmissions under 5% loss (plus the delay jitter
+/// every congested fabric shows) with the fixed 1 s retransmission timer
+/// vs. the adaptive backoff policy, summed over `seeds` seeds.
+///
+/// The gap comes from the re-request guard: the static guard assumes the
+/// nominal round trip, so a frame delayed past it gets re-requested while
+/// still in flight and arrives twice. The adaptive guard tracks the
+/// measured RTO and leaves merely-late frames alone.
+pub fn duplicate_comparison(seeds: &[u64], len: u64, msgs: u32) -> DupComparison {
+    let mut out = DupComparison {
+        fixed_dups: 0,
+        fixed_retransmits: 0,
+        adaptive_dups: 0,
+        adaptive_retransmits: 0,
+    };
+    let profile = FaultProfile {
+        loss: 0.05,
+        reorder: 0.3,
+        reorder_jitter: SimDuration::from_micros(400),
+        ..FaultProfile::default()
+    };
+    for &seed in seeds {
+        let mut fixed = chaos_cfg(seed, 16, false);
+        // The fixed baseline is the pre-adaptive protocol: a flat 1 s
+        // retransmission timer and the static re-request guard.
+        fixed.retransmit_timeout = SimDuration::from_secs(1);
+        let f = run_chaos(&fixed, &profile, len, msgs);
+        assert_eq!(f.verdict, Verdict::Intact, "fixed run must survive 5% loss");
+        out.fixed_dups += f.dup_frames_rx;
+        out.fixed_retransmits += f.retransmits;
+
+        let adaptive = chaos_cfg(seed, 16, true);
+        let a = run_chaos(&adaptive, &profile, len, msgs);
+        assert_eq!(
+            a.verdict,
+            Verdict::Intact,
+            "adaptive run must survive 5% loss"
+        );
+        out.adaptive_dups += a.dup_frames_rx;
+        out.adaptive_retransmits += a.retransmits;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fabric_is_intact() {
+        let cfg = chaos_cfg(1, 16, true);
+        let out = run_chaos(&cfg, &FaultProfile::default(), 256 * 1024, 2);
+        assert_eq!(out.verdict, Verdict::Intact);
+        assert_eq!(out.faults_injected, 0);
+    }
+
+    #[test]
+    fn every_profile_survives_one_seed() {
+        for (name, p) in profiles() {
+            let cfg = chaos_cfg(7, 16, true);
+            // Enough frames that even the bursty model (which clusters its
+            // losses into rare bad-state visits) is virtually certain to
+            // fire at least once.
+            let out = run_chaos(&cfg, &p, 1 << 20, 4);
+            assert_ne!(out.verdict, Verdict::Hung, "{name} hung");
+            assert!(out.faults_injected > 0, "{name} injected nothing");
+        }
+    }
+}

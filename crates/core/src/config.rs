@@ -241,8 +241,24 @@ pub struct OpenMxConfig {
     /// Re-request missing pull frames as soon as higher-sequence frames
     /// arrive (paper §4.3 footnote), instead of waiting for the timeout.
     pub optimistic_rerequest: bool,
-    /// Retransmission timeout (paper: 1 s).
+    /// Retransmission timeout (paper: 1 s). With adaptive retransmission
+    /// this is the *ceiling*; the working timeout comes from the RTT
+    /// estimator and exponential backoff.
     pub retransmit_timeout: SimDuration,
+    /// Max protocol retries before a request fails with a clean error.
+    pub max_retries: u32,
+    /// Adapt retransmission timeouts to the measured fabric RTT
+    /// (Jacobson/Karels) with exponential backoff per attempt, instead of
+    /// re-arming the fixed `retransmit_timeout` every time.
+    pub adaptive_retransmit: bool,
+    /// Backoff multiplier per retry attempt (adaptive mode).
+    pub retransmit_backoff: f64,
+    /// Floor on the adaptive timeout: an RTT estimate from a fast fabric
+    /// must not retransmit so eagerly that queueing jitter looks like loss.
+    pub retransmit_min: SimDuration,
+    /// Deterministic jitter fraction applied to adaptive timeouts (breaks
+    /// retransmission synchronization between transfers).
+    pub retransmit_jitter: f64,
     /// Cores per node (application processes round-robin onto cores 1..;
     /// core 0 also runs the interrupt bottom half).
     pub cores_per_node: usize,
@@ -274,6 +290,11 @@ impl OpenMxConfig {
             colocate_with_bh: false,
             optimistic_rerequest: true,
             retransmit_timeout: SimDuration::from_secs(1),
+            max_retries: 16,
+            adaptive_retransmit: true,
+            retransmit_backoff: 2.0,
+            retransmit_min: SimDuration::from_millis(1),
+            retransmit_jitter: 0.1,
             cores_per_node: 4,
             frames_per_node: 64 * 1024, // 256 MiB per node
             swap_per_node: 16 * 1024,
@@ -287,6 +308,33 @@ impl OpenMxConfig {
             pinning: mode,
             ..Self::paper_default()
         }
+    }
+
+    /// Check the retransmission and fabric knobs are coherent. Called by
+    /// the engine at cluster construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_retries < 1 {
+            return Err("max_retries must be >= 1".to_string());
+        }
+        if self.retransmit_backoff < 1.0 {
+            return Err(format!(
+                "retransmit_backoff = {} must be >= 1.0",
+                self.retransmit_backoff
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.retransmit_jitter) {
+            return Err(format!(
+                "retransmit_jitter = {} not in [0, 1]",
+                self.retransmit_jitter
+            ));
+        }
+        if self.retransmit_min.is_zero() || self.retransmit_min > self.retransmit_timeout {
+            return Err(format!(
+                "retransmit_min = {} must be in (0, retransmit_timeout = {}]",
+                self.retransmit_min, self.retransmit_timeout
+            ));
+        }
+        self.net.validate()
     }
 }
 
@@ -339,6 +387,26 @@ mod tests {
         let p = CpuProfile::xeon_e5460();
         let cost = p.pin_unpin_cost(256);
         assert_eq!(cost.as_nanos(), 1_300 + 256 * 150);
+    }
+
+    #[test]
+    fn validation_accepts_defaults_and_rejects_bad_knobs() {
+        assert!(OpenMxConfig::paper_default().validate().is_ok());
+        let mut c = OpenMxConfig::paper_default();
+        c.max_retries = 0;
+        assert!(c.validate().is_err());
+        let mut c = OpenMxConfig::paper_default();
+        c.retransmit_backoff = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = OpenMxConfig::paper_default();
+        c.retransmit_jitter = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = OpenMxConfig::paper_default();
+        c.retransmit_min = c.retransmit_timeout + SimDuration::from_nanos(1);
+        assert!(c.validate().is_err());
+        let mut c = OpenMxConfig::paper_default();
+        c.net.loss_probability = 2.0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

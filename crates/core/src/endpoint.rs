@@ -89,14 +89,21 @@ impl EagerRx {
     /// when the message became complete.
     pub fn absorb(&mut self, frag: u32, offset: u64, data: &[u8]) -> bool {
         let idx = frag as usize;
-        if self.got[idx] {
+        let off = offset as usize;
+        // Out-of-range coordinates (corrupt or hostile frames) are dropped
+        // rather than panicking the whole engine.
+        if idx >= self.got.len() || off + data.len() > self.buffer.len() || self.got[idx] {
             return false;
         }
         self.got[idx] = true;
         self.frags_left -= 1;
-        let off = offset as usize;
         self.buffer[off..off + data.len()].copy_from_slice(data);
         self.frags_left == 0
+    }
+
+    /// Has this fragment already been absorbed? (Duplicate probe.)
+    pub fn has_frag(&self, frag: u32) -> bool {
+        self.got.get(frag as usize).copied().unwrap_or(false)
     }
 
     /// True when all fragments arrived.

@@ -79,7 +79,7 @@ impl Cluster {
                     );
                 }
             }
-            Work::EagerCopyOut { msg, req, .. } => self.on_eager_copy_out(msg, req),
+            Work::EagerCopyOut { owner, msg, req } => self.on_eager_copy_out(owner, msg, req),
             Work::EagerDeliver { msg, .. } => self.on_eager_deliver(msg),
             Work::ShmSend { msg, req, .. } => self.on_shm_send(msg, req),
             Work::ShmDeliver { msg, .. } => self.on_shm_deliver(msg),
@@ -274,6 +274,7 @@ impl Cluster {
         self.xfers.eager_tx.insert(
             msg,
             EagerTx {
+                req,
                 proc,
                 peer: self.addr_of(peer),
                 match_info,
@@ -281,6 +282,7 @@ impl Cluster {
                 data,
                 timer: None,
                 retries: 0,
+                sent_at: self.now,
             },
         );
         let frags = simnet::frame::frame_count(len, self.cfg.net.mtu);
@@ -297,33 +299,43 @@ impl Cluster {
         self.nodes[node].counters.bump("eager_msgs_tx");
     }
 
-    fn on_eager_copy_out(&mut self, msg: MsgId, req: RequestId) {
+    fn on_eager_copy_out(&mut self, owner: ProcId, msg: MsgId, req: RequestId) {
         self.transmit_eager_frames(msg);
-        let timeout = self.cfg.retransmit_timeout;
-        let timer = self.arm_timer(timeout, TimerToken::EagerRetrans(msg));
-        let tx = self.xfers.eager_tx.get_mut(&msg).expect("eager tx");
-        tx.timer = Some(timer);
-        let proc = tx.proc;
+        // The ack may already have raced the copy-out completion (duplicate
+        // delivery paths): only (re)arm if the tx state is still live.
+        if self.xfers.eager_tx.contains_key(&msg) {
+            let node = self.procs[owner.0 as usize].node;
+            let timeout = self.retrans_timeout(node, RetransKind::Eager, msg.0, 0);
+            let timer = self.arm_timer(timeout, TimerToken::EagerRetrans(msg));
+            let now = self.now;
+            if let Some(tx) = self.xfers.eager_tx.get_mut(&msg) {
+                tx.timer = Some(timer);
+                tx.sent_at = now;
+            }
+        }
         // MX eager semantics: the send completes locally once the data has
         // been copied out of the user buffer.
-        self.notify_app(proc, AppEvent::SendDone(req));
+        self.notify_app(owner, AppEvent::SendDone(req));
     }
 
     fn transmit_eager_frames(&mut self, msg: MsgId) {
-        let tx = self.xfers.eager_tx.get(&msg).expect("eager tx");
-        let (proc, peer, match_info, total) = (tx.proc, tx.peer, tx.match_info, tx.total_len);
         let chunk = self.frame_payload();
-        let frag_count = simnet::frame::frame_count(total, self.cfg.net.mtu) as u32;
+        let mtu = self.cfg.net.mtu;
+        let src = |proc| EndpointAddr { proc };
+        let Some(tx) = self.xfers.eager_tx.get(&msg) else {
+            return; // acked and reclaimed while this work was queued
+        };
+        let (proc, peer, match_info, total) = (tx.proc, tx.peer, tx.match_info, tx.total_len);
+        let frag_count = simnet::frame::frame_count(total, mtu) as u32;
         let mut frames = Vec::new();
         for frag in 0..frag_count {
             let offset = frag as u64 * chunk;
             let flen = chunk.min(total - offset);
-            let data =
-                self.xfers.eager_tx[&msg].data[offset as usize..(offset + flen) as usize].to_vec();
-            frames.push(self.frame(
-                proc,
-                peer,
-                WireMsg::Eager {
+            let data = tx.data[offset as usize..(offset + flen) as usize].to_vec();
+            frames.push(Frame {
+                src: src(proc),
+                dst: peer,
+                msg: WireMsg::Eager {
                     msg,
                     match_info,
                     frag,
@@ -332,7 +344,7 @@ impl Cluster {
                     offset,
                     data,
                 },
-            ));
+            });
         }
         for f in frames {
             self.transmit(f);
@@ -361,6 +373,11 @@ impl Cluster {
         }
         // Matched, still reassembling?
         if let Some(m) = self.xfers.eager_rx.get_mut(&msg) {
+            if m.rx.has_frag(frag) {
+                self.counters.bump("eager_dup_frags");
+                self.metrics.record_dup_frame();
+                return;
+            }
             if m.rx.absorb(frag, offset, &data) {
                 let cost = self.cfg.profile.memcpy_cost(m.copy_len);
                 let proc = m.proc;
@@ -370,6 +387,11 @@ impl Cluster {
         }
         // Unexpected, still reassembling?
         if let Some(u) = self.procs[idx].endpoint.unexpected_eager_mut(msg) {
+            if u.has_frag(frag) {
+                self.counters.bump("eager_dup_frags");
+                self.metrics.record_dup_frame();
+                return;
+            }
             u.absorb(frag, offset, &data);
             return;
         }
@@ -493,12 +515,16 @@ impl Cluster {
 
     fn send_rndv(&mut self, msg: MsgId) {
         let now = self.now;
-        let x = self.xfers.send.get_mut(&msg).expect("send xfer");
-        let (proc, peer, match_info, total_len) = (x.proc, x.peer, x.match_info, x.total_len);
+        let Some(x) = self.xfers.send.get_mut(&msg) else {
+            return; // transfer aborted while the pin waiter was queued
+        };
+        let (proc, peer, match_info, total_len, node, attempt) =
+            (x.proc, x.peer, x.match_info, x.total_len, x.node, x.retries);
         if x.rndv_sent_at.is_none() {
             x.rndv_sent_at = Some(now);
         }
-        self.cancel_timer(self.xfers.send[&msg].rndv_timer);
+        let old = x.rndv_timer.take();
+        self.cancel_timer(old);
         let f = self.frame(
             proc,
             peer,
@@ -509,9 +535,13 @@ impl Cluster {
             },
         );
         self.transmit(f);
-        let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::RndvRetrans(msg));
-        self.xfers.send.get_mut(&msg).expect("send xfer").rndv_timer = Some(t);
-        let node = self.xfers.send[&msg].node;
+        let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, attempt);
+        let t = self.arm_timer(timeout, TimerToken::RndvRetrans(msg));
+        if let Some(x) = self.xfers.send.get_mut(&msg) {
+            x.rndv_timer = Some(t);
+        } else {
+            self.cancel_timer(Some(t));
+        }
         self.emit(
             node,
             Some(proc),
@@ -530,30 +560,56 @@ impl Cluster {
         frame_mask: u64,
         xfer_len: u64,
     ) {
+        let now = self.now;
         let Some(x) = self.xfers.send.get_mut(&msg) else {
             self.counters.bump("pull_req_stale");
             return;
         };
-        if !x.pull_seen {
+        let first_pull = !x.pull_seen;
+        if first_pull {
             x.pull_seen = true;
             // The first pull request closes the overlap window: everything
             // between the rendezvous and here was free pinning time.
             if let Some(sent) = x.rndv_sent_at {
-                self.metrics
-                    .overlap_window
-                    .record(self.now.duration_since(sent));
+                let sample = now.duration_since(sent);
+                self.metrics.overlap_window.record(sample);
+                // Rendezvous -> first pull request is the protocol's control
+                // round trip — the RTT the retransmission policy adapts to.
+                // Karn's rule: skip retransmitted rendezvous.
+                if x.retries == 0 {
+                    self.rtt.observe(sample);
+                }
             }
-            let t = x.rndv_timer.take();
-            self.cancel_timer(t);
         }
-        let x = &self.xfers.send[&msg];
+        // Every pull request is sender-visible progress: reset the attempt
+        // counter and re-arm the rendezvous timer as a completion watchdog.
+        // (The old protocol cancelled it here with no replacement — a
+        // lost-forever notify then hung the sender permanently.)
+        let x = self.xfers.send.get_mut(&msg).expect("send xfer");
+        x.retries = 0;
+        let old = x.rndv_timer.take();
         let (node, region, proc, peer, total_len) = (x.node, x.region, x.proc, x.peer, x.total_len);
+        self.cancel_timer(old);
+        let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, 0);
+        let t = self.arm_timer(timeout, TimerToken::RndvRetrans(msg));
+        if let Some(x) = self.xfers.send.get_mut(&msg) {
+            x.rndv_timer = Some(t);
+        } else {
+            self.cancel_timer(Some(t));
+        }
         // The receiver may have truncated the transfer to its posted size.
         let limit = total_len.min(xfer_len);
         let chunk = self.frame_payload();
         let block_base = block as u64 * self.cfg.pull_block;
+        // Bogus or stale coordinates (e.g. a duplicate request racing a
+        // shrunk transfer) must not underflow the block math.
+        if block_base >= limit {
+            self.nodes[node].counters.bump("pull_req_bogus");
+            return;
+        }
         let block_len = self.cfg.pull_block.min(limit - block_base);
         let nframes = block_len.div_ceil(chunk) as u32;
+        debug_assert!(nframes <= 64, "pull block exceeds the frame mask");
         let mut replies = Vec::new();
         let mut missed = false;
         {
@@ -605,6 +661,8 @@ impl Cluster {
         let ack = self.frame(dst, src, WireMsg::NotifyAck { msg });
         self.transmit(ack);
         let Some(x) = self.xfers.send.remove(&msg) else {
+            self.counters.bump("notify_dup");
+            self.metrics.record_dup_frame();
             return; // duplicate notify
         };
         self.cancel_timer(x.rndv_timer);
@@ -732,9 +790,11 @@ impl Cluster {
                 received: 0,
                 requested: false,
                 requested_at: self.now,
+                rerequested: false,
             });
         }
-        let timer = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
+        let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, 0);
+        let timer = self.arm_timer(timeout, TimerToken::PullStall(pull));
         self.xfers.recv.insert(
             pull,
             RecvXfer {
@@ -852,6 +912,7 @@ impl Cluster {
             return;
         }
         blk.requested_at = self.now;
+        blk.rerequested = true;
         let (proc, peer, msg, xfer_len) = (x.proc, x.peer, x.msg, x.xfer_len);
         let f = self.frame(
             proc,
@@ -881,6 +942,8 @@ impl Cluster {
             || self.xfers.recv_by_msg.contains_key(&msg)
             || self.procs[idx].endpoint.has_unexpected(msg)
         {
+            self.counters.bump("rndv_dup");
+            self.metrics.record_dup_frame();
             return;
         }
         match self.procs[idx].endpoint.match_incoming(match_info) {
@@ -904,13 +967,25 @@ impl Cluster {
         data: Vec<u8>,
     ) {
         let Some(x) = self.xfers.recv.get_mut(&pull) else {
-            return; // stale (transfer already finished)
+            // Stale: the transfer already finished (e.g. a duplicated or
+            // badly delayed reply outliving its transaction).
+            self.counters.bump("pull_reply_stale");
+            self.metrics.record_dup_frame();
+            return;
         };
+        // Bounds before bit math: hostile coordinates must degrade, not
+        // panic with a shift overflow or out-of-range index.
+        if block as usize >= x.blocks.len() || frame >= x.blocks[block as usize].frames {
+            self.counters.bump("pull_reply_bogus");
+            return;
+        }
         let bit = 1u64 << frame;
         if x.blocks[block as usize].received & bit != 0 {
+            self.counters.bump("dup_frames_rx");
+            self.metrics.record_dup_frame();
             return; // duplicate frame
         }
-        let (node, region, proc) = (x.node, x.region, x.proc);
+        let (node, region, proc, xfer_len) = (x.node, x.region, x.proc, x.xfer_len);
         let len = data.len() as u64;
 
         // The decisive check of the overlapped design: has the pin cursor
@@ -926,8 +1001,6 @@ impl Cluster {
             self.metrics.record_overlap_miss();
             self.emit(node, Some(proc), TraceEvent::OverlapMissRx { pull, offset });
             self.emit(node, Some(proc), TraceEvent::PacketDrop { pull, offset });
-            let x = self.xfers.recv.get(&pull).expect("recv xfer");
-            let (xfer_len, proc) = (x.xfer_len, x.proc);
             let target = self.pin_target(node, region, xfer_len);
             self.ensure_pinned(node, proc, region, target, None);
             return;
@@ -949,16 +1022,18 @@ impl Cluster {
                     data,
                 },
             );
-            let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
-            x.ioat_pending += 1;
-            x.blocks[block as usize].received |= bit;
+            if let Some(x) = self.xfers.recv.get_mut(&pull) {
+                x.ioat_pending += 1;
+                x.blocks[block as usize].received |= bit;
+            }
         } else {
             let n = &mut self.nodes[node];
             let r = n.driver.region(region);
             r.write(&mut n.mem, offset, &data).expect("pinned write");
-            let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
-            x.blocks[block as usize].received |= bit;
-            x.frames_placed += 1;
+            if let Some(x) = self.xfers.recv.get_mut(&pull) {
+                x.blocks[block as usize].received |= bit;
+                x.frames_placed += 1;
+            }
         }
 
         self.after_pull_progress(pull, block, proc);
@@ -973,6 +1048,17 @@ impl Cluster {
         // Block finished -> keep the pipeline full.
         if x.blocks[block as usize].complete() {
             let (node, proc) = (x.node, x.proc);
+            let blk = x.blocks[block as usize];
+            // Forward progress: the retry budget is for consecutive silent
+            // timeouts, not for the whole (possibly long) transfer.
+            x.retries = 0;
+            // A completed block is an RTT sample for the adaptive timer —
+            // unless it was ever re-requested, in which case the completion
+            // is ambiguous (Karn's rule).
+            if !blk.rerequested {
+                self.rtt
+                    .observe(self.now.saturating_duration_since(blk.requested_at));
+            }
             self.emit(node, Some(proc), TraceEvent::BlockDone { pull, block });
             self.request_next_block(pull);
         }
@@ -982,21 +1068,25 @@ impl Cluster {
         let guard = self.rerequest_guard();
         let mut rerequests = Vec::new();
         if self.cfg.optimistic_rerequest {
-            let x = self.xfers.recv.get(&pull).expect("recv xfer");
-            for (i, blk) in x.blocks.iter().enumerate() {
-                if (i as u32) < block
-                    && blk.requested
-                    && !blk.complete()
-                    && self.now.saturating_duration_since(blk.requested_at) > guard
-                {
-                    rerequests.push(i as u32);
+            if let Some(x) = self.xfers.recv.get(&pull) {
+                for (i, blk) in x.blocks.iter().enumerate() {
+                    if (i as u32) < block
+                        && blk.requested
+                        && !blk.complete()
+                        && self.now.saturating_duration_since(blk.requested_at) > guard
+                    {
+                        rerequests.push(i as u32);
+                    }
                 }
             }
         }
         for b in rerequests {
-            let x = self.xfers.recv.get(&pull).expect("recv xfer");
+            let Some(x) = self.xfers.recv.get(&pull) else {
+                return;
+            };
             let (node, proc) = (x.node, x.proc);
             self.nodes[node].counters.bump("pull_rereq_optimistic");
+            self.metrics.record_retransmit();
             self.emit(
                 node,
                 Some(proc),
@@ -1008,11 +1098,18 @@ impl Cluster {
             self.rerequest_block(pull, b);
         }
         // Progress: push the stall timer out.
-        let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+        let Some(x) = self.xfers.recv.get_mut(&pull) else {
+            return;
+        };
         let t = x.stall_timer.take();
+        let node = x.node;
         self.cancel_timer(t);
-        let timer = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
-        let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
+        let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, 0);
+        let timer = self.arm_timer(timeout, TimerToken::PullStall(pull));
+        let Some(x) = self.xfers.recv.get_mut(&pull) else {
+            self.queue.cancel(timer);
+            return;
+        };
         x.stall_timer = Some(timer);
         if x.data_done() {
             self.finish_recv(pull);
@@ -1033,30 +1130,32 @@ impl Cluster {
         let r = n.driver.region(region);
         match r.write(&mut n.mem, copy.offset, &copy.data) {
             Ok(()) => {
-                let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
-                x.frames_placed += 1;
+                if let Some(x) = self.xfers.recv.get_mut(&pull) {
+                    x.frames_placed += 1;
+                }
             }
             Err(_) => {
                 // Region was invalidated mid-copy: treat the frame as lost.
                 n.counters.bump("ioat_landing_miss");
-                let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
-                x.blocks[copy.block as usize].received &= !(1u64 << copy.frame);
+                if let Some(x) = self.xfers.recv.get_mut(&pull) {
+                    x.blocks[copy.block as usize].received &= !(1u64 << copy.frame);
+                }
             }
         }
         self.after_pull_progress(pull, copy.block, proc);
     }
 
     fn finish_recv(&mut self, pull: PullId) {
-        let x = self.xfers.recv.remove(&pull).expect("recv xfer");
+        let Some(x) = self.xfers.recv.remove(&pull) else {
+            return;
+        };
         self.xfers.recv_by_msg.remove(&x.msg);
         self.cancel_timer(x.stall_timer);
         self.procs[x.proc.0 as usize].endpoint.mark_completed(x.msg);
         let notify = self.frame(x.proc, x.peer, WireMsg::Notify { msg: x.msg });
         self.transmit(notify);
-        let timer = self.arm_timer(
-            self.cfg.retransmit_timeout,
-            TimerToken::NotifyRetrans(x.msg),
-        );
+        let timeout = self.retrans_timeout(x.node, RetransKind::Notify, x.msg.0, 0);
+        let timer = self.arm_timer(timeout, TimerToken::NotifyRetrans(x.msg));
         self.xfers.notify_pending.insert(
             x.msg,
             NotifyPending {
@@ -1136,6 +1235,15 @@ impl Cluster {
             WireMsg::EagerAck { msg } => {
                 if let Some(tx) = self.xfers.eager_tx.remove(&msg) {
                     self.cancel_timer(tx.timer);
+                    // Karn's rule: only a never-retransmitted exchange gives
+                    // an unambiguous round-trip sample.
+                    if tx.retries == 0 {
+                        self.rtt
+                            .observe(self.now.saturating_duration_since(tx.sent_at));
+                    }
+                } else {
+                    self.counters.bump("eager_ack_dup");
+                    self.metrics.record_dup_frame();
                 }
             }
             WireMsg::Rndv {
@@ -1580,19 +1688,46 @@ impl Cluster {
                 let Some(x) = self.xfers.send.get_mut(&msg) else {
                     return;
                 };
-                if x.pull_seen {
-                    return;
-                }
                 x.retries += 1;
-                if x.retries > self.max_retries {
-                    self.fail_send(msg, "rendezvous timed out");
+                let (retries, pull_seen, node, proc) = (x.retries, x.pull_seen, x.node, x.proc);
+                if retries > self.cfg.max_retries {
+                    self.emit(
+                        node,
+                        Some(proc),
+                        TraceEvent::RetryExhausted {
+                            kind: RetransKind::Rndv,
+                            id: msg.0,
+                        },
+                    );
+                    // Before `pull_seen` the rendezvous itself never got
+                    // through; after it, the pull/notify tail went silent —
+                    // either way the handle errors instead of hanging.
+                    let reason = if pull_seen {
+                        "transfer completion timed out"
+                    } else {
+                        "rendezvous timed out"
+                    };
+                    self.fail_send(msg, reason);
                     return;
                 }
-                let (node, proc) = {
-                    let x = &self.xfers.send[&msg];
-                    (x.node, x.proc)
-                };
+                if pull_seen {
+                    // Completion watchdog: the transfer is in the
+                    // receiver's hands (it pulls at its own pace), so
+                    // there is nothing to resend — just keep waiting for
+                    // the notify with backoff. Every incoming pull request
+                    // resets `retries`, so only total silence exhausts it.
+                    self.nodes[node].counters.bump("send_watchdog_timeouts");
+                    let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, retries);
+                    let t = self.arm_timer(timeout, TimerToken::RndvRetrans(msg));
+                    if let Some(x) = self.xfers.send.get_mut(&msg) {
+                        x.rndv_timer = Some(t);
+                    } else {
+                        self.queue.cancel(t);
+                    }
+                    return;
+                }
                 self.nodes[node].counters.bump("rndv_retrans");
+                self.metrics.record_retransmit();
                 self.emit(
                     node,
                     Some(proc),
@@ -1608,14 +1743,28 @@ impl Cluster {
                     return;
                 };
                 tx.retries += 1;
-                if tx.retries > self.max_retries {
+                let (retries, proc, req) = (tx.retries, tx.proc, tx.req);
+                let node = self.procs[proc.0 as usize].node;
+                if retries > self.cfg.max_retries {
                     self.xfers.eager_tx.remove(&msg);
                     self.counters.bump("eager_abandoned");
+                    self.nodes[node].counters.bump("requests_failed");
+                    self.emit(
+                        node,
+                        Some(proc),
+                        TraceEvent::RetryExhausted {
+                            kind: RetransKind::Eager,
+                            id: msg.0,
+                        },
+                    );
+                    // The app saw SendDone at copy-out (MX semantics), but
+                    // the handle still carries a late, clean error instead
+                    // of the message silently vanishing.
+                    self.notify_app(proc, AppEvent::Failed(req, "eager send unacked"));
                     return;
                 }
                 self.counters.bump("eager_retrans");
-                let proc = self.xfers.eager_tx[&msg].proc;
-                let node = self.procs[proc.0 as usize].node;
+                self.metrics.record_retransmit();
                 self.emit(
                     node,
                     Some(proc),
@@ -1625,23 +1774,35 @@ impl Cluster {
                     },
                 );
                 self.transmit_eager_frames(msg);
-                let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::EagerRetrans(msg));
-                self.xfers.eager_tx.get_mut(&msg).expect("eager tx").timer = Some(t);
+                let timeout = self.retrans_timeout(node, RetransKind::Eager, msg.0, retries);
+                let t = self.arm_timer(timeout, TimerToken::EagerRetrans(msg));
+                if let Some(tx) = self.xfers.eager_tx.get_mut(&msg) {
+                    tx.timer = Some(t);
+                    tx.sent_at = self.now;
+                } else {
+                    self.queue.cancel(t);
+                }
             }
             TimerToken::PullStall(pull) => {
                 let Some(x) = self.xfers.recv.get_mut(&pull) else {
                     return;
                 };
                 x.retries += 1;
-                if x.retries > self.max_retries {
+                let (retries, node, proc) = (x.retries, x.node, x.proc);
+                if retries > self.cfg.max_retries {
+                    self.emit(
+                        node,
+                        Some(proc),
+                        TraceEvent::RetryExhausted {
+                            kind: RetransKind::PullStall,
+                            id: pull.0,
+                        },
+                    );
                     self.fail_recv(pull, "pull transfer stalled");
                     return;
                 }
-                let (node, proc) = {
-                    let x = &self.xfers.recv[&pull];
-                    (x.node, x.proc)
-                };
                 self.nodes[node].counters.bump("pull_stall_timeouts");
+                self.metrics.record_retransmit();
                 self.emit(
                     node,
                     Some(proc),
@@ -1663,24 +1824,39 @@ impl Cluster {
                 for b in stalled {
                     self.rerequest_block(pull, b);
                 }
-                let timer =
-                    self.arm_timer(self.cfg.retransmit_timeout, TimerToken::PullStall(pull));
-                let x = self.xfers.recv.get_mut(&pull).expect("recv xfer");
-                x.stall_timer = Some(timer);
+                let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, retries);
+                let timer = self.arm_timer(timeout, TimerToken::PullStall(pull));
+                if let Some(x) = self.xfers.recv.get_mut(&pull) {
+                    x.stall_timer = Some(timer);
+                } else {
+                    self.queue.cancel(timer);
+                }
             }
             TimerToken::NotifyRetrans(msg) => {
                 let Some(p) = self.xfers.notify_pending.get_mut(&msg) else {
                     return;
                 };
                 p.retries += 1;
-                if p.retries > self.max_retries {
+                let (retries, proc, peer) = (p.retries, p.proc, p.peer);
+                let node = self.procs[proc.0 as usize].node;
+                if retries > self.cfg.max_retries {
                     self.xfers.notify_pending.remove(&msg);
                     self.counters.bump("notify_abandoned");
+                    // The receive already completed locally; the sender's
+                    // completion watchdog turns this silence into a clean
+                    // send-side failure, so nothing hangs.
+                    self.emit(
+                        node,
+                        Some(proc),
+                        TraceEvent::RetryExhausted {
+                            kind: RetransKind::Notify,
+                            id: msg.0,
+                        },
+                    );
                     return;
                 }
-                let (proc, peer) = (p.proc, p.peer);
                 self.counters.bump("notify_retrans");
-                let node = self.procs[proc.0 as usize].node;
+                self.metrics.record_retransmit();
                 self.emit(
                     node,
                     Some(proc),
@@ -1691,12 +1867,13 @@ impl Cluster {
                 );
                 let f = self.frame(proc, peer, WireMsg::Notify { msg });
                 self.transmit(f);
-                let t = self.arm_timer(self.cfg.retransmit_timeout, TimerToken::NotifyRetrans(msg));
-                self.xfers
-                    .notify_pending
-                    .get_mut(&msg)
-                    .expect("notify pending")
-                    .timer = t;
+                let timeout = self.retrans_timeout(node, RetransKind::Notify, msg.0, retries);
+                let t = self.arm_timer(timeout, TimerToken::NotifyRetrans(msg));
+                if let Some(p) = self.xfers.notify_pending.get_mut(&msg) {
+                    p.timer = t;
+                } else {
+                    self.queue.cancel(t);
+                }
             }
         }
     }
@@ -1704,11 +1881,21 @@ impl Cluster {
     fn rerequest_guard(&self) -> SimDuration {
         // Enough for a round trip plus one block's serialization: frames
         // still legitimately in flight are not "missing" yet.
-        self.cfg.net.latency * 4
+        let static_guard = self.cfg.net.latency * 4
             + self
                 .cfg
                 .net
                 .bandwidth
-                .time_for_bytes(self.cfg.pull_block * 2)
+                .time_for_bytes(self.cfg.pull_block * 2);
+        if !self.cfg.adaptive_retransmit {
+            return static_guard;
+        }
+        // Under adaptive retransmission the guard also tracks the measured
+        // RTO: a congested or lossy fabric inflates queueing delay well past
+        // the nominal round trip, and re-requesting frames that are merely
+        // late produces duplicate traffic that makes the congestion worse.
+        static_guard
+            .max(self.rtt.rto().unwrap_or(SimDuration::ZERO))
+            .max(self.cfg.retransmit_min)
     }
 }

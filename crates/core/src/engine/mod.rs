@@ -15,6 +15,7 @@
 
 mod ctx;
 mod handlers;
+mod rto;
 mod xfer;
 
 pub use ctx::Ctx;
@@ -30,8 +31,9 @@ use crate::config::OpenMxConfig;
 use crate::driver::{Driver, RegionId};
 use crate::endpoint::{Endpoint, EndpointAddr, RequestId};
 use crate::obs::tracer::DEFAULT_CAPACITY;
-use crate::obs::{CacheStats, Metrics, TraceEvent, TraceRecord, Tracer};
+use crate::obs::{CacheStats, FaultKind, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer};
 use crate::wire::{Frame, MsgId, PullId, WireMsg};
+use rto::RttEstimator;
 use xfer::XferTables;
 
 /// Identifies a simulated process (rank).
@@ -220,8 +222,11 @@ pub struct Cluster {
     pub(crate) tracer: Tracer,
     pub(crate) metrics: Metrics,
     pub(crate) now: SimTime,
-    /// Max protocol retries before a request fails.
-    pub(crate) max_retries: u32,
+    /// Fabric round-trip estimator feeding adaptive retransmission.
+    pub(crate) rtt: RttEstimator,
+    /// Dedicated stream for retransmission-timeout jitter (keeps backoff
+    /// decisions independent of the fabric's loss draws).
+    retrans_rng: SimRng,
 }
 
 impl Cluster {
@@ -232,6 +237,7 @@ impl Cluster {
     pub fn new(cfg: OpenMxConfig, node_count: usize) -> Self {
         assert!(node_count >= 1);
         assert!(cfg.cores_per_node >= 1);
+        cfg.validate().expect("invalid OpenMxConfig");
         let rng = SimRng::new(cfg.seed);
         let net = Network::new(node_count, cfg.net.clone(), rng.derive_stream("net"));
         let nodes = (0..node_count)
@@ -259,7 +265,8 @@ impl Cluster {
             tracer: Tracer::disabled(),
             metrics: Metrics::new(),
             now: SimTime::ZERO,
-            max_retries: 16,
+            rtt: RttEstimator::default(),
+            retrans_rng: rng.derive_stream("retrans"),
         }
     }
 
@@ -489,8 +496,47 @@ impl Cluster {
         self.submit_work(node, core, Priority::Kernel, duration, work);
     }
 
-    /// Hand a frame to the fabric; schedules its arrival (or counts the
-    /// drop — recovery is the protocol's problem).
+    /// The retransmission timeout for a timer (re)arm. With adaptive
+    /// retransmission off this is the configured fixed timeout; on, it is
+    /// the RTT estimator's RTO (falling back to the fixed timeout before
+    /// any sample) scaled by `backoff^attempt`, clamped to
+    /// `[retransmit_min, retransmit_timeout]`, with deterministic jitter
+    /// on top. Emits a [`TraceEvent::Backoff`] and feeds the `rto_applied`
+    /// histogram so backoff decisions are observable.
+    pub(crate) fn retrans_timeout(
+        &mut self,
+        node: usize,
+        kind: RetransKind,
+        id: u64,
+        attempt: u32,
+    ) -> SimDuration {
+        let cfg_max = self.cfg.retransmit_timeout;
+        if !self.cfg.adaptive_retransmit {
+            return cfg_max;
+        }
+        let base = self.rtt.rto().unwrap_or(cfg_max);
+        let exp = self.cfg.retransmit_backoff.powi(attempt.min(16) as i32);
+        let scaled = (base.as_nanos() as f64 * exp).min(cfg_max.as_nanos() as f64) as u64;
+        let clamped = scaled.max(self.cfg.retransmit_min.as_nanos());
+        let jitter = 1.0 + self.cfg.retransmit_jitter * self.retrans_rng.unit_f64();
+        let rto = SimDuration::from_nanos((clamped as f64 * jitter) as u64);
+        self.metrics.rto_applied.record(rto);
+        self.emit(
+            node,
+            None,
+            TraceEvent::Backoff {
+                kind,
+                id,
+                attempt,
+                rto_nanos: rto.as_nanos(),
+            },
+        );
+        rto
+    }
+
+    /// Hand a frame to the fabric; schedules its arrival — twice, when the
+    /// fault layer duplicates it — or counts the drop (recovery is the
+    /// protocol's problem).
     pub(crate) fn transmit(&mut self, frame: Frame) {
         let src_node = self.procs[frame.src.proc.0 as usize].node;
         let dst_node = self.procs[frame.dst.proc.0 as usize].node;
@@ -502,14 +548,48 @@ impl Cluster {
             NodeId(dst_node as u32),
             payload,
         ) {
-            TxOutcome::Delivered { at } => {
-                self.queue.schedule(at, Event::FrameArrival(frame));
+            TxOutcome::Delivered(d) => {
+                if d.reordered {
+                    self.nodes[src_node].counters.bump("net_frames_reordered");
+                    self.metrics.record_fault_injected();
+                    self.emit(
+                        src_node,
+                        None,
+                        TraceEvent::FaultInjected {
+                            kind: FaultKind::Reorder,
+                        },
+                    );
+                }
+                if let Some(at2) = d.duplicate_at {
+                    self.nodes[src_node].counters.bump("net_frames_duplicated");
+                    self.metrics.record_fault_injected();
+                    self.emit(
+                        src_node,
+                        None,
+                        TraceEvent::FaultInjected {
+                            kind: FaultKind::Duplicate,
+                        },
+                    );
+                    self.queue.schedule(at2, Event::FrameArrival(frame.clone()));
+                }
+                self.queue.schedule(d.at, Event::FrameArrival(frame));
             }
             TxOutcome::Dropped(reason) => {
-                self.nodes[src_node].counters.bump(match reason {
-                    simnet::DropReason::RandomLoss => "net_frames_lost",
-                    simnet::DropReason::QueueOverflow => "net_frames_overflowed",
-                });
+                let (counter, fault) = match reason {
+                    simnet::DropReason::RandomLoss => ("net_frames_lost", None),
+                    simnet::DropReason::QueueOverflow => ("net_frames_overflowed", None),
+                    simnet::DropReason::BurstLoss => {
+                        ("net_frames_burst_lost", Some(FaultKind::BurstLoss))
+                    }
+                    simnet::DropReason::LinkDown => {
+                        ("net_frames_link_down", Some(FaultKind::LinkDown))
+                    }
+                };
+                self.nodes[src_node].counters.bump(counter);
+                if let Some(kind) = fault {
+                    self.metrics.record_fault_injected();
+                    self.emit(src_node, None, TraceEvent::FaultInjected { kind });
+                }
             }
         }
     }

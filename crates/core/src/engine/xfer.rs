@@ -17,6 +17,10 @@ use crate::wire::{MsgId, PullId};
 /// Sender-side state of an in-flight eager message (kept for
 /// retransmission until the ack arrives; the app already saw SendDone).
 pub(crate) struct EagerTx {
+    /// The application request — needed to deliver a clean failure if
+    /// retransmission is ever exhausted (the app saw SendDone already,
+    /// but MX semantics allow a late error on the handle).
+    pub req: RequestId,
     pub proc: ProcId,
     pub peer: EndpointAddr,
     pub match_info: u64,
@@ -24,6 +28,9 @@ pub(crate) struct EagerTx {
     pub data: Vec<u8>,
     pub timer: Option<EventId>,
     pub retries: u32,
+    /// When the current (re)transmission went out — RTT sample on ack,
+    /// Karn-gated by `retries == 0`.
+    pub sent_at: SimTime,
 }
 
 /// Receiver-side state of a *matched* eager message still reassembling.
@@ -69,6 +76,9 @@ pub(crate) struct Block {
     pub requested: bool,
     /// When this block was last (re)requested.
     pub requested_at: SimTime,
+    /// The block has been re-requested: its completion time is ambiguous
+    /// (original or retransmitted reply), so no RTT sample (Karn's rule).
+    pub rerequested: bool,
 }
 
 impl Block {
@@ -231,6 +241,7 @@ mod tests {
             received: 0,
             requested: false,
             requested_at: SimTime::ZERO,
+            rerequested: false,
         };
         assert!(!b.complete());
         assert_eq!(b.missing_mask(), 0xff);
@@ -248,6 +259,7 @@ mod tests {
             received: u64::MAX - 1,
             requested: true,
             requested_at: SimTime::ZERO,
+            rerequested: false,
         };
         assert!(!b.complete());
         assert_eq!(b.missing_mask(), 1);

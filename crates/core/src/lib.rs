@@ -41,6 +41,8 @@ pub use config::{CpuProfile, OpenMxConfig, PinningMode};
 pub use driver::{Driver, RegionId};
 pub use endpoint::{Endpoint, EndpointAddr, RequestId};
 pub use engine::{AppEvent, Cluster, Ctx, OverlapHint, ProcId, Process};
-pub use obs::{CacheStats, DriverStats, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer};
+pub use obs::{
+    CacheStats, DriverStats, FaultKind, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer,
+};
 pub use region::{DriverRegion, RegionLayout, Segment};
 pub use wire::{Frame, MsgId, PullId, WireMsg};

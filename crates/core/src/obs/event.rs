@@ -40,6 +40,31 @@ impl RetransKind {
     }
 }
 
+/// Which fabric misbehavior the fault-injection layer produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Gilbert–Elliott bad-state (bursty) loss.
+    BurstLoss,
+    /// A frame was delivered twice.
+    Duplicate,
+    /// A frame was delayed past its in-order slot.
+    Reorder,
+    /// Scripted link death swallowed a frame.
+    LinkDown,
+}
+
+impl FaultKind {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::BurstLoss => "burst_loss",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::LinkDown => "link_down",
+        }
+    }
+}
+
 /// One step of the pinning lifecycle or rendezvous protocol.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum TraceEvent {
@@ -106,6 +131,29 @@ pub enum TraceEvent {
         /// Which machinery.
         kind: RetransKind,
         /// The transfer it belongs to (`MsgId` or `PullId` raw value).
+        id: u64,
+    },
+    /// An adaptive retransmission timeout was computed for a timer arm.
+    Backoff {
+        /// Which machinery the timer belongs to.
+        kind: RetransKind,
+        /// The transfer (`MsgId` or `PullId` raw value).
+        id: u64,
+        /// Attempt number driving the exponential term (0 = first arm).
+        attempt: u32,
+        /// The timeout applied, nanoseconds.
+        rto_nanos: u64,
+    },
+    /// The fault-injection fabric misbehaved on purpose.
+    FaultInjected {
+        /// What it did.
+        kind: FaultKind,
+    },
+    /// A transfer exhausted its retry budget and failed cleanly.
+    RetryExhausted {
+        /// Which machinery gave up.
+        kind: RetransKind,
+        /// The transfer (`MsgId` or `PullId` raw value).
         id: u64,
     },
     /// The MMU notifier invalidated (unpinned) a region.
@@ -202,6 +250,9 @@ impl TraceEvent {
             TraceEvent::OverlapMissRx { .. } => "overlap_miss_rx",
             TraceEvent::PacketDrop { .. } => "packet_drop",
             TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::Backoff { .. } => "backoff",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RetryExhausted { .. } => "retry_exhausted",
             TraceEvent::NotifierInvalidate { .. } => "invalidate",
             TraceEvent::PressureUnpin { .. } => "pressure_unpin",
             TraceEvent::Repin { .. } => "repin",
@@ -254,6 +305,19 @@ impl TraceEvent {
                 format!("pull {} offset {offset}", pull.0)
             }
             TraceEvent::Retransmit { kind, id } => format!("{} id {id}", kind.label()),
+            TraceEvent::Backoff {
+                kind,
+                id,
+                attempt,
+                rto_nanos,
+            } => {
+                format!(
+                    "{} id {id} attempt {attempt} rto {rto_nanos} ns",
+                    kind.label()
+                )
+            }
+            TraceEvent::FaultInjected { kind } => kind.label().to_string(),
+            TraceEvent::RetryExhausted { kind, id } => format!("{} id {id}", kind.label()),
             TraceEvent::NotifierInvalidate { region, pages } => {
                 format!("region {} unpinned {pages} pages", region.0)
             }

@@ -23,10 +23,18 @@ pub struct Metrics {
     pub overlap_window: FixedHistogram,
     /// Pages covered per completed pin burst.
     pub pin_burst_pages: OnlineStats,
+    /// Adaptive retransmission timeouts applied at timer arms.
+    pub rto_applied: FixedHistogram,
     /// Pull-reply frames that landed on unpinned pages and were dropped.
     overlap_misses: u64,
     /// Pull-reply frames accepted (pinned landing pages).
     pull_frames_ok: u64,
+    /// Retransmissions / re-requests fired (all machineries).
+    retransmits: u64,
+    /// Duplicate frames received and discarded by the protocol.
+    dup_frames_rx: u64,
+    /// Faults the fabric injected on purpose (loss, dup, reorder, death).
+    faults_injected: u64,
 }
 
 impl Default for Metrics {
@@ -46,8 +54,12 @@ impl Metrics {
             rndv_rtt: FixedHistogram::new(SimDuration::from_secs(1), 10_000),
             overlap_window: FixedHistogram::new(SimDuration::from_millis(10), 10_000),
             pin_burst_pages: OnlineStats::new(),
+            rto_applied: FixedHistogram::new(SimDuration::from_millis(10), 10_000),
             overlap_misses: 0,
             pull_frames_ok: 0,
+            retransmits: 0,
+            dup_frames_rx: 0,
+            faults_injected: 0,
         }
     }
 
@@ -59,6 +71,36 @@ impl Metrics {
     /// Count one accepted pull frame.
     pub fn record_pull_frame_ok(&mut self) {
         self.pull_frames_ok += 1;
+    }
+
+    /// Count one retransmission / re-request.
+    pub fn record_retransmit(&mut self) {
+        self.retransmits += 1;
+    }
+
+    /// Count one duplicate frame discarded by the protocol.
+    pub fn record_dup_frame(&mut self) {
+        self.dup_frames_rx += 1;
+    }
+
+    /// Count one injected fabric fault.
+    pub fn record_fault_injected(&mut self) {
+        self.faults_injected += 1;
+    }
+
+    /// Retransmissions fired so far (all machineries).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Duplicate frames discarded so far.
+    pub fn dup_frames_rx(&self) -> u64 {
+        self.dup_frames_rx
+    }
+
+    /// Faults injected by the fabric so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 
     /// Frames dropped because their landing pages were unpinned.
@@ -82,8 +124,12 @@ impl Metrics {
         self.rndv_rtt.merge(&other.rndv_rtt);
         self.overlap_window.merge(&other.overlap_window);
         self.pin_burst_pages.merge(&other.pin_burst_pages);
+        self.rto_applied.merge(&other.rto_applied);
         self.overlap_misses += other.overlap_misses;
         self.pull_frames_ok += other.pull_frames_ok;
+        self.retransmits += other.retransmits;
+        self.dup_frames_rx += other.dup_frames_rx;
+        self.faults_injected += other.faults_injected;
     }
 
     /// One-line pin-latency summary for the bench harness:

@@ -28,7 +28,7 @@ pub mod export;
 pub mod metrics;
 pub mod tracer;
 
-pub use event::{RetransKind, TraceEvent, TraceRecord};
+pub use event::{FaultKind, RetransKind, TraceEvent, TraceRecord};
 pub use export::{chrome_trace_json, csv};
 pub use metrics::Metrics;
 pub use tracer::Tracer;

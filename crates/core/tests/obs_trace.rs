@@ -187,6 +187,43 @@ fn clean_overlapped_run_records_pin_latency_without_misses() {
 }
 
 #[test]
+fn backoff_decisions_and_injected_faults_are_traced() {
+    use openmx_core::obs::TraceEvent;
+    use simnet::{FaultConfig, FaultProfile};
+
+    let mut cfg = OpenMxConfig::with_mode(PinningMode::OverlappedCached);
+    let mut faults = FaultConfig::clean();
+    let hostile = FaultProfile {
+        duplicate: 0.5,
+        loss: 0.05,
+        ..FaultProfile::default()
+    };
+    faults.set_link(0, 1, hostile);
+    faults.set_link(1, 0, hostile);
+    cfg.net.faults = faults;
+    cfg.retransmit_timeout = SimDuration::from_millis(20);
+    let cl = run_stream(cfg, 1 << 20, 2);
+
+    let has = |pred: &dyn Fn(&TraceEvent) -> bool| cl.tracer().iter().any(|r| pred(&r.event));
+    assert!(
+        has(&|e| matches!(e, TraceEvent::Backoff { .. })),
+        "adaptive timer arms must be traced"
+    );
+    assert!(
+        has(&|e| matches!(e, TraceEvent::FaultInjected { .. })),
+        "injected faults must be traced"
+    );
+    assert!(cl.metrics().faults_injected() > 0);
+    // The rto_applied histogram mirrors the Backoff trace events.
+    let backoffs = cl
+        .tracer()
+        .iter()
+        .filter(|r| r.event.kind() == "backoff")
+        .count() as u64;
+    assert_eq!(cl.metrics().rto_applied.count(), backoffs);
+}
+
+#[test]
 fn tracer_disabled_by_default_and_capacity_bounds_memory() {
     let cfg = OpenMxConfig::with_mode(PinningMode::Overlapped);
     let mut cl = Cluster::new(cfg, 2);

@@ -282,8 +282,12 @@ impl Process for ScriptProcess {
             }
             AppEvent::Failed(req, reason) => {
                 self.recorder.borrow_mut()[self.rank].failures.push(reason);
-                self.outstanding.remove(&req);
-                self.maybe_advance(ctx);
+                // A late failure (e.g. an eager send erroring after its
+                // SendDone) names a request that is no longer outstanding;
+                // it must only be recorded, not re-complete the step.
+                if self.outstanding.remove(&req).is_some() {
+                    self.maybe_advance(ctx);
+                }
             }
         }
     }

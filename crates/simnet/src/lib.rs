@@ -22,4 +22,7 @@ pub mod ioat;
 pub mod net;
 
 pub use ioat::IoatEngine;
-pub use net::{DropReason, NetConfig, NetStats, Network, NodeId, TxOutcome};
+pub use net::{
+    Delivery, DropReason, FaultConfig, FaultProfile, GilbertElliott, NetConfig, NetStats, Network,
+    NodeId, TxOutcome,
+};

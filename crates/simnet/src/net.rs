@@ -11,11 +11,16 @@
 //!    senders to one receiver contend here (this is what makes incast and
 //!    collective patterns behave realistically);
 //! 4. **Loss** — optional random loss, plus drop-tail when the egress
-//!    queue's backlog exceeds the configured buffering.
+//!    queue's backlog exceeds the configured buffering;
+//! 5. **Injected faults** — optional per-link (src→dst, asymmetric)
+//!    misbehavior: bursty loss (two-state Gilbert–Elliott), bounded
+//!    reordering jitter, frame duplication, and scripted link death.
 //!
 //! The model is *passive*: [`Network::transmit`] just computes the delivery
-//! time (or a drop); the simulation engine owns the event queue and the
+//! time(s) (or a drop); the simulation engine owns the event queue and the
 //! frame payloads.
+
+use std::collections::BTreeMap;
 
 use simcore::{Bandwidth, SimDuration, SimRng, SimTime};
 
@@ -24,6 +29,165 @@ use crate::frame::wire_bytes;
 /// Identifies a host on the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
+
+/// Two-state Gilbert–Elliott burst-loss model: the link alternates between
+/// a *good* and a *bad* state with per-frame transition probabilities, and
+/// drops frames with a state-dependent probability. This produces the
+/// clustered losses real fabrics show under congestion or interference,
+/// which i.i.d. loss cannot (a burst can swallow a whole retransmission).
+#[derive(Clone, Copy, Debug)]
+pub struct GilbertElliott {
+    /// Per-frame probability of leaving the good state.
+    pub p_good_to_bad: f64,
+    /// Per-frame probability of leaving the bad state.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A bursty-loss model with a target long-run loss rate and mean burst
+    /// length (frames spent in the bad state per visit). The bad state
+    /// drops everything; the good state drops nothing.
+    ///
+    /// # Panics
+    /// Panics unless `0 < avg_loss < 1` and `mean_burst >= 1`.
+    pub fn bursty(avg_loss: f64, mean_burst: f64) -> Self {
+        assert!(
+            avg_loss > 0.0 && avg_loss < 1.0,
+            "avg_loss must be in (0, 1)"
+        );
+        assert!(mean_burst >= 1.0, "mean_burst must be >= 1 frame");
+        let p_bad_to_good = 1.0 / mean_burst;
+        // Stationary bad-state probability pi = p_gb / (p_gb + p_bg);
+        // long-run loss = pi * loss_bad = avg_loss with loss_bad = 1.
+        let p_good_to_bad = avg_loss * p_bad_to_good / (1.0 - avg_loss);
+        GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("gilbert-elliott {name} = {p} not in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fault profile of one directed link (or the whole fabric). All fields
+/// default to "clean"; each misbehavior draws from the fabric's seeded RNG
+/// so runs stay reproducible from `(config, seed)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultProfile {
+    /// Extra i.i.d. per-frame loss on this link (on top of the global
+    /// [`NetConfig::loss_probability`]).
+    pub loss: f64,
+    /// Probability a delivered frame arrives twice (the copy trails one
+    /// serialization time behind the original).
+    pub duplicate: f64,
+    /// Probability a delivered frame is delayed past its in-order slot.
+    pub reorder: f64,
+    /// Maximum extra delay of a reordered frame (uniform in
+    /// `(0, reorder_jitter]`).
+    pub reorder_jitter: SimDuration,
+    /// Bursty loss model (applied before the i.i.d. extra loss).
+    pub burst: Option<GilbertElliott>,
+    /// Scripted link death: deliver the first N frames on this link, drop
+    /// everything after (deterministic — exercises mid-transfer failures).
+    pub drop_after: Option<u64>,
+}
+
+impl FaultProfile {
+    /// True when the profile injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.loss == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.burst.is_none()
+            && self.drop_after.is_none()
+    }
+
+    /// Check every knob is a sane probability/duration combination.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault profile {name} = {p} not in [0, 1]"));
+            }
+        }
+        if self.reorder > 0.0 && self.reorder_jitter.is_zero() {
+            return Err("reorder > 0 requires a nonzero reorder_jitter".to_string());
+        }
+        if let Some(ge) = &self.burst {
+            ge.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Fault configuration of the whole fabric: a default profile plus
+/// per-directed-link (src → dst) overrides. Links are asymmetric — a dying
+/// reverse path (lost acks/notifies) is a different failure than a dying
+/// forward path, and the protocol must survive both.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// Profile of every link without an override.
+    pub default: FaultProfile,
+    /// Per-link overrides, keyed by (src, dst) node index.
+    pub links: Vec<((u32, u32), FaultProfile)>,
+}
+
+impl FaultConfig {
+    /// No injected faults anywhere.
+    pub fn clean() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Set the profile of one directed link (replacing a prior override).
+    pub fn set_link(&mut self, src: u32, dst: u32, profile: FaultProfile) {
+        self.links.retain(|(k, _)| *k != (src, dst));
+        self.links.push(((src, dst), profile));
+    }
+
+    /// The profile governing `src → dst`.
+    pub fn profile(&self, src: u32, dst: u32) -> &FaultProfile {
+        self.links
+            .iter()
+            .find(|(k, _)| *k == (src, dst))
+            .map(|(_, p)| p)
+            .unwrap_or(&self.default)
+    }
+
+    /// True when no profile injects anything.
+    pub fn is_clean(&self) -> bool {
+        self.default.is_clean() && self.links.iter().all(|(_, p)| p.is_clean())
+    }
+
+    /// Validate the default and every override.
+    pub fn validate(&self) -> Result<(), String> {
+        self.default.validate()?;
+        for ((s, d), p) in &self.links {
+            p.validate().map_err(|e| format!("link {s}->{d}: {e}"))?;
+        }
+        Ok(())
+    }
+}
 
 /// Fabric configuration.
 #[derive(Clone, Debug)]
@@ -42,6 +206,8 @@ pub struct NetConfig {
     /// Maximum egress backlog (time worth of queued frames) before
     /// drop-tail kicks in.
     pub egress_buffering: SimDuration,
+    /// Injected per-link misbehavior (clean by default).
+    pub faults: FaultConfig,
 }
 
 impl NetConfig {
@@ -56,6 +222,7 @@ impl NetConfig {
             loss_probability: 0.0,
             drop_first: 0,
             egress_buffering: SimDuration::from_millis(2),
+            faults: FaultConfig::clean(),
         }
     }
 
@@ -68,7 +235,19 @@ impl NetConfig {
             loss_probability: 0.0,
             drop_first: 0,
             egress_buffering: SimDuration::from_millis(4),
+            faults: FaultConfig::clean(),
         }
+    }
+
+    /// Check every probability knob is sane.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.loss_probability) {
+            return Err(format!(
+                "loss_probability = {} not in [0, 1]",
+                self.loss_probability
+            ));
+        }
+        self.faults.validate()
     }
 }
 
@@ -79,16 +258,28 @@ pub enum DropReason {
     RandomLoss,
     /// Egress queue overflow (drop-tail).
     QueueOverflow,
+    /// Gilbert–Elliott bad-state loss (bursty).
+    BurstLoss,
+    /// Scripted link death ([`FaultProfile::drop_after`]).
+    LinkDown,
+}
+
+/// How a delivered frame arrives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Delivery {
+    /// Arrival instant at the destination NIC (interrupt time).
+    pub at: SimTime,
+    /// Injected duplicate: a second arrival of the same frame.
+    pub duplicate_at: Option<SimTime>,
+    /// The frame was delayed past its in-order delivery slot.
+    pub reordered: bool,
 }
 
 /// Outcome of a transmit attempt.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TxOutcome {
-    /// Frame will arrive at the destination NIC at this time.
-    Delivered {
-        /// Arrival instant at the destination NIC (interrupt time).
-        at: SimTime,
-    },
+    /// Frame will arrive at the destination NIC (possibly twice).
+    Delivered(Delivery),
     /// Frame was lost.
     Dropped(DropReason),
 }
@@ -98,14 +289,31 @@ pub enum TxOutcome {
 pub struct NetStats {
     /// Frames handed to the fabric.
     pub frames_sent: u64,
-    /// Frames delivered.
+    /// Frames delivered (injected duplicates not counted).
     pub frames_delivered: u64,
     /// Frames lost at random.
     pub frames_lost: u64,
     /// Frames dropped by egress overflow.
     pub frames_overflowed: u64,
-    /// Application payload bytes delivered.
+    /// Frames dropped in a Gilbert–Elliott bad state.
+    pub frames_burst_lost: u64,
+    /// Frames dropped by scripted link death.
+    pub frames_link_down: u64,
+    /// Frames delivered twice by fault injection.
+    pub frames_duplicated: u64,
+    /// Frames delayed past their in-order slot by fault injection.
+    pub frames_reordered: u64,
+    /// Application payload bytes delivered (duplicates not counted).
     pub payload_bytes_delivered: u64,
+}
+
+/// Mutable per-directed-link fault state.
+#[derive(Clone, Copy, Default, Debug)]
+struct LinkState {
+    /// Frames offered to this link so far (drives `drop_after`).
+    sent: u64,
+    /// Gilbert–Elliott chain is in the bad state.
+    ge_bad: bool,
 }
 
 /// The fabric.
@@ -115,6 +323,8 @@ pub struct Network {
     tx_free: Vec<SimTime>,
     /// Per-node receiver-side busy-until (switch egress serialization).
     egress_free: Vec<SimTime>,
+    /// Fault state of links governed by a non-clean profile.
+    links: BTreeMap<(u32, u32), LinkState>,
     rng: SimRng,
     stats: NetStats,
 }
@@ -123,10 +333,12 @@ impl Network {
     /// A fabric connecting `nodes` hosts.
     pub fn new(nodes: usize, cfg: NetConfig, rng: SimRng) -> Self {
         assert!(nodes >= 1);
+        cfg.validate().expect("invalid NetConfig");
         Network {
             cfg,
             tx_free: vec![SimTime::ZERO; nodes],
             egress_free: vec![SimTime::ZERO; nodes],
+            links: BTreeMap::new(),
             rng,
             stats: NetStats::default(),
         }
@@ -178,6 +390,54 @@ impl Network {
             return TxOutcome::Dropped(DropReason::RandomLoss);
         }
 
+        // Per-link fault injection (loss decisions before queueing: a
+        // corrupted frame still occupied the sender's TX path but never
+        // lands in the egress queue).
+        let profile = *self.cfg.faults.profile(src.0, dst.0);
+        let mut dup = false;
+        let mut delay = SimDuration::ZERO;
+        if !profile.is_clean() {
+            let link = self.links.entry((src.0, dst.0)).or_default();
+            link.sent += 1;
+            if let Some(limit) = profile.drop_after {
+                if link.sent > limit {
+                    self.stats.frames_link_down += 1;
+                    return TxOutcome::Dropped(DropReason::LinkDown);
+                }
+            }
+            if let Some(ge) = &profile.burst {
+                let loss_p = if link.ge_bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                };
+                let lost = loss_p > 0.0 && self.rng.chance(loss_p);
+                let flip_p = if link.ge_bad {
+                    ge.p_bad_to_good
+                } else {
+                    ge.p_good_to_bad
+                };
+                let flip = flip_p > 0.0 && self.rng.chance(flip_p);
+                if flip {
+                    let link = self.links.get_mut(&(src.0, dst.0)).expect("link state");
+                    link.ge_bad = !link.ge_bad;
+                }
+                if lost {
+                    self.stats.frames_burst_lost += 1;
+                    return TxOutcome::Dropped(DropReason::BurstLoss);
+                }
+            }
+            if profile.loss > 0.0 && self.rng.chance(profile.loss) {
+                self.stats.frames_lost += 1;
+                return TxOutcome::Dropped(DropReason::RandomLoss);
+            }
+            if profile.reorder > 0.0 && self.rng.chance(profile.reorder) {
+                let span = profile.reorder_jitter.as_nanos();
+                delay = SimDuration::from_nanos(1 + self.rng.below(span));
+            }
+            dup = profile.duplicate > 0.0 && self.rng.chance(profile.duplicate);
+        }
+
         // At the switch egress port for `dst`.
         let at_switch = tx_done + self.cfg.latency;
         let backlog = self.egress_free[d].saturating_duration_since(at_switch);
@@ -191,7 +451,25 @@ impl Network {
 
         self.stats.frames_delivered += 1;
         self.stats.payload_bytes_delivered += payload;
-        TxOutcome::Delivered { at: eg_done }
+        // Reordering delays the frame past its in-order slot without
+        // holding the egress port (as if it took a longer path); the
+        // duplicate trails the original by one serialization time.
+        let reordered = !delay.is_zero();
+        if reordered {
+            self.stats.frames_reordered += 1;
+        }
+        let at = eg_done + delay;
+        let duplicate_at = if dup {
+            self.stats.frames_duplicated += 1;
+            Some(at + ser)
+        } else {
+            None
+        };
+        TxOutcome::Delivered(Delivery {
+            at,
+            duplicate_at,
+            reordered,
+        })
     }
 
     /// Fabric statistics so far.
@@ -211,7 +489,7 @@ mod tests {
 
     fn deliver(out: TxOutcome) -> SimTime {
         match out {
-            TxOutcome::Delivered { at } => at,
+            TxOutcome::Delivered(d) => d.at,
             TxOutcome::Dropped(r) => panic!("unexpected drop: {r:?}"),
         }
     }
@@ -336,6 +614,151 @@ mod tests {
             ));
         }
         assert_eq!(outcomes, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_cluster() {
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.default.burst = Some(GilbertElliott::bursty(0.1, 8.0));
+        let mut n = Network::new(2, cfg, SimRng::new(4));
+        let mut lost = Vec::new();
+        for i in 0..20_000u64 {
+            let t = SimTime::from_nanos(i * 100_000);
+            if matches!(
+                n.transmit(t, NodeId(0), NodeId(1), 100),
+                TxOutcome::Dropped(DropReason::BurstLoss)
+            ) {
+                lost.push(i);
+            }
+        }
+        let total = lost.len() as u64;
+        assert_eq!(n.stats().frames_burst_lost, total);
+        // Long-run rate near the 10% target.
+        assert!((1_400..2_600).contains(&total), "burst losses = {total}");
+        // Burstiness: far more adjacent loss pairs than i.i.d. loss at the
+        // same rate would produce (expectation ~ total * rate = ~200).
+        let adjacent = lost.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(adjacent > 600, "adjacent loss pairs = {adjacent}");
+    }
+
+    #[test]
+    fn duplication_respects_probability_and_trails_original() {
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.default.duplicate = 0.25;
+        let mut n = Network::new(2, cfg, SimRng::new(5));
+        let ser = cfg_ser();
+        let mut dups = 0;
+        for i in 0..10_000u64 {
+            let t = SimTime::from_nanos(i * 100_000);
+            if let TxOutcome::Delivered(d) = n.transmit(t, NodeId(0), NodeId(1), 100) {
+                if let Some(at2) = d.duplicate_at {
+                    dups += 1;
+                    assert_eq!(at2.duration_since(d.at), ser);
+                }
+            }
+        }
+        assert!((2_000..3_000).contains(&dups), "dups = {dups}");
+        assert_eq!(n.stats().frames_duplicated, dups);
+    }
+
+    fn cfg_ser() -> SimDuration {
+        NetConfig::myri_10g()
+            .bandwidth
+            .time_for_bytes(wire_bytes(100))
+    }
+
+    #[test]
+    fn reordering_delays_within_jitter_bound() {
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.default.reorder = 0.3;
+        cfg.faults.default.reorder_jitter = SimDuration::from_micros(50);
+        let mut n = Network::new(2, cfg, SimRng::new(6));
+        let ser = cfg_ser();
+        let lat = NetConfig::myri_10g().latency;
+        let mut reordered = 0;
+        for i in 0..5_000u64 {
+            let t = SimTime::from_nanos(i * 100_000);
+            let in_order = t + ser + lat + ser;
+            if let TxOutcome::Delivered(d) = n.transmit(t, NodeId(0), NodeId(1), 100) {
+                if d.reordered {
+                    reordered += 1;
+                    let extra = d.at.duration_since(in_order);
+                    assert!(!extra.is_zero());
+                    assert!(extra <= SimDuration::from_micros(50), "extra = {extra}");
+                } else {
+                    assert_eq!(d.at, in_order);
+                }
+            }
+        }
+        assert!(
+            (1_200..1_800).contains(&reordered),
+            "reordered = {reordered}"
+        );
+        assert_eq!(n.stats().frames_reordered, reordered);
+    }
+
+    #[test]
+    fn per_link_profiles_are_asymmetric() {
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.set_link(
+            0,
+            1,
+            FaultProfile {
+                loss: 1.0,
+                ..FaultProfile::default()
+            },
+        );
+        let mut n = Network::new(2, cfg, SimRng::new(7));
+        for i in 0..50u64 {
+            let t = SimTime::from_nanos(i * 100_000);
+            assert!(matches!(
+                n.transmit(t, NodeId(0), NodeId(1), 100),
+                TxOutcome::Dropped(DropReason::RandomLoss)
+            ));
+            // The reverse direction is untouched.
+            assert!(matches!(
+                n.transmit(t, NodeId(1), NodeId(0), 100),
+                TxOutcome::Delivered(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn drop_after_kills_link_deterministically() {
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.set_link(
+            0,
+            1,
+            FaultProfile {
+                drop_after: Some(3),
+                ..FaultProfile::default()
+            },
+        );
+        let mut n = Network::new(2, cfg, SimRng::new(8));
+        let mut outcomes = Vec::new();
+        for i in 0..5u64 {
+            let t = SimTime::from_nanos(i * 10_000);
+            outcomes.push(matches!(
+                n.transmit(t, NodeId(0), NodeId(1), 100),
+                TxOutcome::Dropped(DropReason::LinkDown)
+            ));
+        }
+        assert_eq!(outcomes, vec![false, false, false, true, true]);
+        assert_eq!(n.stats().frames_link_down, 2);
+    }
+
+    #[test]
+    fn fault_config_validation_catches_bad_knobs() {
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.default.duplicate = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NetConfig::myri_10g();
+        cfg.faults.default.reorder = 0.1; // jitter left at zero
+        assert!(cfg.validate().is_err());
+        let mut cfg = NetConfig::myri_10g();
+        cfg.loss_probability = -0.1;
+        assert!(cfg.validate().is_err());
+        assert!(NetConfig::myri_10g().validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-08cea22485a2455c.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-08cea22485a2455c: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-b1375af3a350ece3.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-b1375af3a350ece3: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/faults-2630a5940c3ad92d.d: tests/faults.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/faults-2630a5940c3ad92d: tests/faults.rs tests/common/mod.rs
+
+tests/faults.rs:
+tests/common/mod.rs:

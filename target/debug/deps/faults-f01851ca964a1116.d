@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/faults-f01851ca964a1116.d: tests/faults.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-f01851ca964a1116.rmeta: tests/faults.rs tests/common/mod.rs Cargo.toml
+
+tests/faults.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/openmx_bench-40bf1c9ad4c0b443.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/openmx_bench-40bf1c9ad4c0b443.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libopenmx_bench-40bf1c9ad4c0b443.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libopenmx_bench-40bf1c9ad4c0b443.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/microbench.rs:
 crates/bench/src/paper.rs:
 crates/bench/src/pingpong.rs:

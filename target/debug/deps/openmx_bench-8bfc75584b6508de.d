@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/openmx_bench-8bfc75584b6508de.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/openmx_bench-8bfc75584b6508de.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/openmx_bench-8bfc75584b6508de: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/openmx_bench-8bfc75584b6508de: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/microbench.rs:
 crates/bench/src/paper.rs:
 crates/bench/src/pingpong.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/openmx_bench-f99ca1decda7042d.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/openmx_bench-f99ca1decda7042d.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/libopenmx_bench-f99ca1decda7042d.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libopenmx_bench-f99ca1decda7042d.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/libopenmx_bench-f99ca1decda7042d.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libopenmx_bench-f99ca1decda7042d.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/microbench.rs:
 crates/bench/src/paper.rs:
 crates/bench/src/pingpong.rs:

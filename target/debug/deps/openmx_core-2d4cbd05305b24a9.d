@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/openmx_core-2d4cbd05305b24a9.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs Cargo.toml
+/root/repo/target/debug/deps/openmx_core-2d4cbd05305b24a9.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/rto.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs Cargo.toml
 
-/root/repo/target/debug/deps/libopenmx_core-2d4cbd05305b24a9.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs Cargo.toml
+/root/repo/target/debug/deps/libopenmx_core-2d4cbd05305b24a9.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/rto.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
@@ -10,6 +10,7 @@ crates/core/src/endpoint.rs:
 crates/core/src/engine/mod.rs:
 crates/core/src/engine/ctx.rs:
 crates/core/src/engine/handlers.rs:
+crates/core/src/engine/rto.rs:
 crates/core/src/engine/xfer.rs:
 crates/core/src/obs/mod.rs:
 crates/core/src/obs/event.rs:

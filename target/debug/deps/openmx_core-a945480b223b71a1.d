@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/openmx_core-a945480b223b71a1.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs
+/root/repo/target/debug/deps/openmx_core-a945480b223b71a1.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/rto.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs
 
-/root/repo/target/debug/deps/libopenmx_core-a945480b223b71a1.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs
+/root/repo/target/debug/deps/libopenmx_core-a945480b223b71a1.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/rto.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs
 
-/root/repo/target/debug/deps/libopenmx_core-a945480b223b71a1.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs
+/root/repo/target/debug/deps/libopenmx_core-a945480b223b71a1.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/endpoint.rs crates/core/src/engine/mod.rs crates/core/src/engine/ctx.rs crates/core/src/engine/handlers.rs crates/core/src/engine/rto.rs crates/core/src/engine/xfer.rs crates/core/src/obs/mod.rs crates/core/src/obs/event.rs crates/core/src/obs/export.rs crates/core/src/obs/metrics.rs crates/core/src/obs/tracer.rs crates/core/src/region.rs crates/core/src/wire.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
@@ -12,6 +12,7 @@ crates/core/src/endpoint.rs:
 crates/core/src/engine/mod.rs:
 crates/core/src/engine/ctx.rs:
 crates/core/src/engine/handlers.rs:
+crates/core/src/engine/rto.rs:
 crates/core/src/engine/xfer.rs:
 crates/core/src/obs/mod.rs:
 crates/core/src/obs/event.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-0b084a6f41b7b67c.d: crates/bench/benches/simulation.rs
+
+/root/repo/target/debug/deps/simulation-0b084a6f41b7b67c: crates/bench/benches/simulation.rs
+
+crates/bench/benches/simulation.rs:

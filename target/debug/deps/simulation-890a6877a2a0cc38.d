@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-890a6877a2a0cc38.d: crates/bench/benches/simulation.rs
+
+/root/repo/target/debug/deps/simulation-890a6877a2a0cc38: crates/bench/benches/simulation.rs
+
+crates/bench/benches/simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structures-53c5a53a1e271898.d: crates/bench/benches/structures.rs
+
+/root/repo/target/debug/deps/structures-53c5a53a1e271898: crates/bench/benches/structures.rs
+
+crates/bench/benches/structures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structures-ca60befe52e17a87.d: crates/bench/benches/structures.rs
+
+/root/repo/target/debug/deps/structures-ca60befe52e17a87: crates/bench/benches/structures.rs
+
+crates/bench/benches/structures.rs:

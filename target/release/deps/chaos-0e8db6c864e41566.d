@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-0e8db6c864e41566.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-0e8db6c864e41566: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/openmx_bench-7f11c130cc245b47.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/openmx_bench-7f11c130cc245b47.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/libopenmx_bench-7f11c130cc245b47.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libopenmx_bench-7f11c130cc245b47.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/libopenmx_bench-7f11c130cc245b47.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libopenmx_bench-7f11c130cc245b47.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/pingpong.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/microbench.rs:
 crates/bench/src/paper.rs:
 crates/bench/src/pingpong.rs:
