@@ -61,14 +61,20 @@ impl RegionCache {
 
     /// Insert a freshly declared region. If the cache is over capacity the
     /// least recently used entry is evicted and returned — the caller must
-    /// undeclare it with the driver.
+    /// undeclare it with the driver. Re-inserting an already-cached segment
+    /// vector returns the *replaced* descriptor the same way: dropping it
+    /// silently would leak the old declaration in the driver forever.
     pub fn insert(&mut self, segments: Vec<Segment>, id: RegionId) -> Option<RegionId> {
         if self.capacity == 0 {
             // Caching disabled: the caller keeps sole ownership.
             return None;
         }
         self.clock += 1;
-        self.map.insert(segments, (id, self.clock));
+        if let Some((replaced, _)) = self.map.insert(segments, (id, self.clock)) {
+            // Replacement cannot overflow capacity (the key was present),
+            // so the displaced descriptor is the only one to hand back.
+            return if replaced == id { None } else { Some(replaced) };
+        }
         if self.map.len() > self.capacity {
             let victim_key = self
                 .map
@@ -102,6 +108,14 @@ impl RegionCache {
     /// Drain every entry (endpoint close). Caller undeclares them all.
     pub fn drain(&mut self) -> Vec<RegionId> {
         self.map.drain().map(|(_, (id, _))| id).collect()
+    }
+
+    /// Descriptors currently cached, sorted — deterministic introspection
+    /// for invariant oracles (the map itself iterates in hash order).
+    pub fn cached_ids(&self) -> Vec<RegionId> {
+        let mut ids: Vec<RegionId> = self.map.values().map(|(id, _)| *id).collect();
+        ids.sort_by_key(|r| r.0);
+        ids
     }
 
     /// Hit/miss counters so far.
@@ -187,6 +201,30 @@ mod tests {
         assert_eq!(c.insert(s.clone(), RegionId(1)), None);
         assert_eq!(c.lookup(&s), CacheOutcome::Miss);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_returns_replaced_id() {
+        // Regression: the replaced descriptor used to be dropped on the
+        // floor, leaking the old declaration in the driver forever.
+        let mut c = RegionCache::new(4);
+        let s = vec![seg(0x1000, 4096)];
+        assert_eq!(c.insert(s.clone(), RegionId(1)), None);
+        assert_eq!(c.insert(s.clone(), RegionId(2)), Some(RegionId(1)));
+        assert_eq!(c.lookup(&s), CacheOutcome::Hit(RegionId(2)));
+        assert_eq!(c.len(), 1);
+        // Re-inserting the *same* descriptor is a refresh, not a leak.
+        assert_eq!(c.insert(s.clone(), RegionId(2)), None);
+        assert_eq!(c.cached_ids(), vec![RegionId(2)]);
+    }
+
+    #[test]
+    fn cached_ids_are_sorted() {
+        let mut c = RegionCache::new(4);
+        c.insert(vec![seg(0x3000, 1)], RegionId(9));
+        c.insert(vec![seg(0x1000, 1)], RegionId(2));
+        c.insert(vec![seg(0x2000, 1)], RegionId(5));
+        assert_eq!(c.cached_ids(), vec![RegionId(2), RegionId(5), RegionId(9)]);
     }
 
     #[test]

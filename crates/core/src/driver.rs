@@ -55,32 +55,70 @@ impl Driver {
     /// Undeclare, releasing any pins. Returns pages released.
     ///
     /// # Panics
-    /// Panics if the region is still in use by a communication.
+    /// Panics with the `unknown region` message on any id that does not
+    /// name a declared region — including ids beyond the table (a hostile
+    /// or buggy caller must not be able to trigger a raw index
+    /// out-of-bounds), and if the region is still in use by a
+    /// communication.
     pub fn undeclare(&mut self, mem: &mut Memory, id: RegionId) -> u64 {
-        let mut region = self.regions[id.0 as usize]
-            .take()
+        let mut region = self
+            .regions
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
             .unwrap_or_else(|| panic!("undeclare of unknown region {id:?}"));
         assert_eq!(region.use_count, 0, "undeclare of in-use region {id:?}");
         region.unpin_all(mem)
     }
 
     /// Borrow a declared region.
+    ///
+    /// # Panics
+    /// Panics with the `unknown region` message on undeclared *and*
+    /// never-allocated ids alike; use [`Driver::try_region`] to probe.
     pub fn region(&self, id: RegionId) -> &DriverRegion {
-        self.regions[id.0 as usize]
-            .as_ref()
+        self.try_region(id)
             .unwrap_or_else(|| panic!("unknown region {id:?}"))
     }
 
     /// Mutably borrow a declared region.
+    ///
+    /// # Panics
+    /// Panics with the `unknown region` message on undeclared *and*
+    /// never-allocated ids alike; use [`Driver::try_region_mut`] to probe.
     pub fn region_mut(&mut self, id: RegionId) -> &mut DriverRegion {
-        self.regions[id.0 as usize]
-            .as_mut()
+        self.try_region_mut(id)
             .unwrap_or_else(|| panic!("unknown region {id:?}"))
+    }
+
+    /// Borrow a region if `id` names a declared one.
+    pub fn try_region(&self, id: RegionId) -> Option<&DriverRegion> {
+        self.regions.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutably borrow a region if `id` names a declared one.
+    pub fn try_region_mut(&mut self, id: RegionId) -> Option<&mut DriverRegion> {
+        self.regions.get_mut(id.0 as usize).and_then(Option::as_mut)
     }
 
     /// True if `id` names a declared region.
     pub fn is_declared(&self, id: RegionId) -> bool {
         self.regions.get(id.0 as usize).is_some_and(Option::is_some)
+    }
+
+    /// Every declared region with its id, in id order (invariant oracles).
+    pub fn iter_regions(&self) -> impl Iterator<Item = (RegionId, &DriverRegion)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (RegionId(i as u32), r)))
+    }
+
+    /// Sum of pinned pages across every declared region. With all pinning
+    /// flowing through regions this must equal the frame pool's
+    /// `pinned_pages()` at every event boundary — the harness's pin
+    /// accounting invariant.
+    pub fn pinned_pages_total(&self) -> u64 {
+        self.iter_regions().map(|(_, r)| r.pinned_pages()).sum()
     }
 
     /// MMU-notifier callback: unpin every region whose pages intersect the
@@ -125,13 +163,16 @@ impl Driver {
         };
         let mut evicted = Vec::new();
         while mem.frames().pinned_pages() as u64 + needed > limit as u64 {
-            // Idle pinned region with the oldest last_use.
+            // Idle pinned region with the oldest last_use. A region whose
+            // pin pass is currently running is not idle: evicting it would
+            // race the repin it is in the middle of (the cursor grows right
+            // back, and the eviction bought nothing).
             let victim = self
                 .regions
                 .iter()
                 .enumerate()
                 .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
-                .filter(|(_, r)| r.use_count == 0 && !r.unpinned())
+                .filter(|(_, r)| r.use_count == 0 && !r.unpinned() && !r.pinning_in_progress)
                 .min_by_key(|(_, r)| r.last_use)
                 .map(|(i, _)| i);
             let Some(idx) = victim else { break };
@@ -300,6 +341,165 @@ mod tests {
         let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40));
         assert!(evicted.is_empty());
         assert_eq!(d.stats().pressure_unpinned_pages, 4);
+    }
+
+    #[test]
+    fn garbage_ids_probe_gracefully() {
+        // A never-allocated id (way beyond the table) must hit the same
+        // `unknown region` path as an undeclared one — never a raw index
+        // out-of-bounds panic.
+        let (_, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let bogus = RegionId(9999);
+        assert!(!d.is_declared(bogus));
+        assert!(d.try_region(bogus).is_none());
+        assert!(d.try_region_mut(bogus).is_none());
+        let r = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: PAGE_SIZE,
+            }],
+        );
+        assert!(d.try_region(r).is_some());
+        assert_eq!(d.iter_regions().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region RegionId(9999)")]
+    fn region_of_garbage_id_panics_with_unknown_region() {
+        let d = Driver::new(None);
+        d.region(RegionId(9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region RegionId(9999)")]
+    fn region_mut_of_garbage_id_panics_with_unknown_region() {
+        let mut d = Driver::new(None);
+        d.region_mut(RegionId(9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclare of unknown region RegionId(9999)")]
+    fn undeclare_of_garbage_id_panics_with_unknown_region() {
+        let (mut mem, _, _) = setup();
+        let mut d = Driver::new(None);
+        d.undeclare(&mut mem, RegionId(9999));
+    }
+
+    #[test]
+    fn invalidate_during_pin_in_progress_is_reported() {
+        // An unmap can land while a region's pin pass is queued on a core
+        // but before any page is pinned. The region is "unpinned", yet the
+        // invalidation must still be surfaced so the engine restarts the
+        // pin plan against the new mapping instead of pinning stale state.
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let r = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: 2 * PAGE_SIZE,
+            }],
+        );
+        d.region_mut(r).pinning_in_progress = true;
+        let events = mem.munmap(space, addr, 2 * PAGE_SIZE).unwrap();
+        let hit = d.handle_invalidate(&mut mem, &events[0]);
+        assert_eq!(hit, vec![(r, 0)]);
+        assert!(
+            !d.region(r).pinning_in_progress,
+            "unpin_all resets the flag"
+        );
+        // Same race with pages already behind the cursor: they come off.
+        let again = mem.mmap(space, 2 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert_eq!(again, addr);
+        d.region_mut(r).pin_next_chunk(&mut mem, 1).unwrap();
+        d.region_mut(r).pinning_in_progress = true;
+        let events = mem.munmap(space, addr, 2 * PAGE_SIZE).unwrap();
+        let hit = d.handle_invalidate(&mut mem, &events[0]);
+        assert_eq!(hit, vec![(r, 1)]);
+        assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn invalidation_range_is_filtered_by_address_space() {
+        // Two spaces map the same virtual range (VAs are per-space), each
+        // with a declared, pinned region over it. A notifier event names a
+        // space; only that space's region may be invalidated even though
+        // the other region's layout intersects the range numerically.
+        let mut mem = Memory::new(1024, 0);
+        let s1 = mem.create_space();
+        let s2 = mem.create_space();
+        mem.register_notifier(s1).unwrap();
+        mem.register_notifier(s2).unwrap();
+        let a1 = mem.mmap(s1, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let a2 = mem.mmap(s2, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert_eq!(a1, a2, "fresh spaces hand out the same base address");
+        let mut d = Driver::new(None);
+        let r1 = d.declare(
+            s1,
+            &[Segment {
+                addr: a1,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        let r2 = d.declare(
+            s2,
+            &[Segment {
+                addr: a2,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        d.region_mut(r1).pin_next_chunk(&mut mem, 100).unwrap();
+        d.region_mut(r2).pin_next_chunk(&mut mem, 100).unwrap();
+        assert_eq!(mem.frames().pinned_pages(), 8);
+
+        // s1's unmap straddles both regions' numeric ranges.
+        let events = mem.munmap(s1, a1, 4 * PAGE_SIZE).unwrap();
+        let hit = d.handle_invalidate(&mut mem, &events[0]);
+        assert_eq!(hit, vec![(r1, 4)]);
+        assert!(d.region(r1).unpinned());
+        assert!(d.region(r2).fully_pinned(), "other space untouched");
+        assert_eq!(mem.frames().pinned_pages(), 4);
+    }
+
+    #[test]
+    fn pressure_eviction_skips_region_mid_repin() {
+        // A repin racing memory pressure: the older region is mid-pin
+        // (in_progress), so eviction must take the younger idle one — and
+        // give up entirely when only in-progress regions remain, rather
+        // than unpinning pages the racing pin pass immediately re-pins.
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(Some(6));
+        let r1 = d.declare(
+            space,
+            &[Segment {
+                addr,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        let r2 = d.declare(
+            space,
+            &[Segment {
+                addr: addr.add(4 * PAGE_SIZE),
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        d.region_mut(r1).pin_next_chunk(&mut mem, 100).unwrap();
+        d.region_mut(r1).last_use = SimTime::from_nanos(10);
+        d.region_mut(r1).pinning_in_progress = true;
+        d.region_mut(r2).pin_next_chunk(&mut mem, 100).unwrap();
+        d.region_mut(r2).last_use = SimTime::from_nanos(20);
+
+        // r1 is older but repinning: r2 must be the victim.
+        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30));
+        assert_eq!(evicted, vec![(r2, 4)]);
+        assert!(d.region(r1).fully_pinned());
+
+        // Only the in-progress region is left: no victim, no livelock.
+        let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40));
+        assert!(evicted.is_empty());
+        assert_eq!(mem.frames().pinned_pages(), 4);
     }
 
     #[test]

@@ -146,25 +146,29 @@ impl Cluster {
     }
 
     /// Gather the bytes of a segment vector through a process's page
-    /// tables (the user-context copy of the eager/shm paths).
-    fn read_segments(&mut self, proc: ProcId, segments: &[Segment], len: u64) -> Vec<u8> {
+    /// tables (the user-context copy of the eager/shm paths). Fails when
+    /// the source range is no longer mapped — the copy takes a fault, and
+    /// the request must abort cleanly instead of wedging the engine.
+    fn read_segments(
+        &mut self,
+        proc: ProcId,
+        segments: &[Segment],
+        len: u64,
+    ) -> Result<Vec<u8>, simmem::MemError> {
         let idx = proc.0 as usize;
         let node = self.procs[idx].node;
         let space = self.procs[idx].space;
         let mut data = vec![0u8; len as usize];
         let mut cursor = 0usize;
         for seg in segments {
-            self.nodes[node]
-                .mem
-                .read(
-                    space,
-                    seg.addr,
-                    &mut data[cursor..cursor + seg.len as usize],
-                )
-                .expect("send source fault");
+            self.nodes[node].mem.read(
+                space,
+                seg.addr,
+                &mut data[cursor..cursor + seg.len as usize],
+            )?;
             cursor += seg.len as usize;
         }
-        data
+        Ok(data)
     }
 
     // ================== shared-memory (intra-node) path ==================
@@ -180,7 +184,11 @@ impl Cluster {
     ) {
         let msg = self.alloc_msg();
         let node = self.procs[proc.0 as usize].node;
-        let data = self.read_segments(proc, segments, len);
+        let Ok(data) = self.read_segments(proc, segments, len) else {
+            self.nodes[node].counters.bump("requests_failed");
+            self.notify_app(proc, AppEvent::Failed(req, "send source unmapped"));
+            return;
+        };
         self.xfers.shm.insert(
             msg,
             ShmParked {
@@ -249,12 +257,21 @@ impl Cluster {
         let idx = proc.0 as usize;
         let node = self.procs[idx].node;
         let space = self.procs[idx].space;
-        let events = self.nodes[node]
+        match self.nodes[node]
             .mem
             .write(space, addr, &parked.data[..copy_len as usize])
-            .expect("shm deliver fault");
-        self.dispatch_notifier_events(node, &events);
-        self.notify_app(proc, AppEvent::RecvDone(req, copy_len));
+        {
+            Ok(events) => {
+                self.dispatch_notifier_events(node, &events);
+                self.notify_app(proc, AppEvent::RecvDone(req, copy_len));
+            }
+            Err(_) => {
+                // The receiver unmapped its posted buffer mid-delivery:
+                // the copy faults (EFAULT), the request fails cleanly.
+                self.nodes[node].counters.bump("requests_failed");
+                self.notify_app(proc, AppEvent::Failed(req, "receive buffer unmapped"));
+            }
+        }
     }
 
     // ================== eager path ==================
@@ -270,7 +287,11 @@ impl Cluster {
     ) {
         let msg = self.alloc_msg();
         let node = self.procs[proc.0 as usize].node;
-        let data = self.read_segments(proc, segments, len);
+        let Ok(data) = self.read_segments(proc, segments, len) else {
+            self.nodes[node].counters.bump("requests_failed");
+            self.notify_app(proc, AppEvent::Failed(req, "send source unmapped"));
+            return;
+        };
         self.xfers.eager_tx.insert(
             msg,
             EagerTx {
@@ -430,15 +451,26 @@ impl Cluster {
         let idx = m.proc.0 as usize;
         let node = self.procs[idx].node;
         let space = self.procs[idx].space;
-        let events = self.nodes[node]
-            .mem
-            .write(space, m.addr, &m.rx.buffer[..m.copy_len as usize])
-            .expect("eager deliver fault");
-        self.dispatch_notifier_events(node, &events);
+        let delivered =
+            self.nodes[node]
+                .mem
+                .write(space, m.addr, &m.rx.buffer[..m.copy_len as usize]);
+        // Ack either way: the message *was* received. A receiver that
+        // unmapped its posted buffer gets a clean local failure (EFAULT on
+        // the copy); the sender must not retransmit into the same fault.
         self.procs[idx].endpoint.mark_completed(msg);
         let ack = self.frame(m.proc, m.rx.src, WireMsg::EagerAck { msg });
         self.transmit(ack);
-        self.notify_app(m.proc, AppEvent::RecvDone(m.req, m.copy_len));
+        match delivered {
+            Ok(events) => {
+                self.dispatch_notifier_events(node, &events);
+                self.notify_app(m.proc, AppEvent::RecvDone(m.req, m.copy_len));
+            }
+            Err(_) => {
+                self.nodes[node].counters.bump("requests_failed");
+                self.notify_app(m.proc, AppEvent::Failed(m.req, "receive buffer unmapped"));
+            }
+        }
     }
 
     // ================== rendezvous send side ==================
@@ -1430,6 +1462,13 @@ impl Cluster {
                 .expect("plan");
             plan.in_progress = true;
             plan.started_at = Some(now);
+            // Mirror into the driver's region state: the notifier and the
+            // pressure evictor must see that a pin pass is in flight even
+            // while the cursor still reads zero.
+            self.nodes[node]
+                .driver
+                .region_mut(region)
+                .pinning_in_progress = true;
             self.emit(
                 node,
                 Some(proc),
@@ -1504,6 +1543,9 @@ impl Cluster {
         let result = {
             let n = &mut self.nodes[node];
             let r = n.driver.region_mut(region);
+            // Re-assert the flag: a notifier invalidation between chunks
+            // clears it via unpin_all, but this pass is still running.
+            r.pinning_in_progress = true;
             r.pin_next_chunk(&mut n.mem, want)
         };
         match result {
@@ -1565,6 +1607,9 @@ impl Cluster {
 
     fn finish_pin_plan(&mut self, node: usize, region: RegionId, cursor: u64) {
         let now = self.now;
+        if let Some(r) = self.nodes[node].driver.try_region_mut(region) {
+            r.pinning_in_progress = false;
+        }
         if let Some(plan) = self.xfers.pin_plans.get_mut(&(node, region.0)) {
             let was_running = plan.in_progress;
             plan.in_progress = false;

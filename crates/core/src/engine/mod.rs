@@ -222,6 +222,9 @@ pub struct Cluster {
     pub(crate) tracer: Tracer,
     pub(crate) metrics: Metrics,
     pub(crate) now: SimTime,
+    /// `start` callbacks have run (they run exactly once, whether the
+    /// cluster is driven by [`Cluster::run`] or stepped externally).
+    pub(crate) started: bool,
     /// Fabric round-trip estimator feeding adaptive retransmission.
     pub(crate) rtt: RttEstimator,
     /// Dedicated stream for retransmission-timeout jitter (keeps backoff
@@ -265,6 +268,7 @@ impl Cluster {
             tracer: Tracer::disabled(),
             metrics: Metrics::new(),
             now: SimTime::ZERO,
+            started: false,
             rtt: RttEstimator::default(),
             retrans_rng: rng.derive_stream("retrans"),
         }
@@ -325,9 +329,13 @@ impl Cluster {
         &self.metrics
     }
 
-    /// Run: start every process, then drain events until quiescence or
-    /// `deadline`. Returns the final simulated time.
-    pub fn run(&mut self, deadline: Option<SimTime>) -> SimTime {
+    /// Run every process's `start` callback. Idempotent: the callbacks
+    /// fire exactly once, on the first `start`/`run`/`step_until` call.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         for p in 0..self.procs.len() {
             let proc = ProcId(p as u32);
             let mut app = self.procs[p].app.take().expect("app present");
@@ -335,17 +343,74 @@ impl Cluster {
             app.start(&mut ctx);
             self.procs[p].app = Some(app);
         }
-        while let Some((t, ev)) = self.queue.pop() {
-            if let Some(d) = deadline {
-                if t > d {
-                    self.now = d;
-                    break;
+    }
+
+    /// Run: start every process (first call only), then drain events until
+    /// quiescence or `deadline`. An event scheduled past the deadline stays
+    /// queued — earlier revisions popped and *discarded* it, silently
+    /// dropping one event from any continuation. Returns the final
+    /// simulated time.
+    pub fn run(&mut self, deadline: Option<SimTime>) -> SimTime {
+        self.start();
+        match deadline {
+            None => {
+                while let Some((t, ev)) = self.queue.pop() {
+                    self.now = t;
+                    self.dispatch(ev);
                 }
             }
-            self.now = t;
-            self.dispatch(ev);
+            Some(d) => {
+                while let Some(t) = self.queue.peek_time() {
+                    if t > d {
+                        self.now = d;
+                        break;
+                    }
+                    let (t, ev) = self.queue.pop().expect("peeked event");
+                    self.now = t;
+                    self.dispatch(ev);
+                }
+            }
         }
         self.now
+    }
+
+    /// Dispatch every event up to and including `deadline`, then advance
+    /// the clock to `deadline` exactly. Later events stay queued, so an
+    /// external driver (the `simtest` explorer) can interleave its own
+    /// actions — posting transfers, mutating address spaces — between
+    /// steps and observe invariants at a quiescent instant. Returns how
+    /// many events were dispatched.
+    pub fn step_until(&mut self, deadline: SimTime) -> usize {
+        self.start();
+        let mut dispatched = 0usize;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
+            self.now = t;
+            self.dispatch(ev);
+            dispatched += 1;
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+        dispatched
+    }
+
+    /// Timestamp of the next pending event, if any — `None` means the
+    /// simulation is quiescent.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Run a closure against a process's [`Ctx`] from outside the event
+    /// loop — the entry point for external schedule drivers: post
+    /// sends/receives, write or read buffers, stop the process. Whatever
+    /// the call schedules runs on the next `step_until`/`run`.
+    pub fn drive<R>(&mut self, proc: ProcId, f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+        let mut ctx = Ctx::new(self, proc);
+        f(&mut ctx)
     }
 
     /// Current simulated time.
@@ -404,6 +469,182 @@ impl Cluster {
     /// The node a process runs on.
     pub fn node_of(&self, proc: ProcId) -> usize {
         self.procs[proc.0 as usize].node
+    }
+
+    // ---- harness introspection (invariant oracles) -------------------
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kernel-side driver of `node` (read-only introspection).
+    pub fn driver(&self, node: usize) -> &Driver {
+        &self.nodes[node].driver
+    }
+
+    /// The memory subsystem of `node` (read-only introspection).
+    pub fn memory(&self, node: usize) -> &Memory {
+        &self.nodes[node].mem
+    }
+
+    /// Mutable memory access — fault-injection hook for test harnesses
+    /// that deliberately corrupt kernel state (e.g. leak a pin) to prove
+    /// their invariant oracle catches it. Not for applications.
+    pub fn memory_mut(&mut self, node: usize) -> &mut Memory {
+        &mut self.nodes[node].mem
+    }
+
+    /// The address space backing a process.
+    pub fn space_of(&self, proc: ProcId) -> AsId {
+        self.procs[proc.0 as usize].space
+    }
+
+    /// Region descriptors currently held by a process's user-space cache,
+    /// sorted by id.
+    pub fn cached_region_ids(&self, proc: ProcId) -> Vec<RegionId> {
+        self.procs[proc.0 as usize].cache.cached_ids()
+    }
+
+    /// In-flight transfer state entries across every protocol table —
+    /// zero means every posted operation has fully drained.
+    pub fn inflight_xfers(&self) -> usize {
+        let x = &self.xfers;
+        x.eager_tx.len()
+            + x.eager_rx.len()
+            + x.send.len()
+            + x.recv.len()
+            + x.notify_pending.len()
+            + x.shm.len()
+            + x.ioat.len()
+            + x.pin_plans.len()
+    }
+
+    /// Live (non-cancelled) events still pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ---- harness VM churn (the hostile-application model) ------------
+    //
+    // These mutate a process's address space *from outside* — the moves a
+    // real application (or the kernel) makes underneath an in-flight
+    // transfer: unmap, remap, fork + COW, swap, migration. Each routes the
+    // resulting MMU-notifier events into the node's driver exactly like
+    // the in-engine paths do.
+
+    /// Map `len` bytes of fresh zeroed pages in a process's space,
+    /// bypassing its heap — harness buffers must be unmappable/remappable
+    /// at fixed addresses without confusing malloc bookkeeping.
+    pub fn vm_mmap(&mut self, proc: ProcId, len: u64) -> simmem::VirtAddr {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        self.nodes[node]
+            .mem
+            .mmap(space, len, simmem::Prot::ReadWrite)
+            .expect("harness mmap")
+    }
+
+    /// Re-map a previously unmapped harness buffer at the same address.
+    pub fn vm_mmap_at(
+        &mut self,
+        proc: ProcId,
+        addr: simmem::VirtAddr,
+        len: u64,
+    ) -> Result<(), simmem::MemError> {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        self.nodes[node]
+            .mem
+            .mmap_at(space, addr, len, simmem::Prot::ReadWrite)
+            .map(|_| ())
+    }
+
+    /// Unmap `[addr, addr+len)` in a process's space, firing MMU-notifier
+    /// invalidations into the driver (the free-then-invalidate flow).
+    pub fn vm_munmap(
+        &mut self,
+        proc: ProcId,
+        addr: simmem::VirtAddr,
+        len: u64,
+    ) -> Result<(), simmem::MemError> {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        let events = self.nodes[node].mem.munmap(space, addr, len)?;
+        self.dispatch_notifier_events(node, &events);
+        Ok(())
+    }
+
+    /// Fork a process's address space (all pages go copy-on-write on both
+    /// sides). Returns the child space id; destroy it with
+    /// [`Cluster::vm_destroy_space`].
+    pub fn vm_fork(&mut self, proc: ProcId) -> Result<AsId, simmem::MemError> {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        self.nodes[node].mem.fork_space(space)
+    }
+
+    /// Destroy a forked child space on `node`, dispatching its `Release`
+    /// notifier event (if one was registered).
+    pub fn vm_destroy_space(&mut self, node: usize, space: AsId) -> Result<(), simmem::MemError> {
+        let events = self.nodes[node].mem.destroy_space(space)?;
+        self.dispatch_notifier_events(node, &events);
+        Ok(())
+    }
+
+    /// Swap out every resident, unpinned page of `[addr, addr+len)` in a
+    /// process's space (pinned pages refuse, like the kernel's). Notifier
+    /// events reach the driver. Returns pages actually swapped.
+    pub fn vm_swap_out(&mut self, proc: ProcId, addr: simmem::VirtAddr, len: u64) -> usize {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        let vpns = self.nodes[node].mem.resident_vpns_in(space, addr, len);
+        let mut swapped = 0usize;
+        for vpn in vpns {
+            match self.nodes[node].mem.swap_out(space, vpn) {
+                Ok(events) => {
+                    self.dispatch_notifier_events(node, &events);
+                    swapped += 1;
+                }
+                Err(_) => continue, // pinned, or swap full — kernel moves on
+            }
+        }
+        swapped
+    }
+
+    /// Fault the pages of `[addr, addr+len)` back in (a read touch per
+    /// page, discarding the data).
+    pub fn vm_swap_in(
+        &mut self,
+        proc: ProcId,
+        addr: simmem::VirtAddr,
+        len: u64,
+    ) -> Result<(), simmem::MemError> {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        let mut buf = vec![0u8; len as usize];
+        self.nodes[node].mem.read(space, addr, &mut buf)?;
+        Ok(())
+    }
+
+    /// Migrate every resident, unpinned page of `[addr, addr+len)` to a
+    /// different frame (compaction/NUMA model; pinned pages refuse).
+    /// Returns pages actually migrated.
+    pub fn vm_migrate(&mut self, proc: ProcId, addr: simmem::VirtAddr, len: u64) -> usize {
+        let idx = proc.0 as usize;
+        let (node, space) = (self.procs[idx].node, self.procs[idx].space);
+        let vpns = self.nodes[node].mem.resident_vpns_in(space, addr, len);
+        let mut moved = 0usize;
+        for vpn in vpns {
+            match self.nodes[node].mem.migrate(space, vpn) {
+                Ok(events) => {
+                    self.dispatch_notifier_events(node, &events);
+                    moved += 1;
+                }
+                Err(_) => continue,
+            }
+        }
+        moved
     }
 
     // ---- internal helpers shared by ctx & handlers -------------------

@@ -1,0 +1,233 @@
+//! Randomized differential test of [`RegionCache`] against a naive
+//! reference model.
+//!
+//! The model is a flat `Vec` with linear scans and explicit LRU stamps —
+//! slow but obviously correct. Both implementations are driven through
+//! the same seeded op sequence (lookup / insert / remove / drain) over a
+//! small key universe so collisions, replacements and evictions all
+//! happen often, and every response is compared. A descriptor-conservation
+//! ledger additionally checks that every inserted id is handed back
+//! exactly once (evicted, replaced, removed or drained) or still cached
+//! at the end — i.e. the cache can never leak a driver declaration.
+
+use openmx_core::cache::{CacheOutcome, RegionCache};
+use openmx_core::driver::RegionId;
+use openmx_core::region::Segment;
+use simcore::SimRng;
+use simmem::VirtAddr;
+use std::collections::BTreeSet;
+
+/// Naive reference: (key, id, lru-stamp) triples, linear everything.
+struct ModelCache {
+    capacity: usize,
+    entries: Vec<(Vec<Segment>, RegionId, u64)>,
+    clock: u64,
+}
+
+impl ModelCache {
+    fn new(capacity: usize) -> Self {
+        ModelCache {
+            capacity,
+            entries: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    fn lookup(&mut self, key: &[Segment]) -> Option<RegionId> {
+        self.clock += 1;
+        for (k, id, stamp) in &mut self.entries {
+            if k == key {
+                *stamp = self.clock;
+                return Some(*id);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, key: Vec<Segment>, id: RegionId) -> Option<RegionId> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.clock += 1;
+        for (k, old, stamp) in &mut self.entries {
+            if *k == key {
+                let replaced = *old;
+                *old = id;
+                *stamp = self.clock;
+                return if replaced == id { None } else { Some(replaced) };
+            }
+        }
+        self.entries.push((key, id, self.clock));
+        if self.entries.len() > self.capacity {
+            // Stamps are unique (the clock ticks on every op), so the
+            // LRU victim is unambiguous.
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, stamp))| *stamp)
+                .map(|(i, _)| i)
+                .unwrap();
+            let (_, id, _) = self.entries.remove(victim);
+            return Some(id);
+        }
+        None
+    }
+
+    fn remove_by_id(&mut self, id: RegionId) -> bool {
+        match self.entries.iter().position(|(_, rid, _)| *rid == id) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn drain(&mut self) -> Vec<RegionId> {
+        self.entries.drain(..).map(|(_, id, _)| id).collect()
+    }
+
+    fn cached_ids(&self) -> Vec<RegionId> {
+        let mut ids: Vec<RegionId> = self.entries.iter().map(|(_, id, _)| *id).collect();
+        ids.sort_by_key(|r| r.0);
+        ids
+    }
+}
+
+fn key_universe() -> Vec<Vec<Segment>> {
+    // Small on purpose: repeated lookups/inserts of the same keys are the
+    // interesting cases. Includes multi-segment keys and a shared-prefix
+    // pair to make sure the whole vector is the key.
+    let seg = |addr: u64, len: u64| Segment {
+        addr: VirtAddr(addr),
+        len,
+    };
+    vec![
+        vec![seg(0x1000, 4096)],
+        vec![seg(0x1000, 8192)],
+        vec![seg(0x2000, 4096)],
+        vec![seg(0x3000, 12288)],
+        vec![seg(0x1000, 4096), seg(0x2000, 4096)],
+        vec![seg(0x1000, 4096), seg(0x2000, 8192)],
+        vec![seg(0x5000, 4096), seg(0x7000, 4096), seg(0x9000, 4096)],
+    ]
+}
+
+/// Drive both caches through one seeded op sequence and compare every
+/// response plus the final contents; return the conservation ledger
+/// outcome (ids handed back + ids still cached).
+fn run_one(seed: u64, capacity: usize, ops: usize) {
+    let keys = key_universe();
+    let mut rng = SimRng::new(seed).derive_stream("cache-model");
+    let mut real = RegionCache::new(capacity);
+    let mut model = ModelCache::new(capacity);
+
+    let mut next_id = 0u32;
+    let mut issued: BTreeSet<RegionId> = BTreeSet::new();
+    let mut returned: Vec<RegionId> = Vec::new();
+
+    for opno in 0..ops {
+        match rng.below(10) {
+            // Lookup (the common path).
+            0..=4 => {
+                let key = &keys[rng.below(keys.len() as u64) as usize];
+                let got = real.lookup(key);
+                let want = model.lookup(key);
+                match (got, want) {
+                    (CacheOutcome::Hit(a), Some(b)) => {
+                        assert_eq!(a, b, "seed {seed} op {opno}: hit id diverged")
+                    }
+                    (CacheOutcome::Miss, None) => {}
+                    other => panic!("seed {seed} op {opno}: lookup diverged: {other:?}"),
+                }
+            }
+            // Insert a fresh descriptor (miss-then-declare path).
+            5..=7 => {
+                let key = keys[rng.below(keys.len() as u64) as usize].clone();
+                next_id += 1;
+                let id = RegionId(next_id);
+                issued.insert(id);
+                let got = real.insert(key.clone(), id);
+                let want = model.insert(key, id);
+                assert_eq!(got, want, "seed {seed} op {opno}: insert diverged");
+                returned.extend(got);
+            }
+            // Remove a random ever-issued id (space-death path).
+            8 => {
+                if issued.is_empty() {
+                    continue;
+                }
+                let pick = rng.below(issued.len() as u64) as usize;
+                let id = *issued.iter().nth(pick).unwrap();
+                let got = real.remove_by_id(id);
+                let want = model.remove_by_id(id);
+                assert_eq!(got, want, "seed {seed} op {opno}: remove diverged");
+                if got {
+                    returned.push(id);
+                }
+            }
+            // Drain (endpoint close), then keep going on the empty cache.
+            _ => {
+                let mut got = real.drain();
+                let mut want = model.drain();
+                got.sort_by_key(|r| r.0);
+                want.sort_by_key(|r| r.0);
+                assert_eq!(got, want, "seed {seed} op {opno}: drain diverged");
+                returned.extend(got);
+                assert!(real.is_empty());
+            }
+        }
+        assert_eq!(
+            real.cached_ids(),
+            model.cached_ids(),
+            "seed {seed} op {opno}: contents diverged"
+        );
+        assert_eq!(real.len(), model.entries.len());
+        assert!(real.len() <= capacity);
+    }
+
+    // Conservation: every issued id was handed back exactly once, or is
+    // still cached (and never both). A double return would double-free a
+    // driver declaration; a missing one would leak it.
+    let cached: BTreeSet<RegionId> = real.cached_ids().into_iter().collect();
+    let mut seen: BTreeSet<RegionId> = BTreeSet::new();
+    for id in &returned {
+        assert!(seen.insert(*id), "seed {seed}: id {id:?} returned twice");
+        assert!(
+            !cached.contains(id),
+            "seed {seed}: id {id:?} both returned and still cached"
+        );
+    }
+    if capacity > 0 {
+        for id in &issued {
+            assert!(
+                seen.contains(id) || cached.contains(id),
+                "seed {seed}: id {id:?} leaked (never returned, not cached)"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_matches_reference_model() {
+    for seed in 0..40 {
+        let capacity = [1, 2, 3, 4, 8][seed as usize % 5];
+        run_one(seed, capacity, 400);
+    }
+}
+
+#[test]
+fn cache_matches_reference_model_zero_capacity() {
+    // Degenerate but supported: caching disabled, every lookup misses,
+    // inserts hand ownership straight back (as None — caller keeps it).
+    run_one(1234, 0, 200);
+}
+
+#[test]
+fn cache_matches_reference_model_large_capacity() {
+    // Capacity above the key universe: no evictions, only replacements.
+    for seed in 100..110 {
+        run_one(seed, 16, 300);
+    }
+}

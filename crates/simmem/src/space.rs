@@ -551,6 +551,36 @@ impl Memory {
         }
     }
 
+    /// True if `id` names a live (created and not destroyed) address space.
+    pub fn space_exists(&self, id: AsId) -> bool {
+        self.spaces.get(id.0 as usize).is_some_and(Option::is_some)
+    }
+
+    /// Ids of every live address space, in id order.
+    pub fn space_ids(&self) -> Vec<AsId> {
+        self.spaces
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| AsId(i as u32))
+            .collect()
+    }
+
+    /// Pages of `[addr, addr+len)` that are resident right now, in address
+    /// order — lets harnesses target swap-out/migration deterministically.
+    pub fn resident_vpns_in(&self, id: AsId, addr: VirtAddr, len: u64) -> Vec<Vpn> {
+        let Ok(space) = self.space(id) else {
+            return Vec::new();
+        };
+        let range = VpnRange::covering(addr, len.max(1));
+        space
+            .ptes
+            .range(range.as_raw())
+            .filter(|(_, pte)| matches!(pte, Pte::Resident { .. }))
+            .map(|(&vpn, _)| Vpn(vpn))
+            .collect()
+    }
+
     /// Direct physical read (what the driver does with pinned pages: "the
     /// kernel may remap it at a temporary virtual location and memcpy").
     pub fn read_phys(&self, pfn: Pfn, offset: u64, buf: &mut [u8]) {

@@ -1,0 +1,151 @@
+//! Delta-debugging schedule shrinker.
+//!
+//! Given a failing schedule, [`shrink`] searches for a smaller one that
+//! still fails: classic ddmin chunk removal over the op list, then
+//! structural reduction (fewer nodes / processes — op indices are taken
+//! modulo the shape, so every op stays valid), then per-op simplification
+//! (smaller transfers, shorter advances). Every candidate is judged by
+//! actually re-running it, so the result is guaranteed to reproduce *some*
+//! violation — not necessarily the identical one, which is standard for
+//! delta debugging and fine for a repro.
+
+use crate::exec::{run_schedule_catching, Mutation};
+use crate::schedule::{Op, Schedule};
+
+/// Shrink a failing schedule. Returns the smallest failing schedule found
+/// and how many candidate runs were spent. `max_runs` bounds the total
+/// work; the input is returned unchanged if it does not fail at all.
+pub fn shrink(s: &Schedule, mutation: Option<Mutation>, max_runs: usize) -> (Schedule, usize) {
+    let mut runs = 0usize;
+    let fails = |cand: &Schedule, runs: &mut usize| -> bool {
+        *runs += 1;
+        !run_schedule_catching(cand, mutation).violations.is_empty()
+    };
+    if !fails(s, &mut runs) {
+        return (s.clone(), runs);
+    }
+    let mut best = s.clone();
+
+    // Phase 1: ddmin chunk removal over the op list.
+    let mut n = 2usize;
+    while best.ops.len() >= 2 && runs < max_runs {
+        let chunk = best.ops.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < best.ops.len() && runs < max_runs {
+            let end = (start + chunk).min(best.ops.len());
+            let mut cand = best.clone();
+            cand.ops.drain(start..end);
+            if fails(&cand, &mut runs) {
+                best = cand;
+                reduced = true;
+                // Same start: the next chunk slid into this position.
+            } else {
+                start = end;
+            }
+        }
+        if reduced {
+            n = n.saturating_sub(1).max(2);
+        } else if chunk <= 1 {
+            break;
+        } else {
+            n = (n * 2).min(best.ops.len().max(2));
+        }
+    }
+    // Try the empty schedule outright (mutation-only failures).
+    if !best.ops.is_empty() && runs < max_runs {
+        let mut cand = best.clone();
+        cand.ops.clear();
+        if fails(&cand, &mut runs) {
+            best = cand;
+        }
+    }
+
+    // Phase 2: structural reduction — smaller cluster shapes.
+    for (nodes, ppn) in [(2u8, 1u8), (2, 2), (3, 1)] {
+        if runs >= max_runs {
+            break;
+        }
+        let smaller =
+            (nodes as usize * ppn as usize) < (best.nodes as usize * best.procs_per_node as usize);
+        if !smaller {
+            continue;
+        }
+        let mut cand = best.clone();
+        cand.nodes = nodes;
+        cand.procs_per_node = ppn;
+        if fails(&cand, &mut runs) {
+            best = cand;
+        }
+    }
+
+    // Phase 3: per-op simplification.
+    for i in 0..best.ops.len() {
+        if runs >= max_runs {
+            break;
+        }
+        match best.ops[i] {
+            Op::Xfer { len, .. } => {
+                for smaller in [2048u32, 16_384, 65_536] {
+                    if smaller >= len || runs >= max_runs {
+                        continue;
+                    }
+                    let mut cand = best.clone();
+                    if let Op::Xfer { len, .. } = &mut cand.ops[i] {
+                        *len = smaller;
+                    }
+                    if fails(&cand, &mut runs) {
+                        best = cand;
+                        break;
+                    }
+                }
+            }
+            Op::Advance { ticks } if ticks > 1 => {
+                let mut cand = best.clone();
+                cand.ops[i] = Op::Advance { ticks: 1 };
+                if fails(&cand, &mut runs) {
+                    best = cand;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    (best, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{generate, profile_by_name};
+
+    #[test]
+    fn non_failing_schedule_is_returned_unchanged() {
+        let s = Schedule {
+            seed: 11,
+            profile: "churn".into(),
+            nodes: 2,
+            procs_per_node: 1,
+            ops: vec![Op::Advance { ticks: 2 }],
+        };
+        let (out, runs) = shrink(&s, None, 50);
+        assert_eq!(out, s);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn mutation_failure_shrinks_to_nearly_nothing() {
+        let p = profile_by_name("churn").unwrap();
+        let s = generate(21, &p);
+        let m = Some(Mutation::LeakPin { after_op: 3 });
+        assert!(!run_schedule_catching(&s, m).violations.is_empty());
+        let (small, _runs) = shrink(&s, m, 200);
+        assert!(
+            small.ops.len() <= 10,
+            "shrunk to {} ops: {:?}",
+            small.ops.len(),
+            small.ops
+        );
+        assert!(!run_schedule_catching(&small, m).violations.is_empty());
+    }
+}

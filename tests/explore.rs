@@ -1,0 +1,135 @@
+//! Simulation-test harness regression suite.
+//!
+//! Three layers of defense, all replayable from strings or single seeds:
+//!
+//! * a smoke sweep of freshly generated schedules per op-mix profile,
+//! * a pinned corpus of repro strings (schedules that exercise every
+//!   churn kind against in-flight transfers) replayed verbatim,
+//! * mutation tests proving the invariant oracle actually catches the
+//!   bug classes it claims to, and that the shrinker minimizes a failure
+//!   to a handful of ops whose repro string replays deterministically.
+
+use simtest::{
+    decode, encode, explore, generate, profile_by_name, profiles, run_schedule_catching, shrink,
+    Mutation, Violation,
+};
+
+#[test]
+fn explore_smoke_all_profiles() {
+    for p in profiles() {
+        let r = explore(&p, 0, 3, 10);
+        assert_eq!(r.runs, 3);
+        assert!(
+            r.failures.is_empty(),
+            "profile {}: seed 0x{:x} violated: {:?}",
+            p.name,
+            r.failures[0].seed,
+            r.failures[0].violations
+        );
+        assert!(r.xfers > 0, "profile {} posted no transfers", p.name);
+        assert!(
+            r.completions > 0,
+            "profile {} observed no completions",
+            p.name
+        );
+    }
+}
+
+/// Pinned corpus: hand-minimized schedules covering each churn kind
+/// landing on an in-flight transfer. Replayed verbatim from the repro
+/// string — exactly the path a shrunk failure report would take.
+#[test]
+fn pinned_repro_corpus_is_clean() {
+    let corpus = [
+        // Eager transfer, receive posted first.
+        "EXPL1;seed=0x1;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:2048r,A10",
+        // Eager transfer on the unexpected path (recv delayed).
+        "EXPL1;seed=0x2;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:16384s,A10",
+        // Rendezvous with the send buffer unmapped mid-flight.
+        "EXPL1;seed=0x3;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A1,U0.0,A40",
+        // Rendezvous with the recv buffer unmapped and remapped mid-flight.
+        "EXPL1;seed=0x4;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A1,R1.0,A40",
+        // Fork + COW write on the sender while a rendezvous is in flight.
+        "EXPL1;seed=0x5;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:131072r,F0.0,A40",
+        // Swap-out/in of the send buffer (content-preserving: data oracle
+        // still checks the delivered bytes).
+        "EXPL1;seed=0x6;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:131072r,O0.0,A2,I0.0,A40",
+        // Page migration of the recv buffer mid-flight.
+        "EXPL1;seed=0x7;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:131072r,A1,M1.0,A40",
+        // Sender rewrites its buffer while the transfer is in flight.
+        "EXPL1;seed=0x8;profile=churn;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A1,W0.0,A40",
+        // Crossing rendezvous transfers between two node pairs, 2 procs/node.
+        "EXPL1;seed=0x9;profile=churn;nodes=2;ppn=2;ops=X0.0>3.0:262144r,X2.1>1.1:131072s,A60",
+        // Rendezvous under loss, duplication and reordering.
+        "EXPL1;seed=0xa;profile=lossy;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A80",
+        // Pin-pressure eviction: three large transfers through a 96-page
+        // pin budget, with swap-out churn on an idle buffer.
+        "EXPL1;seed=0xb;profile=pressure;nodes=3;ppn=1;ops=\
+         X0.0>1.0:262144r,X1.1>2.0:262144r,O2.2,X2.1>0.1:131072s,A80",
+    ];
+    for repro in corpus {
+        let s = decode(repro)
+            .unwrap_or_else(|e| panic!("corpus entry failed to decode: {e}\n  {repro}"));
+        assert_eq!(encode(&s), repro.replace(['\n', ' '], ""));
+        let out = run_schedule_catching(&s, None);
+        assert!(
+            out.violations.is_empty(),
+            "corpus repro violated: {:?}\n  {repro}",
+            out.violations
+        );
+        assert!(out.xfers > 0);
+    }
+}
+
+/// Acceptance mutation: a deliberately leaked page pin must be caught by
+/// the pin-accounting invariant, shrink to a handful of ops, and replay
+/// deterministically from the printed repro string.
+#[test]
+fn injected_pin_leak_is_caught_shrinks_and_replays() {
+    let p = profile_by_name("churn").unwrap();
+    let s = generate(7, &p);
+    let m = Some(Mutation::LeakPin { after_op: 5 });
+
+    let out = run_schedule_catching(&s, m);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| matches!(v, Violation::PinAccounting { .. })),
+        "leaked pin not caught: {:?}",
+        out.violations
+    );
+
+    let (small, _runs) = shrink(&s, m, 300);
+    assert!(
+        small.ops.len() <= 10,
+        "shrunk schedule still has {} ops",
+        small.ops.len()
+    );
+
+    // The repro string round-trips and two replays agree exactly.
+    let repro = encode(&small);
+    let replay = decode(&repro).expect("repro string must decode");
+    assert_eq!(replay, small);
+    let a = run_schedule_catching(&replay, m);
+    let b = run_schedule_catching(&replay, m);
+    assert!(!a.violations.is_empty(), "shrunk repro no longer fails");
+    assert_eq!(a.violations, b.violations, "replay is not deterministic");
+    assert_eq!(a.ops_executed, b.ops_executed);
+}
+
+/// A swallowed completion must surface as a conservation violation
+/// (the pair never settles → Hang), not pass silently.
+#[test]
+fn swallowed_completion_is_caught() {
+    let p = profile_by_name("churn").unwrap();
+    let s = generate(3, &p);
+    let m = Some(Mutation::SwallowCompletion { nth: 0 });
+    let out = run_schedule_catching(&s, m);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| matches!(v, Violation::Hang { .. })),
+        "swallowed completion not caught: {:?}",
+        out.violations
+    );
+}
