@@ -91,13 +91,15 @@ fn bench_pin_path(b: &Bench) {
         let addr = mem.mmap(space, 64 * PAGE_SIZE, Prot::ReadWrite).unwrap();
         b.bench("driver declare+invalidate", || {
             let mut driver = Driver::new(None);
-            let rid = driver.declare(
-                space,
-                &[Segment {
-                    addr,
-                    len: 64 * PAGE_SIZE,
-                }],
-            );
+            let rid = driver
+                .declare(
+                    space,
+                    &[Segment {
+                        addr,
+                        len: 64 * PAGE_SIZE,
+                    }],
+                )
+                .unwrap();
             driver.region_mut(rid).pin_next_chunk(&mut mem, 64).unwrap();
             let evs = mem.munmap(space, addr, 64 * PAGE_SIZE).expect("munmap");
             for ev in &evs {

@@ -12,7 +12,7 @@ use super::{AppEvent, Cluster, Event, OverlapHint, ProcId, SyscallAction, TimerT
 use crate::driver::RegionId;
 use crate::endpoint::{EagerRx, EndpointAddr, PostedRecv, RequestId, Unexpected};
 use crate::obs::{RetransKind, TraceEvent};
-use crate::region::Segment;
+use crate::region::{DeclareError, Segment};
 use crate::wire::{Frame, MsgId, PullId, WireMsg};
 
 /// The process whose core a sliced work item belongs to.
@@ -487,8 +487,12 @@ impl Cluster {
         hint: OverlapHint,
     ) {
         let node = self.procs[proc.0 as usize].node;
+        let Ok((region, owned)) = self.acquire_region(proc, segments) else {
+            self.nodes[node].counters.bump("requests_failed");
+            self.notify_app(proc, AppEvent::Failed(req, "send region rejected (empty)"));
+            return;
+        };
         let msg = self.alloc_msg();
-        let (region, owned) = self.acquire_region(proc, segments);
         let target = self.pin_target(node, region, len);
         self.xfers.send.insert(
             msg,
@@ -798,13 +802,24 @@ impl Cluster {
         } else {
             xfer_len
         };
-        let (region, owned) = self.acquire_region(
+        let acquired = self.acquire_region(
             proc,
             vec![Segment {
                 addr: posted.addr,
                 len: reg_len,
             }],
         );
+        let Ok((region, owned)) = acquired else {
+            // Zero-length posted buffer: fail the receive cleanly; the
+            // sender recovers through its normal retry/timeout path.
+            self.xfers.recv_hints.remove(&posted.req);
+            self.nodes[node].counters.bump("requests_failed");
+            self.notify_app(
+                proc,
+                AppEvent::Failed(posted.req, "receive region rejected (empty)"),
+            );
+            return;
+        };
         let target = self.pin_target(node, region, xfer_len);
         let pull = self.alloc_pull();
         let chunk = self.frame_payload();
@@ -1306,7 +1321,14 @@ impl Cluster {
 
     /// Get a region for a segment vector: through the user-space cache in
     /// cached modes, freshly declared otherwise. Bumps `use_count`.
-    fn acquire_region(&mut self, proc: ProcId, segments: Vec<Segment>) -> (RegionId, bool) {
+    /// A rejected declaration (all-zero-length segments — user space can
+    /// hand the driver anything) surfaces as `Err`, never a panic; the
+    /// cache is left untouched on that path.
+    fn acquire_region(
+        &mut self,
+        proc: ProcId,
+        segments: Vec<Segment>,
+    ) -> Result<(RegionId, bool), DeclareError> {
         let idx = proc.0 as usize;
         let node = self.procs[idx].node;
         let space = self.procs[idx].space;
@@ -1320,7 +1342,7 @@ impl Cluster {
                 crate::cache::CacheOutcome::Miss => {
                     self.nodes[node].counters.bump("cache_miss");
                     self.emit(node, Some(proc), TraceEvent::CacheMiss);
-                    let rid = self.nodes[node].driver.declare(space, &segments);
+                    let rid = self.nodes[node].driver.declare(space, &segments)?;
                     let pages = self.nodes[node].driver.region(rid).layout.total_pages();
                     self.emit(
                         node,
@@ -1334,7 +1356,7 @@ impl Cluster {
                 }
             }
         } else {
-            let rid = self.nodes[node].driver.declare(space, &segments);
+            let rid = self.nodes[node].driver.declare(space, &segments)?;
             let pages = self.nodes[node].driver.region(rid).layout.total_pages();
             self.emit(
                 node,
@@ -1347,7 +1369,7 @@ impl Cluster {
         let r = self.nodes[node].driver.region_mut(rid);
         r.use_count += 1;
         r.last_use = now;
-        (rid, owned)
+        Ok((rid, owned))
     }
 
     /// LRU-evicted cache entry: undeclare now if idle, else defer.
@@ -1381,6 +1403,12 @@ impl Cluster {
         r.last_use = now;
         let idle = r.use_count == 0;
         let pages = r.pinned_pages();
+        if idle {
+            // The region just became an eviction candidate (it may be
+            // unpinned/undeclared below, which the LRU tolerates — heap
+            // entries are validated on pop).
+            self.nodes[node].driver.note_region_idle(region);
+        }
         if idle && (owned || self.xfers.deferred_undeclare.remove(&(node, region.0))) {
             self.xfers.pin_plans.remove(&(node, region.0));
             let cost = self.cfg.profile.unpin_cost(pages);
@@ -1540,14 +1568,22 @@ impl Cluster {
             return;
         }
         let want = self.cfg.pin_chunk_pages.min(target - cursor);
-        let result = {
+        let per_page = self.cfg.per_page_pin;
+        let (result, pin_calls) = {
             let n = &mut self.nodes[node];
+            let calls_before = n.mem.pin_calls();
             let r = n.driver.region_mut(region);
             // Re-assert the flag: a notifier invalidation between chunks
             // clears it via unpin_all, but this pass is still running.
             r.pinning_in_progress = true;
-            r.pin_next_chunk(&mut n.mem, want)
+            let result = if per_page {
+                r.pin_next_chunk_per_page(&mut n.mem, want)
+            } else {
+                r.pin_next_chunk(&mut n.mem, want)
+            };
+            (result, n.mem.pin_calls() - calls_before)
         };
+        self.nodes[node].counters.add("pin_syscalls", pin_calls);
         match result {
             Err(_) => {
                 self.xfers.pin_plans.remove(&(node, region.0));
@@ -1610,6 +1646,9 @@ impl Cluster {
         if let Some(r) = self.nodes[node].driver.try_region_mut(region) {
             r.pinning_in_progress = false;
         }
+        // With the pin pass over, an idle pinned region is an eviction
+        // candidate: file it with the pressure LRU.
+        self.nodes[node].driver.note_region_idle(region);
         if let Some(plan) = self.xfers.pin_plans.get_mut(&(node, region.0)) {
             let was_running = plan.in_progress;
             plan.in_progress = false;

@@ -873,8 +873,11 @@ impl Cluster {
         for ev in events {
             let n = &mut self.nodes[node];
             let hit = n.driver.handle_invalidate(&mut n.mem, ev);
+            // One event may unpin several regions (and most unpin none):
+            // count events and region unpins separately.
+            n.counters.bump("notifier_events");
             for (rid, pages) in hit {
-                n.counters.bump("notifier_invalidations");
+                n.counters.bump("notifier_region_unpins");
                 n.counters.add("notifier_unpinned_pages", pages);
                 affected.push((rid, pages));
             }

@@ -44,5 +44,5 @@ pub use engine::{AppEvent, Cluster, Ctx, OverlapHint, ProcId, Process};
 pub use obs::{
     CacheStats, DriverStats, FaultKind, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer,
 };
-pub use region::{DriverRegion, RegionLayout, Segment};
+pub use region::{DeclareError, DriverRegion, RegionLayout, Segment};
 pub use wire::{Frame, MsgId, PullId, WireMsg};

@@ -253,7 +253,7 @@ impl TraceEvent {
             TraceEvent::Backoff { .. } => "backoff",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::RetryExhausted { .. } => "retry_exhausted",
-            TraceEvent::NotifierInvalidate { .. } => "invalidate",
+            TraceEvent::NotifierInvalidate { .. } => "notifier_invalidate",
             TraceEvent::PressureUnpin { .. } => "pressure_unpin",
             TraceEvent::Repin { .. } => "repin",
             TraceEvent::CacheHit { .. } => "cache_hit",

@@ -38,8 +38,21 @@ pub use tracer::Tracer;
 pub struct DriverStats {
     /// Pages unpinned to stay under the pinned-page ceiling (§3.1).
     pub pressure_unpinned_pages: u64,
-    /// Regions invalidated by the MMU notifier.
-    pub notifier_invalidations: u64,
+    /// MMU-notifier events handled. This used to be a single
+    /// `notifier_invalidations` counter that was documented as an event
+    /// count but bumped once per *region* unpinned — the split keeps the
+    /// trace and metrics exporters honest about both rates.
+    pub notifier_events: u64,
+    /// Regions unpinned by MMU-notifier events (≥ one event can unpin
+    /// several regions; most events unpin none).
+    pub notifier_region_unpins: u64,
+    /// Candidate regions the notifier interval index routed events to
+    /// (index effectiveness: candidates ≪ declared regions).
+    pub notifier_index_candidates: u64,
+    /// LRU heap entries examined by pressure eviction (eviction
+    /// effectiveness: pops stay near evictions instead of scaling with
+    /// the region table).
+    pub evict_lru_pops: u64,
 }
 
 /// Region-cache effectiveness counters (was an anonymous `(u64, u64)`).

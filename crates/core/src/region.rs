@@ -49,12 +49,37 @@ pub struct RegionLayout {
     total_pages: u64,
 }
 
+/// Why a region declaration was rejected at the syscall boundary.
+///
+/// User space hands the driver an arbitrary segment vector; a hostile or
+/// buggy caller must get an error back, never a kernel panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeclareError {
+    /// Every segment had zero length — there is nothing to pin.
+    EmptyRegion,
+}
+
+impl std::fmt::Display for DeclareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeclareError::EmptyRegion => write!(f, "empty region (all segments zero-length)"),
+        }
+    }
+}
+
 impl RegionLayout {
     /// Build a layout from segments (empty segments are dropped).
     ///
     /// # Panics
-    /// Panics if the region has zero total length.
+    /// Panics if the region has zero total length; use
+    /// [`RegionLayout::try_new`] for untrusted input.
     pub fn new(segments: &[Segment]) -> Self {
+        Self::try_new(segments).expect("empty region")
+    }
+
+    /// Build a layout from segments (empty segments are dropped), rejecting
+    /// a region with zero total length instead of panicking.
+    pub fn try_new(segments: &[Segment]) -> Result<Self, DeclareError> {
         let mut segs = Vec::with_capacity(segments.len());
         let mut byte_start = 0u64;
         let mut page_start = 0u64;
@@ -68,12 +93,14 @@ impl RegionLayout {
             byte_start += seg.len;
             page_start += pages;
         }
-        assert!(byte_start > 0, "empty region");
-        RegionLayout {
+        if byte_start == 0 {
+            return Err(DeclareError::EmptyRegion);
+        }
+        Ok(RegionLayout {
             segs,
             total_len: byte_start,
             total_pages: page_start,
-        }
+        })
     }
 
     /// Total bytes across all segments.
@@ -110,8 +137,12 @@ impl RegionLayout {
     /// # Panics
     /// Panics if the range exceeds the region.
     pub fn for_each_chunk(&self, offset: u64, len: u64, mut f: impl FnMut(u64, Vpn, u64, u64)) {
+        // checked_add: a hostile offset near u64::MAX must not wrap past
+        // the bound and walk the segment list with garbage offsets.
         assert!(
-            offset + len <= self.total_len,
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= self.total_len),
             "region access out of bounds: {offset}+{len} > {}",
             self.total_len
         );
@@ -196,15 +227,25 @@ pub struct DriverRegion {
 
 impl DriverRegion {
     /// Declare a region (no pinning).
+    ///
+    /// # Panics
+    /// Panics on a zero-length region; use [`DriverRegion::try_new`] for
+    /// untrusted input.
     pub fn new(space: AsId, segments: &[Segment]) -> Self {
-        DriverRegion {
-            layout: RegionLayout::new(segments),
+        Self::try_new(space, segments).expect("empty region")
+    }
+
+    /// Declare a region (no pinning), rejecting a zero-length segment
+    /// vector instead of panicking.
+    pub fn try_new(space: AsId, segments: &[Segment]) -> Result<Self, DeclareError> {
+        Ok(DriverRegion {
+            layout: RegionLayout::try_new(segments)?,
             space,
             pfns: Vec::new(),
             use_count: 0,
             last_use: SimTime::ZERO,
             pinning_in_progress: false,
-        }
+        })
     }
 
     /// Pages pinned so far (the cursor).
@@ -222,12 +263,57 @@ impl DriverRegion {
         self.pfns.is_empty()
     }
 
-    /// Pin up to `max_pages` further pages in region order.
+    /// Pin up to `max_pages` further pages in region order, batching each
+    /// contiguous virtual run into a single [`Memory::pin_user_pages_partial`]
+    /// call — one pin syscall per run instead of one per page. A fully
+    /// contiguous chunk costs exactly one call.
     ///
     /// On failure (unmapped page, OOM) the region's previously pinned pages
     /// are *released* and the error is surfaced — the paper's "declaration
     /// succeeds, pinning fails at communication time, request aborts".
+    /// Pages a partially-successful batch pinned before the failure are
+    /// part of that rollback, so the observable semantics are identical to
+    /// [`DriverRegion::pin_next_chunk_per_page`].
     pub fn pin_next_chunk(
+        &mut self,
+        mem: &mut Memory,
+        max_pages: u64,
+    ) -> Result<PinProgress, MemError> {
+        let first_chunk = self.pfns.is_empty();
+        let cursor = self.pfns.len() as u64;
+        let end = (cursor + max_pages).min(self.layout.total_pages());
+        let mut idx = cursor;
+        while idx < end {
+            let vpn = self.layout.vpn_of_page(idx);
+            // Extend the run while the flattened page list stays virtually
+            // contiguous. A page shared by two adjacent segments appears
+            // twice with the same vpn, which breaks the run and gets its
+            // own (double-pinning) call, exactly like the per-page loop.
+            let mut run = 1u64;
+            while idx + run < end && self.layout.vpn_of_page(idx + run).0 == vpn.0 + run {
+                run += 1;
+            }
+            let mut partial = mem.pin_user_pages_partial(self.space, vpn.base(), run * PAGE_SIZE);
+            self.pfns.append(&mut partial.pfns);
+            if let Some(e) = partial.error {
+                self.unpin_all(mem);
+                return Err(e);
+            }
+            idx += run;
+        }
+        Ok(PinProgress {
+            pages_pinned: end - cursor,
+            complete: end == self.layout.total_pages(),
+            first_chunk,
+        })
+    }
+
+    /// The pre-batching pin loop: one [`Memory::pin_user_pages`] call per
+    /// page. Kept as the differential-test oracle for the batched path
+    /// (and reachable in the engine behind
+    /// [`per_page_pin`](crate::config::OpenMxConfig::per_page_pin)); both
+    /// must produce the same pins, cursor and failure/rollback behavior.
+    pub fn pin_next_chunk_per_page(
         &mut self,
         mem: &mut Memory,
         max_pages: u64,
@@ -255,6 +341,12 @@ impl DriverRegion {
         })
     }
 
+    /// The physical frames behind pages `0..pinned_pages()`, in page order
+    /// (differential tests compare the batched and per-page pin paths).
+    pub fn pinned_pfns(&self) -> &[Pfn] {
+        &self.pfns
+    }
+
     /// Release all pins. Returns the number of pages released.
     pub fn unpin_all(&mut self, mem: &mut Memory) -> u64 {
         let n = self.pfns.len() as u64;
@@ -270,7 +362,12 @@ impl DriverRegion {
         if len == 0 {
             return true;
         }
-        if offset + len > self.layout.total_len() {
+        // checked_add: offsets near u64::MAX must read as out of range,
+        // not wrap around and pass the bounds check.
+        let Some(end) = offset.checked_add(len) else {
+            return false;
+        };
+        if end > self.layout.total_len() {
             return false;
         }
         let (_, last) = self.layout.page_index_span(offset, len);
@@ -537,5 +634,227 @@ mod tests {
     #[should_panic(expected = "empty region")]
     fn empty_region_rejected() {
         RegionLayout::new(&[]);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_length_regions_gracefully() {
+        let (_m, space, addr) = setup(2);
+        assert!(matches!(
+            RegionLayout::try_new(&[]),
+            Err(DeclareError::EmptyRegion)
+        ));
+        // All-zero-length segments are just as empty as no segments.
+        let zeros = [Segment { addr, len: 0 }, Segment { addr, len: 0 }];
+        assert!(matches!(
+            RegionLayout::try_new(&zeros),
+            Err(DeclareError::EmptyRegion)
+        ));
+        assert!(DriverRegion::try_new(space, &zeros).is_err());
+        // Zero-length segments mixed with real ones are dropped, not fatal.
+        let mixed = [
+            Segment { addr, len: 0 },
+            Segment {
+                addr,
+                len: PAGE_SIZE,
+            },
+        ];
+        let l = RegionLayout::try_new(&mixed).unwrap();
+        assert_eq!(l.total_pages(), 1);
+    }
+
+    #[test]
+    fn wrapping_offset_is_an_overlap_miss_not_a_panic() {
+        // Regression: offset + len used to wrap past the bounds check for
+        // offsets near u64::MAX, panicking (or indexing pfns out of range)
+        // instead of reporting NotPinned.
+        let (mut mem, space, addr) = setup(4);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 4 * PAGE_SIZE,
+            }],
+        );
+        r.pin_next_chunk(&mut mem, 100).unwrap();
+        assert!(r.fully_pinned());
+        for offset in [u64::MAX, u64::MAX - 1, u64::MAX - 4 * PAGE_SIZE + 1] {
+            assert!(!r.pinned_through(offset, 2), "offset {offset:#x} wrapped");
+            let mut buf = [0u8; 16];
+            assert_eq!(
+                r.read(&mem, offset, &mut buf),
+                Err(RegionAccessError::NotPinned)
+            );
+            assert_eq!(
+                r.write(&mut mem, offset, &[0; 16]),
+                Err(RegionAccessError::NotPinned)
+            );
+        }
+        // A wrapping length is rejected the same way.
+        let mut huge = vec![0u8; 32];
+        assert_eq!(
+            r.read(&mem, u64::MAX - 8, &mut huge),
+            Err(RegionAccessError::NotPinned)
+        );
+        r.unpin_all(&mut mem);
+    }
+
+    /// Differential harness: drive the batched and per-page pin paths over
+    /// identical twin memories and assert every observable agrees — pins,
+    /// cursor, pin-call savings, failure and rollback.
+    fn assert_batch_matches_per_page(
+        build: impl Fn() -> (Memory, AsId),
+        segments: &[Segment],
+        chunks: &[u64],
+    ) {
+        let (mut mem_a, space_a) = build();
+        let (mut mem_b, space_b) = build();
+        let mut batched = DriverRegion::new(space_a, segments);
+        let mut per_page = DriverRegion::new(space_b, segments);
+        for &chunk in chunks {
+            let calls_a = mem_a.pin_calls();
+            let calls_b = mem_b.pin_calls();
+            let ra = batched.pin_next_chunk(&mut mem_a, chunk);
+            let rb = per_page.pin_next_chunk_per_page(&mut mem_b, chunk);
+            assert_eq!(ra, rb, "progress/failure diverged at chunk {chunk}");
+            assert_eq!(
+                batched.pinned_pfns(),
+                per_page.pinned_pfns(),
+                "pfns diverged at chunk {chunk}"
+            );
+            assert_eq!(batched.pinned_pages(), per_page.pinned_pages());
+            assert_eq!(
+                mem_a.frames().pinned_pages(),
+                mem_b.frames().pinned_pages(),
+                "frame-pool pins diverged at chunk {chunk}"
+            );
+            if ra.is_ok() {
+                let pinned = rb.unwrap().pages_pinned;
+                assert!(
+                    mem_a.pin_calls() - calls_a <= (mem_b.pin_calls() - calls_b).max(1),
+                    "batching used more pin calls than per-page"
+                );
+                if pinned > 0 {
+                    assert!(mem_b.pin_calls() - calls_b >= pinned);
+                }
+            } else {
+                // Both must have rolled everything back.
+                assert!(batched.unpinned() && per_page.unpinned());
+                assert_eq!(mem_a.frames().pinned_pages(), 0);
+                assert_eq!(mem_b.frames().pinned_pages(), 0);
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_pin_matches_per_page_oracle_across_layouts() {
+        // Deterministic xorshift so chunk sizes vary without an RNG dep.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..8u64 {
+            let chunks: Vec<u64> = (0..6).map(|_| 1 + rng() % 7).collect();
+            // Contiguous aligned region.
+            assert_batch_matches_per_page(
+                || {
+                    let mut m = Memory::new(4096, 0);
+                    let s = m.create_space();
+                    m.mmap(s, 16 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+                    (m, s)
+                },
+                &[Segment {
+                    addr: VirtAddr(0x10_0000),
+                    len: 12 * PAGE_SIZE,
+                }],
+                &chunks,
+            );
+            // Unaligned segment (starts mid-page, spans an extra page).
+            assert_batch_matches_per_page(
+                || {
+                    let mut m = Memory::new(4096, 0);
+                    let s = m.create_space();
+                    m.mmap(s, 16 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+                    (m, s)
+                },
+                &[Segment {
+                    addr: VirtAddr(0x10_0000 + 100 + trial * 7),
+                    len: 5 * PAGE_SIZE + 311,
+                }],
+                &chunks,
+            );
+            // Vectorial region with a gap (two runs per chunk boundary).
+            assert_batch_matches_per_page(
+                || {
+                    let mut m = Memory::new(4096, 0);
+                    let s = m.create_space();
+                    m.mmap(s, 32 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+                    (m, s)
+                },
+                &[
+                    Segment {
+                        addr: VirtAddr(0x10_0000),
+                        len: 3 * PAGE_SIZE,
+                    },
+                    Segment {
+                        addr: VirtAddr(0x10_0000 + 10 * PAGE_SIZE + 64),
+                        len: 4 * PAGE_SIZE,
+                    },
+                ],
+                &chunks,
+            );
+            // Partially unmapped: pinning fails mid-batch, with partial
+            // success inside the failing run; both paths must roll back.
+            assert_batch_matches_per_page(
+                || {
+                    let mut m = Memory::new(4096, 0);
+                    let s = m.create_space();
+                    let a = m.mmap(s, 8 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+                    m.munmap(s, a.add(4 * PAGE_SIZE), PAGE_SIZE).unwrap();
+                    (m, s)
+                },
+                &[Segment {
+                    addr: VirtAddr(0x10_0000),
+                    len: 8 * PAGE_SIZE,
+                }],
+                &[8],
+            );
+            // Out-of-frames: partial success against the frame pool.
+            assert_batch_matches_per_page(
+                || {
+                    let mut m = Memory::new(3, 0);
+                    let s = m.create_space();
+                    m.mmap(s, 8 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+                    (m, s)
+                },
+                &[Segment {
+                    addr: VirtAddr(0x10_0000),
+                    len: 8 * PAGE_SIZE,
+                }],
+                &[2, 6],
+            );
+        }
+    }
+
+    #[test]
+    fn batched_chunk_over_contiguous_pages_is_one_pin_call() {
+        let (mut mem, space, addr) = setup(32);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 32 * PAGE_SIZE,
+            }],
+        );
+        let before = mem.pin_calls();
+        r.pin_next_chunk(&mut mem, 8).unwrap();
+        assert_eq!(mem.pin_calls() - before, 1, "one call per contiguous chunk");
+        r.pin_next_chunk(&mut mem, 100).unwrap();
+        assert_eq!(mem.pin_calls() - before, 2);
+        assert!(r.fully_pinned());
+        r.unpin_all(&mut mem);
     }
 }

@@ -32,5 +32,5 @@ pub use addr::{page_chunks, Pfn, VirtAddr, Vpn, VpnRange, PAGE_SHIFT, PAGE_SIZE}
 pub use error::MemError;
 pub use frame::FrameAllocator;
 pub use heap::SimHeap;
-pub use space::{AsId, InvalidateCause, Memory, NotifierEvent};
+pub use space::{AsId, InvalidateCause, Memory, NotifierEvent, PartialPin};
 pub use vma::{Prot, Vma, VmaSet};

@@ -122,11 +122,30 @@ impl SwapSpace {
     }
 }
 
+/// Result of one [`Memory::pin_user_pages_partial`] call: the pages pinned
+/// before the first failure, any notifier events those pins caused, and the
+/// failure itself if one occurred. Unlike [`Memory::pin_user_pages`], a
+/// partial pin is *not* rolled back internally — the caller owns the
+/// reported pins and decides whether to keep or release them.
+#[derive(Debug)]
+pub struct PartialPin {
+    /// Frames pinned, in page order, up to the first failure.
+    pub pfns: Vec<Pfn>,
+    /// Notifier events (COW breaks) fired by the successful pins.
+    pub events: Vec<NotifierEvent>,
+    /// The error that stopped the batch, if it did not complete.
+    pub error: Option<MemError>,
+}
+
 /// One node's memory subsystem.
 pub struct Memory {
     frames: FrameAllocator,
     swap: SwapSpace,
     spaces: Vec<Option<AddressSpace>>,
+    /// Pin syscalls serviced (each `pin_user_pages*` call counts once,
+    /// whatever its page count) — the per-call cost the batched driver
+    /// path exists to amortize.
+    pin_calls: u64,
 }
 
 impl Memory {
@@ -137,7 +156,13 @@ impl Memory {
             frames: FrameAllocator::new(frame_capacity),
             swap: SwapSpace::new(swap_slots),
             spaces: Vec::new(),
+            pin_calls: 0,
         }
+    }
+
+    /// Number of `pin_user_pages*` calls serviced so far.
+    pub fn pin_calls(&self) -> u64 {
+        self.pin_calls
     }
 
     /// Create an empty address space (a "process").
@@ -412,6 +437,29 @@ impl Memory {
         addr: VirtAddr,
         len: u64,
     ) -> Result<(Vec<Pfn>, Vec<NotifierEvent>), MemError> {
+        let mut partial = self.pin_user_pages_partial(id, addr, len);
+        match partial.error.take() {
+            None => Ok((partial.pfns, partial.events)),
+            Some(e) => {
+                for pfn in partial.pfns {
+                    self.frames.unpin(pfn);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Batched pin of the pages covering `[addr, addr+len)` with
+    /// partial-success reporting: pins page by page in address order and
+    /// stops at the first failure, returning everything pinned so far plus
+    /// the error. The caller owns the reported pins — on error it must
+    /// either keep them or release them via [`Memory::unpin_pages`].
+    ///
+    /// This is the one-syscall-per-run primitive behind the driver's
+    /// batched pin path; [`Memory::pin_user_pages`] is the classic
+    /// all-or-nothing wrapper over it.
+    pub fn pin_user_pages_partial(&mut self, id: AsId, addr: VirtAddr, len: u64) -> PartialPin {
+        self.pin_calls += 1;
         let range = VpnRange::covering(addr, len);
         let mut events = Vec::new();
         let mut pinned = Vec::with_capacity(range.len() as usize);
@@ -422,14 +470,19 @@ impl Memory {
                     pinned.push(pfn);
                 }
                 Err(e) => {
-                    for pfn in pinned {
-                        self.frames.unpin(pfn);
-                    }
-                    return Err(e);
+                    return PartialPin {
+                        pfns: pinned,
+                        events,
+                        error: Some(e),
+                    };
                 }
             }
         }
-        Ok((pinned, events))
+        PartialPin {
+            pfns: pinned,
+            events,
+            error: None,
+        }
     }
 
     /// Release DMA pins taken by [`Memory::pin_user_pages`].
@@ -838,6 +891,44 @@ mod tests {
             m.pin_user_pages(a, addr, 4 * PAGE_SIZE),
             Err(MemError::OutOfMemory)
         ));
+        assert_eq!(m.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn partial_pin_reports_leading_pages_and_error() {
+        let mut m = Memory::new(2, 0);
+        let a = m.create_space();
+        let addr = m.mmap(a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        // 2 frames for 4 pages: the first two pin, the third fails.
+        let partial = m.pin_user_pages_partial(a, addr, 4 * PAGE_SIZE);
+        assert_eq!(partial.pfns.len(), 2);
+        assert!(matches!(partial.error, Some(MemError::OutOfMemory)));
+        // No internal rollback: the caller owns the partial pins.
+        assert_eq!(m.frames().pinned_pages(), 2);
+        m.unpin_pages(&partial.pfns);
+        assert_eq!(m.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn partial_pin_success_matches_per_page_pins() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let calls0 = m.pin_calls();
+        let batch = m.pin_user_pages_partial(a, addr, 4 * PAGE_SIZE);
+        assert!(batch.error.is_none());
+        assert_eq!(m.pin_calls() - calls0, 1, "one call pins the whole run");
+        let mut per_page = Vec::new();
+        for i in 0..4 {
+            let (pfns, _) = m
+                .pin_user_pages(a, addr.add(i * PAGE_SIZE), PAGE_SIZE)
+                .unwrap();
+            per_page.extend(pfns);
+        }
+        assert_eq!(batch.pfns, per_page);
+        assert_eq!(m.pin_calls() - calls0, 5);
+        m.unpin_pages(&batch.pfns);
+        m.unpin_pages(&per_page);
         assert_eq!(m.frames().pinned_pages(), 0);
     }
 

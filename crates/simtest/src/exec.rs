@@ -34,7 +34,7 @@ use std::rc::Rc;
 
 use openmx_core::{AppEvent, Cluster, Ctx, ProcId, Process};
 use simcore::{SimDuration, SimRng};
-use simmem::{AsId, VirtAddr, PAGE_SIZE};
+use simmem::{AsId, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
 
 use crate::schedule::{
     profile_by_name, schedule_cfg, ChurnKind, Op, Schedule, BUFS_PER_PROC, BUF_LEN, TICK,
@@ -121,6 +121,16 @@ pub enum Violation {
         /// First differing byte offset.
         offset: usize,
     },
+    /// The driver's notifier interval index answered a routing query
+    /// differently from the naive full-table intersect scan.
+    IndexDiverged {
+        /// Node whose driver index diverged.
+        node: usize,
+        /// The address space queried.
+        space: u32,
+        /// Start vpn of the diverging query window.
+        start_vpn: u64,
+    },
     /// Posted operations never completed although the engine went quiet
     /// (or never went quiet within the budget).
     Hang {
@@ -181,6 +191,14 @@ impl fmt::Display for Violation {
             Violation::DataMismatch { req, offset } => {
                 write!(f, "data mismatch: request {req} first diverges at byte {offset}")
             }
+            Violation::IndexDiverged {
+                node,
+                space,
+                start_vpn,
+            } => write!(
+                f,
+                "index diverged: node {node} space {space} window at vpn {start_vpn} routed differently than the naive scan"
+            ),
             Violation::Hang {
                 outstanding,
                 inflight,
@@ -623,6 +641,30 @@ impl Harness {
                         node,
                         region: rid.0,
                     });
+                }
+            }
+            // Notifier-routing cross-check: for every declared segment
+            // range (and a window widened one page past each boundary),
+            // the interval index must agree with the naive intersect
+            // scan — a false negative here is a region a real munmap
+            // would have silently failed to unpin.
+            let driver = cl.driver(node);
+            for (_, r) in driver.iter_regions() {
+                for seg in r.layout.segments() {
+                    let exact = seg.page_range();
+                    let probe =
+                        VpnRange::new(Vpn(exact.start.0.saturating_sub(1)), Vpn(exact.end.0 + 1));
+                    for q in [exact, probe] {
+                        if driver.regions_intersecting(r.space, &q)
+                            != driver.regions_intersecting_naive(r.space, &q)
+                        {
+                            self.violations.push(Violation::IndexDiverged {
+                                node,
+                                space: r.space.0,
+                                start_vpn: q.start.0,
+                            });
+                        }
+                    }
                 }
             }
         }

@@ -166,9 +166,9 @@ fn buffer_churn_with_cache_stays_correct() {
     assert!(records.iter().all(|r| r.failures.is_empty()));
     let c = cl.counters();
     assert!(
-        c.get("notifier_invalidations") >= (rounds - 1) as u64,
+        c.get("notifier_region_unpins") >= (rounds - 1) as u64,
         "each realloc of a pinned buffer must invalidate: {}",
-        c.get("notifier_invalidations")
+        c.get("notifier_region_unpins")
     );
     assert_eq!(c.get("requests_failed"), 0);
 }
