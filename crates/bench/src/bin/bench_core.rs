@@ -1,0 +1,249 @@
+//! Unified bench-regression harness: one run sweeps the paper's headline
+//! results — Fig. 6 (pin-per-comm vs permanent, ± I/OAT), Fig. 7 (the
+//! overlapped/cached pinning strategies), Table 2 (IMB kernels over the
+//! MPI layer) and the deterministic batched-pinning call counts — and
+//! emits them as one flat `BENCH_core.json`.
+//!
+//! Every metric gated here is *virtual-time* or a deterministic counter,
+//! so the numbers are machine-independent: any drift beyond tolerance is
+//! a behavioural change in the protocol or the simulation, not noise.
+//! CI runs `--smoke --check BENCH_core.json` against the committed
+//! baseline and fails on >25% relative drift of any shared key.
+//!
+//! Run: `cargo run --release -p openmx-bench --bin bench_core [-- --smoke]`
+//!
+//! Flags:
+//! * `--smoke`       reduced size/iteration axes for CI (keys stay a
+//!   subset of the full run's, so `--check` still compares),
+//! * `--out PATH`    where to write the JSON (default `BENCH_core.json`),
+//! * `--check PATH`  diff against a baseline JSON; exit 1 on regression.
+
+use openmx_bench::pingpong::{paper_cfg, pingpong_throughput};
+use openmx_bench::table::Table;
+use openmx_core::{Driver, PinningMode, Segment};
+use openmx_mpi::{run_imb, ImbKernel};
+use simmem::{Memory, Prot, PAGE_SIZE};
+
+/// Maximum relative drift of a shared key before `--check` fails.
+const TOLERANCE: f64 = 0.25;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_core.json".to_string(),
+        check: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                args.check = Some(argv[i].clone());
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: bench_core [--smoke] [--out PATH] [--check PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Count `Memory` pin calls for one 256-page region pinned in 32-page
+/// chunks — batched vs per-page (same probe as the pinscale gate).
+fn pin_call_count(per_page: bool) -> u64 {
+    let pages = 256u64;
+    let chunk = 32u64;
+    let mut mem = Memory::new(pages as usize + 16, 0);
+    let space = mem.create_space();
+    let addr = mem.mmap(space, pages * PAGE_SIZE, Prot::ReadWrite).unwrap();
+    let mut d = Driver::new(None);
+    let id = d
+        .declare(
+            space,
+            &[Segment {
+                addr,
+                len: pages * PAGE_SIZE,
+            }],
+        )
+        .unwrap();
+    let before = mem.pin_calls();
+    loop {
+        let r = d.region_mut(id);
+        let progress = if per_page {
+            r.pin_next_chunk_per_page(&mut mem, chunk)
+        } else {
+            r.pin_next_chunk(&mut mem, chunk)
+        }
+        .expect("pin");
+        if progress.complete {
+            break;
+        }
+    }
+    mem.pin_calls() - before
+}
+
+/// Parse the flat `"key": value` entries out of a baseline JSON written
+/// by this bin (hand-rolled; the repo carries no serde).
+fn parse_entries(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, val)) = rest.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = val.parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+
+    let sizes: &[u64] = if args.smoke {
+        &[64 * 1024, 1 << 20]
+    } else {
+        &[64 * 1024, 1 << 20, 16 << 20]
+    };
+    let imb_iters: u32 = if args.smoke { 2 } else { 4 };
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    // Fig. 6 — the pinning-cost bounds: pin-per-comm vs permanent, ± I/OAT.
+    for mode in [PinningMode::PinPerComm, PinningMode::Permanent] {
+        for ioat in [false, true] {
+            let cfg = paper_cfg(mode, ioat);
+            for &msg in sizes {
+                let p = pingpong_throughput(&cfg, msg);
+                entries.push((
+                    format!("fig6.{}.ioat{}.{msg}.mib_s", mode.label(), ioat as u8),
+                    p.mib_per_sec,
+                ));
+            }
+        }
+    }
+
+    // Fig. 7 — the decoupled strategies against the regular baseline.
+    for mode in [
+        PinningMode::PinPerComm,
+        PinningMode::Cached,
+        PinningMode::Overlapped,
+        PinningMode::OverlappedCached,
+    ] {
+        let cfg = paper_cfg(mode, false);
+        for &msg in sizes {
+            let p = pingpong_throughput(&cfg, msg);
+            entries.push((format!("fig7.{}.{msg}.mib_s", mode.label()), p.mib_per_sec));
+        }
+    }
+
+    // Table 2 — IMB kernels through the MPI layer, virtual per-iteration
+    // time (steady state after one warmup iteration, so the average is
+    // independent of the iteration count and smoke runs stay comparable).
+    for mode in [PinningMode::PinPerComm, PinningMode::OverlappedCached] {
+        let cfg = paper_cfg(mode, false);
+        for (kernel, kname) in [
+            (ImbKernel::SendRecv, "sendrecv"),
+            (ImbKernel::Bcast, "bcast"),
+        ] {
+            let res = run_imb(&cfg, 2, 2, kernel, 64 * 1024, 1, imb_iters);
+            entries.push((
+                format!("table2.{kname}.{}.avg_us", mode.label()),
+                res.avg_iter.as_micros_f64(),
+            ));
+        }
+    }
+
+    // Pinscale — deterministic pin-call counts for the batched path.
+    entries.push((
+        "pinscale.batched_pin_calls".into(),
+        pin_call_count(false) as f64,
+    ));
+    entries.push((
+        "pinscale.per_page_pin_calls".into(),
+        pin_call_count(true) as f64,
+    ));
+
+    let mut t = Table::new(
+        "bench-core: deterministic headline metrics",
+        &["key", "value"],
+    );
+    for (k, v) in &entries {
+        t.row(vec![k.clone(), format!("{v:.3}")]);
+    }
+    t.emit(None);
+
+    // One flat key per line so baselines diff cleanly in review.
+    let mut json = String::from("{\n  \"schema\": \"bench-core-v1\",\n  \"entries\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{k}\": {v:.6}{}\n",
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_core.json");
+    println!("wrote {} ({} entries)", args.out, entries.len());
+
+    // The regression gate: every key present in both runs must agree
+    // within tolerance. Keys only in the baseline (e.g. the 16 MiB points
+    // a smoke run skips) are not compared.
+    if let Some(path) = &args.check {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base = parse_entries(&baseline);
+        let mut compared = 0usize;
+        let mut regressions = Vec::new();
+        for (k, v) in &entries {
+            let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) else {
+                continue;
+            };
+            compared += 1;
+            let rel = (v - b).abs() / b.abs().max(1e-9);
+            if rel > TOLERANCE {
+                regressions.push(format!(
+                    "{k}: baseline {b:.3}, now {v:.3} ({:+.1}%)",
+                    (v / b - 1.0) * 100.0
+                ));
+            }
+        }
+        assert!(
+            compared > 0,
+            "no shared keys between run and baseline {path}"
+        );
+        if !regressions.is_empty() {
+            eprintln!(
+                "bench-core: {} of {compared} shared keys drifted beyond {:.0}%:",
+                regressions.len(),
+                TOLERANCE * 100.0
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "bench-core check OK: {compared} shared keys within {:.0}% of {path}",
+            TOLERANCE * 100.0
+        );
+    }
+}

@@ -116,6 +116,19 @@ fn main() {
     }
     t.emit(None);
 
+    // Flight recorder: every hung cell ships its post-mortem dump as an
+    // artifact before the soak aborts.
+    if hung_total > 0 {
+        for (name, seed, size, out) in &results {
+            if out.verdict != Verdict::Hung {
+                continue;
+            }
+            let path = format!("postmortem_chaos_{name}_{seed}_{size}.json");
+            let dump = out.post_mortem.as_deref().unwrap_or("{}");
+            std::fs::write(&path, dump).expect("write post-mortem");
+            eprintln!("hung: {name} seed {seed} size {size} -> {path}");
+        }
+    }
     assert_eq!(hung_total, 0, "chaos soak found hung transfers");
     println!("soak: {n_cells} runs, 0 hangs, 0 panics");
 

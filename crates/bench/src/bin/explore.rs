@@ -132,6 +132,11 @@ fn main() {
                 f.shrink_runs
             );
             eprintln!("  {}", f.repro);
+            // Flight recorder: ship the correlated-span + metrics dump
+            // next to the repro string.
+            let path = format!("postmortem_explore_{:x}_{}.json", f.seed, f.profile);
+            std::fs::write(&path, &f.post_mortem).expect("write post-mortem");
+            eprintln!("  post-mortem: {path}");
         }
         eprintln!(
             "explore soak: {} of {total_runs} runs failed",

@@ -8,7 +8,11 @@
 //!
 //! Each run is also exported as Chrome trace-event JSON
 //! (`timeline_<mode>.json`) — load it in <https://ui.perfetto.dev> or
-//! `chrome://tracing` to see pin spans against the packet flow.
+//! `chrome://tracing` to see pin spans against the packet flow — and as a
+//! causal span tree (`timeline_<mode>_spans.json`): nested B/E duration
+//! events with one track group per `XferId`, so the overlap window, pin
+//! waits and pull blocks show as bars. A per-transfer critical-path
+//! breakdown (pin wait / wire / backoff / host) is printed alongside.
 //!
 //! Run: `cargo run --release -p openmx-bench --bin timeline`
 
@@ -112,6 +116,39 @@ fn show(mode: PinningMode, header: &str) {
             cl.tracer().len()
         ),
         Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // The causal view: per-transfer span trees with critical-path
+    // attribution, plus the nested B/E export Perfetto renders as bars.
+    let spans = openmx_core::obs::build_spans(cl.tracer());
+    println!("per-transfer critical path (components sum to end-to-end):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "xfer", "e2e us", "pin_wait us", "wire us", "backoff us", "host us"
+    );
+    for s in &spans {
+        let cp = &s.critical_path;
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            s.xfer.0,
+            s.duration_ns() as f64 / 1e3,
+            cp.pin_wait_ns as f64 / 1e3,
+            cp.wire_ns as f64 / 1e3,
+            cp.retransmit_backoff_ns as f64 / 1e3,
+            cp.host_overhead_ns as f64 / 1e3,
+        );
+    }
+    let span_json = openmx_core::obs::chrome_spans_json(&spans);
+    let span_path = format!(
+        "timeline_{}_spans.json",
+        mode.label().replace([' ', '+'], "_")
+    );
+    match std::fs::write(&span_path, &span_json) {
+        Ok(()) => println!(
+            "wrote {span_path} ({} span trees) — nested B/E view, one track per transfer",
+            spans.len()
+        ),
+        Err(e) => eprintln!("could not write {span_path}: {e}"),
     }
     println!();
 }

@@ -50,6 +50,11 @@ pub struct ChaosOutcome {
     pub frames_duplicated: u64,
     /// Frames the fabric delivered out of order.
     pub frames_reordered: u64,
+    /// Flight-recorder post-mortem JSON, present iff the run was not
+    /// intact. Chaos jobs run with tracing off, so the dump is a
+    /// metrics-only snapshot (no spans) — still enough to see retransmit
+    /// and fault counts at the point of failure.
+    pub post_mortem: Option<String>,
 }
 
 /// The soak's fault-profile axis: every hostile behavior alone, then all
@@ -158,9 +163,17 @@ pub fn run_chaos(cfg: &OpenMxConfig, profile: &FaultProfile, len: u64, msgs: u32
 
     let m = cl.metrics();
     let s = cl.net_stats();
+    let post_mortem = (verdict != Verdict::Intact).then(|| {
+        let reason = match verdict {
+            Verdict::Hung => "chaos: liveness lost (rank stuck or silent corruption)",
+            _ => "chaos: transfers failed through the completion path",
+        };
+        openmx_core::obs::post_mortem_json(reason, None, cl.tracer(), m, 32)
+    });
     ChaosOutcome {
         verdict,
         failures,
+        post_mortem,
         retransmits: m.retransmits(),
         dup_frames_rx: m.dup_frames_rx(),
         faults_injected: m.faults_injected(),

@@ -11,7 +11,7 @@ use std::collections::{HashSet, VecDeque};
 use simmem::VirtAddr;
 
 use crate::engine::ProcId;
-use crate::wire::MsgId;
+use crate::wire::{MsgId, XferId};
 
 /// Network-visible address of an endpoint (one per process).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -50,6 +50,8 @@ impl PostedRecv {
 pub struct EagerRx {
     /// Sender's transfer id.
     pub msg: MsgId,
+    /// Causal-trace id of the transfer.
+    pub xfer: XferId,
     /// Sending endpoint.
     pub src: EndpointAddr,
     /// Matching key.
@@ -69,6 +71,7 @@ impl EagerRx {
     /// `frag_count` fragments.
     pub fn new(
         msg: MsgId,
+        xfer: XferId,
         src: EndpointAddr,
         match_info: u64,
         total_len: u64,
@@ -76,6 +79,7 @@ impl EagerRx {
     ) -> Self {
         EagerRx {
             msg,
+            xfer,
             src,
             match_info,
             total_len,
@@ -121,6 +125,8 @@ pub enum Unexpected {
     Rndv {
         /// Sender transfer id.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Sending endpoint.
         src: EndpointAddr,
         /// Matching key.
@@ -132,6 +138,8 @@ pub enum Unexpected {
     Shm {
         /// Sender transfer id.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Sending endpoint.
         src: EndpointAddr,
         /// Matching key.
@@ -284,6 +292,7 @@ mod tests {
         let mut ep = Endpoint::new();
         ep.push_unexpected(Unexpected::Rndv {
             msg: MsgId(5),
+            xfer: XferId(5),
             src: addr(1),
             match_info: 9,
             total_len: 1 << 20,
@@ -299,6 +308,7 @@ mod tests {
         for i in 0..3 {
             ep.push_unexpected(Unexpected::Shm {
                 msg: MsgId(i),
+                xfer: XferId(i),
                 src: addr(1),
                 match_info: 9,
                 data: vec![],
@@ -310,7 +320,7 @@ mod tests {
 
     #[test]
     fn eager_reassembly() {
-        let mut e = EagerRx::new(MsgId(1), addr(0), 7, 10, 3);
+        let mut e = EagerRx::new(MsgId(1), XferId(1), addr(0), 7, 10, 3);
         assert!(!e.absorb(0, 0, &[1, 2, 3, 4]));
         assert!(!e.absorb(2, 8, &[9, 10]));
         // Duplicate is idempotent.
@@ -333,6 +343,7 @@ mod tests {
         let mut ep = Endpoint::new();
         ep.push_unexpected(Unexpected::Eager(EagerRx::new(
             MsgId(4),
+            XferId(4),
             addr(2),
             1,
             100,

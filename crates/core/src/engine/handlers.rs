@@ -13,7 +13,7 @@ use crate::driver::RegionId;
 use crate::endpoint::{EagerRx, EndpointAddr, PostedRecv, RequestId, Unexpected};
 use crate::obs::{RetransKind, TraceEvent};
 use crate::region::{DeclareError, Segment};
-use crate::wire::{Frame, MsgId, PullId, WireMsg};
+use crate::wire::{Frame, MsgId, PullId, WireMsg, XferId};
 
 /// The process whose core a sliced work item belongs to.
 fn work_owner(w: &Work) -> ProcId {
@@ -183,6 +183,7 @@ impl Cluster {
         len: u64,
     ) {
         let msg = self.alloc_msg();
+        let xfer = self.alloc_xfer();
         let node = self.procs[proc.0 as usize].node;
         let Ok(data) = self.read_segments(proc, segments, len) else {
             self.nodes[node].counters.bump("requests_failed");
@@ -193,6 +194,7 @@ impl Cluster {
             msg,
             ShmParked {
                 src: self.addr_of(proc),
+                xfer,
                 peer,
                 match_info,
                 data,
@@ -214,7 +216,8 @@ impl Cluster {
 
     fn on_shm_send(&mut self, msg: MsgId, req: RequestId) {
         let parked = self.xfers.shm.get_mut(&msg).expect("shm xfer");
-        let (src, peer, match_info) = (parked.src, parked.peer, parked.match_info);
+        let (src, peer, match_info, xfer) =
+            (parked.src, parked.peer, parked.match_info, parked.xfer);
         let total = parked.data.len() as u64;
         self.notify_app(src.proc, AppEvent::SendDone(req));
         // Deliver to the peer endpoint (receiver-side copy still pending).
@@ -228,6 +231,7 @@ impl Cluster {
                 let parked = self.xfers.shm.remove(&msg).expect("shm xfer");
                 self.procs[pidx].endpoint.push_unexpected(Unexpected::Shm {
                     msg,
+                    xfer,
                     src,
                     match_info,
                     data: parked.data,
@@ -286,6 +290,7 @@ impl Cluster {
         len: u64,
     ) {
         let msg = self.alloc_msg();
+        let xfer = self.alloc_xfer();
         let node = self.procs[proc.0 as usize].node;
         let Ok(data) = self.read_segments(proc, segments, len) else {
             self.nodes[node].counters.bump("requests_failed");
@@ -296,6 +301,7 @@ impl Cluster {
             msg,
             EagerTx {
                 req,
+                xfer,
                 proc,
                 peer: self.addr_of(peer),
                 match_info,
@@ -324,9 +330,9 @@ impl Cluster {
         self.transmit_eager_frames(msg);
         // The ack may already have raced the copy-out completion (duplicate
         // delivery paths): only (re)arm if the tx state is still live.
-        if self.xfers.eager_tx.contains_key(&msg) {
+        if let Some(xfer) = self.xfers.eager_tx.get(&msg).map(|tx| tx.xfer) {
             let node = self.procs[owner.0 as usize].node;
-            let timeout = self.retrans_timeout(node, RetransKind::Eager, msg.0, 0);
+            let timeout = self.retrans_timeout(node, RetransKind::Eager, msg.0, xfer, 0);
             let timer = self.arm_timer(timeout, TimerToken::EagerRetrans(msg));
             let now = self.now;
             if let Some(tx) = self.xfers.eager_tx.get_mut(&msg) {
@@ -346,7 +352,8 @@ impl Cluster {
         let Some(tx) = self.xfers.eager_tx.get(&msg) else {
             return; // acked and reclaimed while this work was queued
         };
-        let (proc, peer, match_info, total) = (tx.proc, tx.peer, tx.match_info, tx.total_len);
+        let (proc, peer, match_info, total, xfer) =
+            (tx.proc, tx.peer, tx.match_info, tx.total_len, tx.xfer);
         let frag_count = simnet::frame::frame_count(total, mtu) as u32;
         let mut frames = Vec::new();
         for frag in 0..frag_count {
@@ -358,6 +365,7 @@ impl Cluster {
                 dst: peer,
                 msg: WireMsg::Eager {
                     msg,
+                    xfer,
                     match_info,
                     frag,
                     frag_count,
@@ -378,6 +386,7 @@ impl Cluster {
         src: EndpointAddr,
         dst: ProcId,
         msg: MsgId,
+        xfer: XferId,
         match_info: u64,
         frag: u32,
         frag_count: u32,
@@ -388,7 +397,7 @@ impl Cluster {
         let idx = dst.0 as usize;
         if self.procs[idx].endpoint.is_completed(msg) {
             // Duplicate of a finished message: just re-ack.
-            let ack = self.frame(dst, src, WireMsg::EagerAck { msg });
+            let ack = self.frame(dst, src, WireMsg::EagerAck { msg, xfer });
             self.transmit(ack);
             return;
         }
@@ -417,7 +426,7 @@ impl Cluster {
             return;
         }
         // First frame of a new message.
-        let mut rx = EagerRx::new(msg, src, match_info, total_len, frag_count);
+        let mut rx = EagerRx::new(msg, xfer, src, match_info, total_len, frag_count);
         let complete = rx.absorb(frag, offset, &data);
         match self.procs[idx].endpoint.match_incoming(match_info) {
             Some(posted) => {
@@ -459,7 +468,14 @@ impl Cluster {
         // unmapped its posted buffer gets a clean local failure (EFAULT on
         // the copy); the sender must not retransmit into the same fault.
         self.procs[idx].endpoint.mark_completed(msg);
-        let ack = self.frame(m.proc, m.rx.src, WireMsg::EagerAck { msg });
+        let ack = self.frame(
+            m.proc,
+            m.rx.src,
+            WireMsg::EagerAck {
+                msg,
+                xfer: m.rx.xfer,
+            },
+        );
         self.transmit(ack);
         match delivered {
             Ok(events) => {
@@ -493,11 +509,13 @@ impl Cluster {
             return;
         };
         let msg = self.alloc_msg();
+        let xfer = self.alloc_xfer();
         let target = self.pin_target(node, region, len);
         self.xfers.send.insert(
             msg,
             SendXfer {
                 req,
+                xfer,
                 proc,
                 peer: self.addr_of(peer),
                 match_info,
@@ -523,6 +541,7 @@ impl Cluster {
                     Some(PinWaiter {
                         threshold_pages: presync,
                         action: PinAction::SendRndv(msg),
+                        xfer,
                     }),
                 );
                 if sat {
@@ -541,6 +560,7 @@ impl Cluster {
                 Some(PinWaiter {
                     threshold_pages: target,
                     action: PinAction::SendRndv(msg),
+                    xfer,
                 }),
             );
             if sat {
@@ -554,8 +574,15 @@ impl Cluster {
         let Some(x) = self.xfers.send.get_mut(&msg) else {
             return; // transfer aborted while the pin waiter was queued
         };
-        let (proc, peer, match_info, total_len, node, attempt) =
-            (x.proc, x.peer, x.match_info, x.total_len, x.node, x.retries);
+        let (proc, peer, match_info, total_len, node, attempt, xfer) = (
+            x.proc,
+            x.peer,
+            x.match_info,
+            x.total_len,
+            x.node,
+            x.retries,
+            x.xfer,
+        );
         if x.rndv_sent_at.is_none() {
             x.rndv_sent_at = Some(now);
         }
@@ -566,12 +593,13 @@ impl Cluster {
             peer,
             WireMsg::Rndv {
                 msg,
+                xfer,
                 match_info,
                 total_len,
             },
         );
         self.transmit(f);
-        let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, attempt);
+        let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, xfer, attempt);
         let t = self.arm_timer(timeout, TimerToken::RndvRetrans(msg));
         if let Some(x) = self.xfers.send.get_mut(&msg) {
             x.rndv_timer = Some(t);
@@ -583,6 +611,7 @@ impl Cluster {
             Some(proc),
             TraceEvent::RndvTx {
                 msg,
+                xfer,
                 len: total_len,
             },
         );
@@ -624,9 +653,10 @@ impl Cluster {
         let x = self.xfers.send.get_mut(&msg).expect("send xfer");
         x.retries = 0;
         let old = x.rndv_timer.take();
-        let (node, region, proc, peer, total_len) = (x.node, x.region, x.proc, x.peer, x.total_len);
+        let (node, region, proc, peer, total_len, xfer) =
+            (x.node, x.region, x.proc, x.peer, x.total_len, x.xfer);
         self.cancel_timer(old);
-        let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, 0);
+        let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, xfer, 0);
         let t = self.arm_timer(timeout, TimerToken::RndvRetrans(msg));
         if let Some(x) = self.xfers.send.get_mut(&msg) {
             x.rndv_timer = Some(t);
@@ -671,7 +701,11 @@ impl Cluster {
         }
         if missed {
             self.nodes[node].counters.bump("overlap_miss_tx");
-            self.emit(node, Some(proc), TraceEvent::OverlapMissTx { msg, block });
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::OverlapMissTx { msg, xfer, block },
+            );
             // Make sure pinning is (still) progressing toward the end.
             let target = self.pin_target(node, region, limit);
             self.ensure_pinned(node, proc, region, target, None);
@@ -682,6 +716,7 @@ impl Cluster {
                 peer,
                 WireMsg::PullReply {
                     pull,
+                    xfer,
                     block,
                     frame: f,
                     offset: off,
@@ -692,9 +727,9 @@ impl Cluster {
         }
     }
 
-    fn on_notify(&mut self, src: EndpointAddr, dst: ProcId, msg: MsgId) {
+    fn on_notify(&mut self, src: EndpointAddr, dst: ProcId, msg: MsgId, xfer: XferId) {
         // Always ack so the receiver can quiesce, even for duplicates.
-        let ack = self.frame(dst, src, WireMsg::NotifyAck { msg });
+        let ack = self.frame(dst, src, WireMsg::NotifyAck { msg, xfer });
         self.transmit(ack);
         let Some(x) = self.xfers.send.remove(&msg) else {
             self.counters.bump("notify_dup");
@@ -706,7 +741,11 @@ impl Cluster {
             self.metrics.rndv_rtt.record(self.now.duration_since(sent));
         }
         self.release_region(x.proc, x.node, x.region, x.owned);
-        self.emit(x.node, Some(x.proc), TraceEvent::SendDone { msg });
+        self.emit(
+            x.node,
+            Some(x.proc),
+            TraceEvent::SendDone { msg, xfer: x.xfer },
+        );
         self.notify_app(x.proc, AppEvent::SendDone(x.req));
     }
 
@@ -760,19 +799,27 @@ impl Cluster {
             }
             Some(Unexpected::Rndv {
                 msg,
+                xfer,
                 src,
                 total_len,
                 ..
             }) => {
-                self.start_recv_xfer(proc, src, msg, total_len, posted);
+                self.start_recv_xfer(proc, src, msg, xfer, total_len, posted);
             }
-            Some(Unexpected::Shm { msg, src, data, .. }) => {
+            Some(Unexpected::Shm {
+                msg,
+                xfer,
+                src,
+                data,
+                ..
+            }) => {
                 self.xfers.recv_hints.remove(&req);
                 let total = data.len() as u64;
                 self.xfers.shm.insert(
                     msg,
                     ShmParked {
                         src,
+                        xfer,
                         peer: proc,
                         match_info,
                         data,
@@ -789,6 +836,7 @@ impl Cluster {
         proc: ProcId,
         src: EndpointAddr,
         msg: MsgId,
+        xfer: XferId,
         total_len: u64,
         posted: PostedRecv,
     ) {
@@ -840,12 +888,13 @@ impl Cluster {
                 rerequested: false,
             });
         }
-        let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, 0);
+        let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, xfer, 0);
         let timer = self.arm_timer(timeout, TimerToken::PullStall(pull));
         self.xfers.recv.insert(
             pull,
             RecvXfer {
                 req: posted.req,
+                xfer,
                 proc,
                 peer: src,
                 msg,
@@ -863,7 +912,15 @@ impl Cluster {
             },
         );
         self.xfers.recv_by_msg.insert(msg, pull);
-        self.emit(node, Some(proc), TraceEvent::RndvRx { msg, len: xfer_len });
+        self.emit(
+            node,
+            Some(proc),
+            TraceEvent::RndvRx {
+                msg,
+                xfer,
+                len: xfer_len,
+            },
+        );
         let hint = self
             .xfers
             .recv_hints
@@ -880,6 +937,7 @@ impl Cluster {
                     Some(PinWaiter {
                         threshold_pages: presync,
                         action: PinAction::RecvStart(pull),
+                        xfer,
                     }),
                 );
                 if sat {
@@ -898,6 +956,7 @@ impl Cluster {
                 Some(PinWaiter {
                     threshold_pages: target,
                     action: PinAction::RecvStart(pull),
+                    xfer,
                 }),
             );
             if sat {
@@ -930,15 +989,24 @@ impl Cluster {
         x.blocks[b as usize].requested = true;
         x.blocks[b as usize].requested_at = self.now;
         let mask = x.blocks[b as usize].missing_mask();
-        let (proc, peer, msg, xfer_len) = (x.proc, x.peer, x.msg, x.xfer_len);
+        let (proc, peer, msg, xfer_len, xfer) = (x.proc, x.peer, x.msg, x.xfer_len, x.xfer);
         let node = self.procs[proc.0 as usize].node;
-        self.emit(node, Some(proc), TraceEvent::PullReq { msg, block: b });
+        self.emit(
+            node,
+            Some(proc),
+            TraceEvent::PullReq {
+                msg,
+                xfer,
+                block: b,
+            },
+        );
         let f = self.frame(
             proc,
             peer,
             WireMsg::PullReq {
                 pull,
                 msg,
+                xfer,
                 block: b,
                 frame_mask: mask,
                 xfer_len,
@@ -960,13 +1028,14 @@ impl Cluster {
         }
         blk.requested_at = self.now;
         blk.rerequested = true;
-        let (proc, peer, msg, xfer_len) = (x.proc, x.peer, x.msg, x.xfer_len);
+        let (proc, peer, msg, xfer_len, xfer) = (x.proc, x.peer, x.msg, x.xfer_len, x.xfer);
         let f = self.frame(
             proc,
             peer,
             WireMsg::PullReq {
                 pull,
                 msg,
+                xfer,
                 block,
                 frame_mask: mask,
                 xfer_len,
@@ -975,11 +1044,13 @@ impl Cluster {
         self.transmit(f);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_rndv(
         &mut self,
         src: EndpointAddr,
         dst: ProcId,
         msg: MsgId,
+        xfer: XferId,
         match_info: u64,
         total_len: u64,
     ) {
@@ -994,9 +1065,10 @@ impl Cluster {
             return;
         }
         match self.procs[idx].endpoint.match_incoming(match_info) {
-            Some(posted) => self.start_recv_xfer(dst, src, msg, total_len, posted),
+            Some(posted) => self.start_recv_xfer(dst, src, msg, xfer, total_len, posted),
             None => self.procs[idx].endpoint.push_unexpected(Unexpected::Rndv {
                 msg,
+                xfer,
                 src,
                 match_info,
                 total_len,
@@ -1032,7 +1104,7 @@ impl Cluster {
             self.metrics.record_dup_frame();
             return; // duplicate frame
         }
-        let (node, region, proc, xfer_len) = (x.node, x.region, x.proc, x.xfer_len);
+        let (node, region, proc, xfer_len, xfer) = (x.node, x.region, x.proc, x.xfer_len, x.xfer);
         let len = data.len() as u64;
 
         // The decisive check of the overlapped design: has the pin cursor
@@ -1046,8 +1118,16 @@ impl Cluster {
             self.nodes[node].counters.bump("overlap_miss_rx");
             self.nodes[node].counters.bump("frames_dropped_unpinned");
             self.metrics.record_overlap_miss();
-            self.emit(node, Some(proc), TraceEvent::OverlapMissRx { pull, offset });
-            self.emit(node, Some(proc), TraceEvent::PacketDrop { pull, offset });
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::OverlapMissRx { pull, xfer, offset },
+            );
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::PacketDrop { pull, xfer, offset },
+            );
             let target = self.pin_target(node, region, xfer_len);
             self.ensure_pinned(node, proc, region, target, None);
             return;
@@ -1094,7 +1174,7 @@ impl Cluster {
         };
         // Block finished -> keep the pipeline full.
         if x.blocks[block as usize].complete() {
-            let (node, proc) = (x.node, x.proc);
+            let (node, proc, xfer) = (x.node, x.proc, x.xfer);
             let blk = x.blocks[block as usize];
             // Forward progress: the retry budget is for consecutive silent
             // timeouts, not for the whole (possibly long) transfer.
@@ -1106,7 +1186,11 @@ impl Cluster {
                 self.rtt
                     .observe(self.now.saturating_duration_since(blk.requested_at));
             }
-            self.emit(node, Some(proc), TraceEvent::BlockDone { pull, block });
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::BlockDone { pull, xfer, block },
+            );
             self.request_next_block(pull);
         }
         // Optimistic re-request (§4.3): receiving a frame of block `b`
@@ -1131,7 +1215,7 @@ impl Cluster {
             let Some(x) = self.xfers.recv.get(&pull) else {
                 return;
             };
-            let (node, proc) = (x.node, x.proc);
+            let (node, proc, xfer) = (x.node, x.proc, x.xfer);
             self.nodes[node].counters.bump("pull_rereq_optimistic");
             self.metrics.record_retransmit();
             self.emit(
@@ -1140,6 +1224,7 @@ impl Cluster {
                 TraceEvent::Retransmit {
                     kind: RetransKind::OptimisticRereq,
                     id: pull.0,
+                    xfer,
                 },
             );
             self.rerequest_block(pull, b);
@@ -1149,9 +1234,9 @@ impl Cluster {
             return;
         };
         let t = x.stall_timer.take();
-        let node = x.node;
+        let (node, xfer) = (x.node, x.xfer);
         self.cancel_timer(t);
-        let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, 0);
+        let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, xfer, 0);
         let timer = self.arm_timer(timeout, TimerToken::PullStall(pull));
         let Some(x) = self.xfers.recv.get_mut(&pull) else {
             self.queue.cancel(timer);
@@ -1199,14 +1284,22 @@ impl Cluster {
         self.xfers.recv_by_msg.remove(&x.msg);
         self.cancel_timer(x.stall_timer);
         self.procs[x.proc.0 as usize].endpoint.mark_completed(x.msg);
-        let notify = self.frame(x.proc, x.peer, WireMsg::Notify { msg: x.msg });
+        let notify = self.frame(
+            x.proc,
+            x.peer,
+            WireMsg::Notify {
+                msg: x.msg,
+                xfer: x.xfer,
+            },
+        );
         self.transmit(notify);
-        let timeout = self.retrans_timeout(x.node, RetransKind::Notify, x.msg.0, 0);
+        let timeout = self.retrans_timeout(x.node, RetransKind::Notify, x.msg.0, x.xfer, 0);
         let timer = self.arm_timer(timeout, TimerToken::NotifyRetrans(x.msg));
         self.xfers.notify_pending.insert(
             x.msg,
             NotifyPending {
                 proc: x.proc,
+                xfer: x.xfer,
                 peer: x.peer,
                 timer,
                 retries: 0,
@@ -1219,6 +1312,7 @@ impl Cluster {
             Some(x.proc),
             TraceEvent::RecvDone {
                 msg: x.msg,
+                xfer: x.xfer,
                 len: x.xfer_len,
             },
         );
@@ -1270,6 +1364,7 @@ impl Cluster {
         match frame.msg {
             WireMsg::Eager {
                 msg,
+                xfer,
                 match_info,
                 frag,
                 frag_count,
@@ -1277,9 +1372,9 @@ impl Cluster {
                 offset,
                 data,
             } => self.on_eager_frame(
-                src, dst, msg, match_info, frag, frag_count, total_len, offset, data,
+                src, dst, msg, xfer, match_info, frag, frag_count, total_len, offset, data,
             ),
-            WireMsg::EagerAck { msg } => {
+            WireMsg::EagerAck { msg, .. } => {
                 if let Some(tx) = self.xfers.eager_tx.remove(&msg) {
                     self.cancel_timer(tx.timer);
                     // Karn's rule: only a never-retransmitted exchange gives
@@ -1295,15 +1390,17 @@ impl Cluster {
             }
             WireMsg::Rndv {
                 msg,
+                xfer,
                 match_info,
                 total_len,
-            } => self.on_rndv(src, dst, msg, match_info, total_len),
+            } => self.on_rndv(src, dst, msg, xfer, match_info, total_len),
             WireMsg::PullReq {
                 pull,
                 msg,
                 block,
                 frame_mask,
                 xfer_len,
+                ..
             } => self.on_pull_req(msg, pull, block, frame_mask, xfer_len),
             WireMsg::PullReply {
                 pull,
@@ -1311,9 +1408,10 @@ impl Cluster {
                 frame,
                 offset,
                 data,
+                ..
             } => self.on_pull_reply(dst, pull, block, frame, offset, data),
-            WireMsg::Notify { msg } => self.on_notify(src, dst, msg),
-            WireMsg::NotifyAck { msg } => self.on_notify_ack(msg),
+            WireMsg::Notify { msg, xfer } => self.on_notify(src, dst, msg, xfer),
+            WireMsg::NotifyAck { msg, .. } => self.on_notify_ack(msg),
         }
     }
 
@@ -1481,6 +1579,20 @@ impl Cluster {
         }
         let target = plan.target;
         let in_progress = plan.in_progress;
+        if let Some(w) = waiter {
+            if !satisfied {
+                // The transfer's protocol action is now queued behind the
+                // pin cursor: open its pin-wait interval.
+                self.emit(
+                    node,
+                    Some(proc),
+                    TraceEvent::PinWaitStart {
+                        xfer: w.xfer,
+                        region,
+                    },
+                );
+            }
+        }
         if cursor < target && !in_progress {
             let now = self.now;
             let plan = self
@@ -1606,7 +1718,7 @@ impl Cluster {
                     },
                 );
                 // Fire satisfied waiters.
-                let fired: Vec<PinAction> = {
+                let fired: Vec<PinWaiter> = {
                     let plan = self
                         .xfers
                         .pin_plans
@@ -1615,7 +1727,7 @@ impl Cluster {
                     let mut fired = Vec::new();
                     plan.waiters.retain(|w| {
                         if cursor >= w.threshold_pages {
-                            fired.push(w.action);
+                            fired.push(*w);
                             false
                         } else {
                             true
@@ -1623,8 +1735,16 @@ impl Cluster {
                     });
                     fired
                 };
-                for action in fired {
-                    self.run_pin_action(action);
+                for w in fired {
+                    self.emit(
+                        node,
+                        Some(proc),
+                        TraceEvent::PinWaitEnd {
+                            xfer: w.xfer,
+                            region,
+                        },
+                    );
+                    self.run_pin_action(w.action);
                 }
                 let target = self
                     .xfers
@@ -1773,7 +1893,8 @@ impl Cluster {
                     return;
                 };
                 x.retries += 1;
-                let (retries, pull_seen, node, proc) = (x.retries, x.pull_seen, x.node, x.proc);
+                let (retries, pull_seen, node, proc, xfer) =
+                    (x.retries, x.pull_seen, x.node, x.proc, x.xfer);
                 if retries > self.cfg.max_retries {
                     self.emit(
                         node,
@@ -1781,6 +1902,7 @@ impl Cluster {
                         TraceEvent::RetryExhausted {
                             kind: RetransKind::Rndv,
                             id: msg.0,
+                            xfer,
                         },
                     );
                     // Before `pull_seen` the rendezvous itself never got
@@ -1801,7 +1923,8 @@ impl Cluster {
                     // the notify with backoff. Every incoming pull request
                     // resets `retries`, so only total silence exhausts it.
                     self.nodes[node].counters.bump("send_watchdog_timeouts");
-                    let timeout = self.retrans_timeout(node, RetransKind::Rndv, msg.0, retries);
+                    let timeout =
+                        self.retrans_timeout(node, RetransKind::Rndv, msg.0, xfer, retries);
                     let t = self.arm_timer(timeout, TimerToken::RndvRetrans(msg));
                     if let Some(x) = self.xfers.send.get_mut(&msg) {
                         x.rndv_timer = Some(t);
@@ -1818,6 +1941,7 @@ impl Cluster {
                     TraceEvent::Retransmit {
                         kind: RetransKind::Rndv,
                         id: msg.0,
+                        xfer,
                     },
                 );
                 self.send_rndv(msg);
@@ -1827,7 +1951,7 @@ impl Cluster {
                     return;
                 };
                 tx.retries += 1;
-                let (retries, proc, req) = (tx.retries, tx.proc, tx.req);
+                let (retries, proc, req, xfer) = (tx.retries, tx.proc, tx.req, tx.xfer);
                 let node = self.procs[proc.0 as usize].node;
                 if retries > self.cfg.max_retries {
                     self.xfers.eager_tx.remove(&msg);
@@ -1839,6 +1963,7 @@ impl Cluster {
                         TraceEvent::RetryExhausted {
                             kind: RetransKind::Eager,
                             id: msg.0,
+                            xfer,
                         },
                     );
                     // The app saw SendDone at copy-out (MX semantics), but
@@ -1855,10 +1980,11 @@ impl Cluster {
                     TraceEvent::Retransmit {
                         kind: RetransKind::Eager,
                         id: msg.0,
+                        xfer,
                     },
                 );
                 self.transmit_eager_frames(msg);
-                let timeout = self.retrans_timeout(node, RetransKind::Eager, msg.0, retries);
+                let timeout = self.retrans_timeout(node, RetransKind::Eager, msg.0, xfer, retries);
                 let t = self.arm_timer(timeout, TimerToken::EagerRetrans(msg));
                 if let Some(tx) = self.xfers.eager_tx.get_mut(&msg) {
                     tx.timer = Some(t);
@@ -1872,7 +1998,7 @@ impl Cluster {
                     return;
                 };
                 x.retries += 1;
-                let (retries, node, proc) = (x.retries, x.node, x.proc);
+                let (retries, node, proc, xfer) = (x.retries, x.node, x.proc, x.xfer);
                 if retries > self.cfg.max_retries {
                     self.emit(
                         node,
@@ -1880,6 +2006,7 @@ impl Cluster {
                         TraceEvent::RetryExhausted {
                             kind: RetransKind::PullStall,
                             id: pull.0,
+                            xfer,
                         },
                     );
                     self.fail_recv(pull, "pull transfer stalled");
@@ -1893,6 +2020,7 @@ impl Cluster {
                     TraceEvent::Retransmit {
                         kind: RetransKind::PullStall,
                         id: pull.0,
+                        xfer,
                     },
                 );
                 // Re-request everything outstanding.
@@ -1908,7 +2036,8 @@ impl Cluster {
                 for b in stalled {
                     self.rerequest_block(pull, b);
                 }
-                let timeout = self.retrans_timeout(node, RetransKind::PullStall, pull.0, retries);
+                let timeout =
+                    self.retrans_timeout(node, RetransKind::PullStall, pull.0, xfer, retries);
                 let timer = self.arm_timer(timeout, TimerToken::PullStall(pull));
                 if let Some(x) = self.xfers.recv.get_mut(&pull) {
                     x.stall_timer = Some(timer);
@@ -1921,7 +2050,7 @@ impl Cluster {
                     return;
                 };
                 p.retries += 1;
-                let (retries, proc, peer) = (p.retries, p.proc, p.peer);
+                let (retries, proc, peer, xfer) = (p.retries, p.proc, p.peer, p.xfer);
                 let node = self.procs[proc.0 as usize].node;
                 if retries > self.cfg.max_retries {
                     self.xfers.notify_pending.remove(&msg);
@@ -1935,6 +2064,7 @@ impl Cluster {
                         TraceEvent::RetryExhausted {
                             kind: RetransKind::Notify,
                             id: msg.0,
+                            xfer,
                         },
                     );
                     return;
@@ -1947,11 +2077,12 @@ impl Cluster {
                     TraceEvent::Retransmit {
                         kind: RetransKind::Notify,
                         id: msg.0,
+                        xfer,
                     },
                 );
-                let f = self.frame(proc, peer, WireMsg::Notify { msg });
+                let f = self.frame(proc, peer, WireMsg::Notify { msg, xfer });
                 self.transmit(f);
-                let timeout = self.retrans_timeout(node, RetransKind::Notify, msg.0, retries);
+                let timeout = self.retrans_timeout(node, RetransKind::Notify, msg.0, xfer, retries);
                 let t = self.arm_timer(timeout, TimerToken::NotifyRetrans(msg));
                 if let Some(p) = self.xfers.notify_pending.get_mut(&msg) {
                     p.timer = t;

@@ -32,7 +32,7 @@ use crate::driver::{Driver, RegionId};
 use crate::endpoint::{Endpoint, EndpointAddr, RequestId};
 use crate::obs::tracer::DEFAULT_CAPACITY;
 use crate::obs::{CacheStats, FaultKind, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer};
-use crate::wire::{Frame, MsgId, PullId, WireMsg};
+use crate::wire::{Frame, MsgId, PullId, WireMsg, XferId};
 use rto::RttEstimator;
 use xfer::XferTables;
 
@@ -216,6 +216,7 @@ pub struct Cluster {
     pub(crate) xfers: XferTables,
     pub(crate) next_msg: u64,
     pub(crate) next_pull: u64,
+    pub(crate) next_xfer: u64,
     pub(crate) next_req: u64,
     pub(crate) next_ioat_token: u64,
     pub(crate) counters: Counters,
@@ -262,6 +263,7 @@ impl Cluster {
             xfers: XferTables::default(),
             next_msg: 0,
             next_pull: 0,
+            next_xfer: 0,
             next_req: 0,
             next_ioat_token: 0,
             counters: Counters::new(),
@@ -664,6 +666,13 @@ impl Cluster {
         PullId(self.next_pull)
     }
 
+    /// Allocate the causal-trace id carried by every wire message of one
+    /// transfer (see [`XferId`]).
+    pub(crate) fn alloc_xfer(&mut self) -> XferId {
+        self.next_xfer += 1;
+        XferId(self.next_xfer)
+    }
+
     /// Record one trace event (free when tracing is off).
     pub(crate) fn emit(&mut self, node: usize, proc: Option<ProcId>, event: TraceEvent) {
         if !self.tracer.is_enabled() {
@@ -675,6 +684,9 @@ impl Cluster {
             proc,
             event,
         });
+        // Keep the metrics' view of ring overflow current so every
+        // metrics snapshot is self-describing about trace truncation.
+        self.metrics.set_dropped_events(self.tracer.dropped());
     }
 
     /// Submit CPU work on (node, core); schedules the completion event if
@@ -749,6 +761,7 @@ impl Cluster {
         node: usize,
         kind: RetransKind,
         id: u64,
+        xfer: XferId,
         attempt: u32,
     ) -> SimDuration {
         let cfg_max = self.cfg.retransmit_timeout;
@@ -768,6 +781,7 @@ impl Cluster {
             TraceEvent::Backoff {
                 kind,
                 id,
+                xfer,
                 attempt,
                 rto_nanos: rto.as_nanos(),
             },

@@ -12,7 +12,7 @@ use simmem::VirtAddr;
 use crate::driver::RegionId;
 use crate::endpoint::{EagerRx, EndpointAddr, RequestId};
 use crate::engine::{OverlapHint, ProcId};
-use crate::wire::{MsgId, PullId};
+use crate::wire::{MsgId, PullId, XferId};
 
 /// Sender-side state of an in-flight eager message (kept for
 /// retransmission until the ack arrives; the app already saw SendDone).
@@ -21,6 +21,8 @@ pub(crate) struct EagerTx {
     /// retransmission is ever exhausted (the app saw SendDone already,
     /// but MX semantics allow a late error on the handle).
     pub req: RequestId,
+    /// Causal-trace id of the transfer.
+    pub xfer: XferId,
     pub proc: ProcId,
     pub peer: EndpointAddr,
     pub match_info: u64,
@@ -46,6 +48,8 @@ pub(crate) struct EagerRxMatched {
 /// Sender-side state of a rendezvous (large-message) transfer.
 pub(crate) struct SendXfer {
     pub req: RequestId,
+    /// Causal-trace id of the transfer.
+    pub xfer: XferId,
     pub proc: ProcId,
     pub peer: EndpointAddr,
     pub match_info: u64,
@@ -101,6 +105,8 @@ impl Block {
 /// Receiver-side state of a rendezvous transfer (one pull transaction).
 pub(crate) struct RecvXfer {
     pub req: RequestId,
+    /// Causal-trace id of the transfer (from the sender's rndv).
+    pub xfer: XferId,
     pub proc: ProcId,
     /// The sender.
     pub peer: EndpointAddr,
@@ -138,6 +144,8 @@ impl RecvXfer {
 /// Receiver-side notify retransmission state (survives the RecvXfer).
 pub(crate) struct NotifyPending {
     pub proc: ProcId,
+    /// Causal-trace id of the transfer.
+    pub xfer: XferId,
     pub peer: EndpointAddr,
     pub timer: EventId,
     pub retries: u32,
@@ -167,6 +175,9 @@ pub(crate) struct PinWaiter {
     /// Fire when the cursor reaches this many pages.
     pub threshold_pages: u64,
     pub action: PinAction,
+    /// Transfer whose protocol action is queued behind the threshold
+    /// (drives the pin_wait_start / pin_wait_end trace pair).
+    pub xfer: XferId,
 }
 
 /// Per-region on-demand pin plan.
@@ -199,6 +210,8 @@ impl PinPlan {
 /// receive-copy.
 pub(crate) struct ShmParked {
     pub src: EndpointAddr,
+    /// Causal-trace id of the transfer.
+    pub xfer: XferId,
     /// Destination process.
     pub peer: ProcId,
     pub match_info: u64,

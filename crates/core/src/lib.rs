@@ -22,8 +22,11 @@
 //! * [`config`] — Table 1 CPU cost profiles and every knob the paper's
 //!   experiments sweep;
 //! * [`obs`] — observability: typed trace events over the whole pinning
-//!   lifecycle, a bounded ring-buffer tracer, latency histograms, and
-//!   Chrome-trace/CSV exporters.
+//!   lifecycle, a bounded ring-buffer tracer, latency histograms,
+//!   Chrome-trace/CSV exporters, and the causal span builder that
+//!   correlates sender- and receiver-side records of one transfer (via
+//!   [`wire::XferId`]) into cross-node span trees with critical-path
+//!   attribution.
 
 #![warn(missing_docs)]
 
@@ -42,7 +45,9 @@ pub use driver::{Driver, RegionId};
 pub use endpoint::{Endpoint, EndpointAddr, RequestId};
 pub use engine::{AppEvent, Cluster, Ctx, OverlapHint, ProcId, Process};
 pub use obs::{
-    CacheStats, DriverStats, FaultKind, Metrics, RetransKind, TraceEvent, TraceRecord, Tracer,
+    build_spans, chrome_spans_json, per_proc_latency, post_mortem_json, CacheStats, ChildSpan,
+    CriticalPath, DriverStats, FaultKind, Metrics, ProcLatencyStats, RetransKind, TraceEvent,
+    TraceRecord, Tracer, XferSpan,
 };
 pub use region::{DeclareError, DriverRegion, RegionLayout, Segment};
-pub use wire::{Frame, MsgId, PullId, WireMsg};
+pub use wire::{Frame, MsgId, PullId, WireMsg, XferId};

@@ -9,7 +9,7 @@ use simcore::SimTime;
 
 use crate::driver::RegionId;
 use crate::engine::ProcId;
-use crate::wire::{MsgId, PullId};
+use crate::wire::{MsgId, PullId, XferId};
 
 /// Which retransmission machinery fired.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,6 +108,8 @@ pub enum TraceEvent {
     OverlapMissTx {
         /// The send transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// The pull block that could not be fully served.
         block: u32,
     },
@@ -115,6 +117,8 @@ pub enum TraceEvent {
     OverlapMissRx {
         /// The pull transaction.
         pull: PullId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Byte offset of the offending frame.
         offset: u64,
     },
@@ -123,6 +127,8 @@ pub enum TraceEvent {
     PacketDrop {
         /// The pull transaction.
         pull: PullId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Byte offset of the dropped frame.
         offset: u64,
     },
@@ -132,6 +138,8 @@ pub enum TraceEvent {
         kind: RetransKind,
         /// The transfer it belongs to (`MsgId` or `PullId` raw value).
         id: u64,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
     },
     /// An adaptive retransmission timeout was computed for a timer arm.
     Backoff {
@@ -139,6 +147,8 @@ pub enum TraceEvent {
         kind: RetransKind,
         /// The transfer (`MsgId` or `PullId` raw value).
         id: u64,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Attempt number driving the exponential term (0 = first arm).
         attempt: u32,
         /// The timeout applied, nanoseconds.
@@ -155,6 +165,8 @@ pub enum TraceEvent {
         kind: RetransKind,
         /// The transfer (`MsgId` or `PullId` raw value).
         id: u64,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
     },
     /// The MMU notifier invalidated (unpinned) a region.
     NotifierInvalidate {
@@ -193,6 +205,8 @@ pub enum TraceEvent {
     RndvTx {
         /// The send transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Message length in bytes.
         len: u64,
     },
@@ -200,6 +214,8 @@ pub enum TraceEvent {
     RndvRx {
         /// The transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Bytes that will cross the fabric.
         len: u64,
     },
@@ -207,6 +223,8 @@ pub enum TraceEvent {
     PullReq {
         /// The transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Block index.
         block: u32,
     },
@@ -214,6 +232,8 @@ pub enum TraceEvent {
     BlockDone {
         /// The pull transaction.
         pull: PullId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Block index.
         block: u32,
     },
@@ -221,13 +241,34 @@ pub enum TraceEvent {
     SendDone {
         /// The transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
     },
     /// The receiver placed every frame: transfer done on the receive side.
     RecvDone {
         /// The transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Bytes delivered.
         len: u64,
+    },
+    /// A transfer started waiting on the pin cursor: a protocol action
+    /// (send rndv / start pulling) was queued behind an unmet pin
+    /// threshold. Paired with [`TraceEvent::PinWaitEnd`].
+    PinWaitStart {
+        /// The waiting transfer.
+        xfer: XferId,
+        /// The region whose cursor is being waited on.
+        region: RegionId,
+    },
+    /// The pin cursor reached the threshold and released the waiting
+    /// transfer's queued action.
+    PinWaitEnd {
+        /// The transfer that stopped waiting.
+        xfer: XferId,
+        /// The region whose cursor satisfied the wait.
+        region: RegionId,
     },
     /// Application-level annotation (via `Ctx::annotate`).
     AppMark {
@@ -265,6 +306,8 @@ impl TraceEvent {
             TraceEvent::BlockDone { .. } => "block_done",
             TraceEvent::SendDone { .. } => "send_done",
             TraceEvent::RecvDone { .. } => "recv_done",
+            TraceEvent::PinWaitStart { .. } => "pin_wait_start",
+            TraceEvent::PinWaitEnd { .. } => "pin_wait_end",
             TraceEvent::AppMark { .. } => "app_mark",
         }
     }
@@ -295,21 +338,22 @@ impl TraceEvent {
             } => {
                 format!("region {} cursor {cursor_pages} pages", region.0)
             }
-            TraceEvent::OverlapMissTx { msg, block } => {
+            TraceEvent::OverlapMissTx { msg, block, .. } => {
                 format!("msg {} block {block}", msg.0)
             }
-            TraceEvent::OverlapMissRx { pull, offset } => {
+            TraceEvent::OverlapMissRx { pull, offset, .. } => {
                 format!("pull {} offset {offset}", pull.0)
             }
-            TraceEvent::PacketDrop { pull, offset } => {
+            TraceEvent::PacketDrop { pull, offset, .. } => {
                 format!("pull {} offset {offset}", pull.0)
             }
-            TraceEvent::Retransmit { kind, id } => format!("{} id {id}", kind.label()),
+            TraceEvent::Retransmit { kind, id, .. } => format!("{} id {id}", kind.label()),
             TraceEvent::Backoff {
                 kind,
                 id,
                 attempt,
                 rto_nanos,
+                ..
             } => {
                 format!(
                     "{} id {id} attempt {attempt} rto {rto_nanos} ns",
@@ -317,7 +361,7 @@ impl TraceEvent {
                 )
             }
             TraceEvent::FaultInjected { kind } => kind.label().to_string(),
-            TraceEvent::RetryExhausted { kind, id } => format!("{} id {id}", kind.label()),
+            TraceEvent::RetryExhausted { kind, id, .. } => format!("{} id {id}", kind.label()),
             TraceEvent::NotifierInvalidate { region, pages } => {
                 format!("region {} unpinned {pages} pages", region.0)
             }
@@ -333,12 +377,18 @@ impl TraceEvent {
             TraceEvent::CacheHit { region } => format!("region {}", region.0),
             TraceEvent::CacheMiss => String::new(),
             TraceEvent::CacheEvict { region } => format!("region {}", region.0),
-            TraceEvent::RndvTx { msg, len } => format!("msg {} len {len}", msg.0),
-            TraceEvent::RndvRx { msg, len } => format!("msg {} len {len}", msg.0),
-            TraceEvent::PullReq { msg, block } => format!("msg {} block {block}", msg.0),
-            TraceEvent::BlockDone { pull, block } => format!("pull {} block {block}", pull.0),
-            TraceEvent::SendDone { msg } => format!("msg {}", msg.0),
-            TraceEvent::RecvDone { msg, len } => format!("msg {} len {len}", msg.0),
+            TraceEvent::RndvTx { msg, len, .. } => format!("msg {} len {len}", msg.0),
+            TraceEvent::RndvRx { msg, len, .. } => format!("msg {} len {len}", msg.0),
+            TraceEvent::PullReq { msg, block, .. } => format!("msg {} block {block}", msg.0),
+            TraceEvent::BlockDone { pull, block, .. } => format!("pull {} block {block}", pull.0),
+            TraceEvent::SendDone { msg, .. } => format!("msg {}", msg.0),
+            TraceEvent::RecvDone { msg, len, .. } => format!("msg {} len {len}", msg.0),
+            TraceEvent::PinWaitStart { xfer, region } => {
+                format!("xfer {} region {}", xfer.0, region.0)
+            }
+            TraceEvent::PinWaitEnd { xfer, region } => {
+                format!("xfer {} region {}", xfer.0, region.0)
+            }
             TraceEvent::AppMark { label } => (*label).to_string(),
         }
     }
@@ -356,7 +406,33 @@ impl TraceEvent {
             | TraceEvent::PressureUnpin { region, .. }
             | TraceEvent::Repin { region, .. }
             | TraceEvent::CacheHit { region }
-            | TraceEvent::CacheEvict { region } => Some(*region),
+            | TraceEvent::CacheEvict { region }
+            | TraceEvent::PinWaitStart { region, .. }
+            | TraceEvent::PinWaitEnd { region, .. } => Some(*region),
+            _ => None,
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The transfer this event belongs to, when it names one (used by the
+    /// span builder to correlate sender- and receiver-side records).
+    pub fn xfer(&self) -> Option<XferId> {
+        match self {
+            TraceEvent::OverlapMissTx { xfer, .. }
+            | TraceEvent::OverlapMissRx { xfer, .. }
+            | TraceEvent::PacketDrop { xfer, .. }
+            | TraceEvent::Retransmit { xfer, .. }
+            | TraceEvent::Backoff { xfer, .. }
+            | TraceEvent::RetryExhausted { xfer, .. }
+            | TraceEvent::RndvTx { xfer, .. }
+            | TraceEvent::RndvRx { xfer, .. }
+            | TraceEvent::PullReq { xfer, .. }
+            | TraceEvent::BlockDone { xfer, .. }
+            | TraceEvent::SendDone { xfer, .. }
+            | TraceEvent::RecvDone { xfer, .. }
+            | TraceEvent::PinWaitStart { xfer, .. }
+            | TraceEvent::PinWaitEnd { xfer, .. } => Some(*xfer),
             _ => None,
         }
     }

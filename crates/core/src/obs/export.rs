@@ -46,6 +46,9 @@ fn ts_us(ns: u64) -> f64 {
 /// record becomes a `ph:"i"` instant. Tracks are `pid` = node index and
 /// `tid` = process id + 1 (0 for events not attributable to a process,
 /// e.g. driver work).
+///
+/// The ring's evicted-record count is stamped into `otherData` as
+/// `dropped_events`, so a truncated trace is self-describing.
 pub fn chrome_trace_json(tracer: &Tracer) -> String {
     let mut events: Vec<String> = Vec::with_capacity(tracer.len());
     // (node, region) -> index into `events` of a pending pin_start, plus
@@ -99,13 +102,19 @@ pub fn chrome_trace_json(tracer: &Tracer) -> String {
 
     let mut out = String::from("{\"traceEvents\":[");
     out.push_str(&events.join(","));
-    out.push_str("]}");
+    let _ = write!(
+        out,
+        "],\"otherData\":{{\"dropped_events\":\"{}\"}}}}",
+        tracer.dropped()
+    );
     out
 }
 
 /// Export the tracer's contents as CSV with header
 /// `time_ns,node,proc,kind,detail` (proc empty when unattributed; detail
-/// double-quoted with embedded quotes doubled).
+/// double-quoted with embedded quotes doubled). The last line is a
+/// `# dropped_events=N` comment stamping the ring's evicted-record count,
+/// so a truncated trace is self-describing.
 pub fn csv(tracer: &Tracer) -> String {
     let mut out = String::from("time_ns,node,proc,kind,detail\n");
     for rec in tracer.iter() {
@@ -121,6 +130,7 @@ pub fn csv(tracer: &Tracer) -> String {
             detail,
         );
     }
+    let _ = writeln!(out, "# dropped_events={}", tracer.dropped());
     out
 }
 
@@ -174,7 +184,7 @@ mod tests {
         ));
         let json = chrome_trace_json(&t);
         assert!(json.starts_with("{\"traceEvents\":["));
-        assert!(json.ends_with("]}"));
+        assert!(json.ends_with("],\"otherData\":{\"dropped_events\":\"0\"}}"));
         // The start/complete pair collapsed into one complete-event span.
         assert!(
             json.contains(r#""name":"pin","ph":"X","ts":1.000,"dur":2.000"#),
@@ -211,6 +221,20 @@ mod tests {
         assert_eq!(lines[0], "time_ns,node,proc,kind,detail");
         assert_eq!(lines[1], "42,2,3,cache_miss,\"\"");
         assert_eq!(lines[2], "99,0,,app_mark,\"phase one\"");
+        assert_eq!(lines[3], "# dropped_events=0");
+    }
+
+    #[test]
+    fn exports_stamp_dropped_events() {
+        let mut t = Tracer::enabled(1);
+        t.record(rec(1, 0, None, TraceEvent::CacheMiss));
+        t.record(rec(2, 0, None, TraceEvent::CacheMiss));
+        t.record(rec(3, 0, None, TraceEvent::CacheMiss));
+        assert_eq!(t.dropped(), 2);
+        let json = chrome_trace_json(&t);
+        assert!(json.ends_with("],\"otherData\":{\"dropped_events\":\"2\"}}"));
+        let text = csv(&t);
+        assert_eq!(text.lines().last().unwrap(), "# dropped_events=2");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub struct Metrics {
     dup_frames_rx: u64,
     /// Faults the fabric injected on purpose (loss, dup, reorder, death).
     faults_injected: u64,
+    /// Trace records evicted from the tracer ring because it was full.
+    dropped_events: u64,
 }
 
 impl Default for Metrics {
@@ -60,6 +62,7 @@ impl Metrics {
             retransmits: 0,
             dup_frames_rx: 0,
             faults_injected: 0,
+            dropped_events: 0,
         }
     }
 
@@ -103,6 +106,18 @@ impl Metrics {
         self.faults_injected
     }
 
+    /// Mirror the tracer's evicted-record count into the registry so every
+    /// metrics snapshot (and every export stamped from it) is
+    /// self-describing about trace truncation.
+    pub fn set_dropped_events(&mut self, n: u64) {
+        self.dropped_events = n;
+    }
+
+    /// Trace records evicted from the tracer ring because it was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
     /// Frames dropped because their landing pages were unpinned.
     pub fn overlap_misses(&self) -> u64 {
         self.overlap_misses
@@ -130,6 +145,7 @@ impl Metrics {
         self.retransmits += other.retransmits;
         self.dup_frames_rx += other.dup_frames_rx;
         self.faults_injected += other.faults_injected;
+        self.dropped_events += other.dropped_events;
     }
 
     /// One-line pin-latency summary for the bench harness:

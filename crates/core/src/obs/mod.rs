@@ -26,11 +26,16 @@
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod span;
 pub mod tracer;
 
 pub use event::{FaultKind, RetransKind, TraceEvent, TraceRecord};
 pub use export::{chrome_trace_json, csv};
 pub use metrics::Metrics;
+pub use span::{
+    build_spans, chrome_spans_json, per_proc_latency, post_mortem_json, ChildSpan, CriticalPath,
+    ProcLatencyStats, XferSpan,
+};
 pub use tracer::Tracer;
 
 /// Driver-side pinning counters (was an anonymous `(u64, u64)` tuple).

@@ -15,6 +15,17 @@ use crate::endpoint::EndpointAddr;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MsgId(pub u64);
 
+/// Cluster-unique causal-trace id of one end-to-end transfer.
+///
+/// Allocated once at send initiation and propagated through *every* wire
+/// message of the transfer (rndv, pull req/reply, eager fragments, acks,
+/// notifies) so that sender- and receiver-side trace records correlate
+/// into a single cross-node span tree (`crate::obs::span`). Unlike
+/// [`MsgId`] — which names protocol state — `XferId` exists purely for
+/// observability and never keys any engine table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct XferId(pub u64);
+
 /// Identifies one pull transaction (a large-message data phase).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PullId(pub u64);
@@ -26,6 +37,8 @@ pub enum WireMsg {
     Eager {
         /// Transfer this fragment belongs to.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Matching key.
         match_info: u64,
         /// Fragment index.
@@ -43,11 +56,15 @@ pub enum WireMsg {
     EagerAck {
         /// The acked transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
     },
     /// Rendezvous request announcing a large message.
     Rndv {
         /// Transfer id.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Matching key.
         match_info: u64,
         /// Total message length.
@@ -61,6 +78,8 @@ pub enum WireMsg {
         pull: PullId,
         /// Transfer id (identifies the sender-side region).
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Block index within the transfer.
         block: u32,
         /// Bitmask of the frames of this block being requested.
@@ -72,6 +91,8 @@ pub enum WireMsg {
     PullReply {
         /// The pull transaction.
         pull: PullId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
         /// Block index.
         block: u32,
         /// Frame index within the block.
@@ -85,11 +106,15 @@ pub enum WireMsg {
     Notify {
         /// The completed transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
     },
     /// Ack of a notify (lets the receiver release its retransmit state).
     NotifyAck {
         /// The acked transfer.
         msg: MsgId,
+        /// Causal-trace id of the transfer.
+        xfer: XferId,
     },
 }
 
@@ -146,6 +171,7 @@ mod tests {
     fn payload_accounting() {
         let e = WireMsg::Eager {
             msg: MsgId(1),
+            xfer: XferId(1),
             match_info: 7,
             frag: 0,
             frag_count: 1,
@@ -155,7 +181,10 @@ mod tests {
         };
         assert_eq!(e.payload_len(), 5);
         assert!(!e.is_control());
-        let n = WireMsg::Notify { msg: MsgId(1) };
+        let n = WireMsg::Notify {
+            msg: MsgId(1),
+            xfer: XferId(1),
+        };
         assert_eq!(n.payload_len(), 0);
         assert!(n.is_control());
         assert_eq!(n.kind(), "notify");
@@ -166,7 +195,10 @@ mod tests {
         let f = Frame {
             src: addr(0),
             dst: addr(1),
-            msg: WireMsg::NotifyAck { msg: MsgId(9) },
+            msg: WireMsg::NotifyAck {
+                msg: MsgId(9),
+                xfer: XferId(9),
+            },
         };
         assert_eq!(f.msg.kind(), "notify_ack");
         assert_ne!(f.src.proc, f.dst.proc);

@@ -141,7 +141,7 @@ fn chrome_trace_export_has_pin_spans_and_miss_events() {
     let cl = run_stream(forced_miss_cfg(), 4 << 20, 2);
     let json = chrome_trace_json(cl.tracer());
     assert!(json.starts_with("{\"traceEvents\":["));
-    assert!(json.ends_with("]}\n") || json.ends_with("]}"));
+    assert!(json.ends_with("],\"otherData\":{\"dropped_events\":\"0\"}}"));
     assert!(
         json.contains("\"name\":\"pin\",\"ph\":\"X\""),
         "paired pin bursts must export as complete spans"
@@ -155,7 +155,9 @@ fn chrome_trace_export_has_pin_spans_and_miss_events() {
     let mut lines = text.lines();
     assert_eq!(lines.next(), Some("time_ns,node,proc,kind,detail"));
     assert!(lines.clone().any(|l| l.contains("overlap_miss_rx")));
-    assert_eq!(text.lines().count() - 1, cl.tracer().len());
+    // Header + one row per record + the dropped_events footer.
+    assert_eq!(text.lines().count() - 2, cl.tracer().len());
+    assert_eq!(text.lines().last(), Some("# dropped_events=0"));
 }
 
 #[test]

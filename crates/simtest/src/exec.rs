@@ -37,8 +37,16 @@ use simcore::{SimDuration, SimRng};
 use simmem::{AsId, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
 
 use crate::schedule::{
-    profile_by_name, schedule_cfg, ChurnKind, Op, Schedule, BUFS_PER_PROC, BUF_LEN, TICK,
+    encode, profile_by_name, schedule_cfg, ChurnKind, Op, Schedule, BUFS_PER_PROC, BUF_LEN, TICK,
 };
+
+/// Spans kept in a flight-recorder post-mortem dump.
+const POST_MORTEM_SPANS: usize = 32;
+
+/// Tracer ring capacity for schedule runs: bounded so long schedules
+/// cannot grow memory, large enough that the flight recorder's last-N
+/// spans are fully correlated.
+const TRACE_CAPACITY: usize = 4096;
 
 /// Virtual time per quiescence chunk.
 const QUIESCE_CHUNK: SimDuration = SimDuration::from_millis(5);
@@ -240,6 +248,9 @@ pub struct RunOutcome {
     pub xfers: usize,
     /// Application completions observed.
     pub completions: usize,
+    /// Flight-recorder dump (post-mortem JSON: last correlated spans +
+    /// metrics snapshot + repro string), present iff the run failed.
+    pub post_mortem: Option<String>,
 }
 
 /// A process that does nothing but record its completions for the harness.
@@ -732,6 +743,9 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
     let nprocs = nodes * ppn;
     let cfg = schedule_cfg(s, &profile);
     let mut cl = Cluster::new(cfg, nodes);
+    // Bounded tracing feeds the flight recorder on failure; the ring cap
+    // keeps long schedules at a fixed memory footprint.
+    cl.enable_trace_with_capacity(TRACE_CAPACITY);
     let events: Rc<RefCell<Vec<(ProcId, AppEvent)>>> = Rc::default();
     for p in 0..nprocs {
         cl.add_process(
@@ -857,11 +871,23 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
         h.check_invariants(&cl);
     }
 
+    // Flight recorder: package the failure (violations + last spans +
+    // metrics + repro) into a post-mortem dump the caller can ship.
+    let post_mortem = h.violations.first().map(|first| {
+        openmx_core::obs::post_mortem_json(
+            &format!("invariant violation: {first}"),
+            Some(&encode(s)),
+            cl.tracer(),
+            cl.metrics(),
+            POST_MORTEM_SPANS,
+        )
+    });
     RunOutcome {
         violations: h.violations,
         ops_executed,
         xfers: h.pairs.len(),
         completions: h.completions,
+        post_mortem,
     }
 }
 
@@ -876,8 +902,16 @@ pub fn run_schedule_catching(s: &Schedule, mutation: Option<Mutation>) -> RunOut
                 .map(|m| m.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
+            let post_mortem = openmx_core::obs::post_mortem_json(
+                &format!("panic: {message}"),
+                Some(&encode(s)),
+                &openmx_core::Tracer::disabled(),
+                &openmx_core::Metrics::new(),
+                POST_MORTEM_SPANS,
+            );
             RunOutcome {
                 violations: vec![Violation::Panic { message }],
+                post_mortem: Some(post_mortem),
                 ..RunOutcome::default()
             }
         }
@@ -976,6 +1010,26 @@ mod tests {
             "{:?}",
             out.violations
         );
+    }
+
+    #[test]
+    fn failing_run_ships_a_post_mortem_and_clean_run_does_not() {
+        let clean = run_schedule(&tiny(), None);
+        assert!(clean.post_mortem.is_none());
+
+        let out = run_schedule(&tiny(), Some(Mutation::LeakPin { after_op: 0 }));
+        assert!(!out.violations.is_empty());
+        let pm = out.post_mortem.expect("failure must carry a post-mortem");
+        assert!(pm.starts_with("{\"reason\":\"invariant violation:"));
+        assert!(
+            pm.contains("\"repro\":\""),
+            "dump must embed the repro string"
+        );
+        assert!(
+            pm.contains("\"spans\":["),
+            "dump must carry correlated spans"
+        );
+        assert!(pm.contains("\"metrics\":{"), "dump must snapshot metrics");
     }
 
     #[test]

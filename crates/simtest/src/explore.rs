@@ -22,6 +22,10 @@ pub struct FailureCase {
     pub repro: String,
     /// Candidate runs the shrinker spent.
     pub shrink_runs: usize,
+    /// Flight-recorder post-mortem JSON (last correlated spans + metrics
+    /// snapshot + repro) from the shrunk run, falling back to the
+    /// original failing run.
+    pub post_mortem: String,
 }
 
 /// Aggregate result of one explorer sweep.
@@ -61,14 +65,18 @@ pub fn explore(
             continue;
         }
         let (shrunk, shrink_runs) = shrink(&s, None, shrink_budget);
-        let shrunk_violations = run_schedule_catching(&shrunk, None).violations;
+        let shrunk_out = run_schedule_catching(&shrunk, None);
         report.failures.push(FailureCase {
             seed,
             profile: profile.name.to_string(),
             violations: out.violations,
             repro: encode(&shrunk),
             shrunk,
-            shrunk_violations,
+            shrunk_violations: shrunk_out.violations,
+            post_mortem: shrunk_out
+                .post_mortem
+                .or(out.post_mortem)
+                .unwrap_or_default(),
             shrink_runs,
         });
     }
