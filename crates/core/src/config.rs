@@ -236,6 +236,12 @@ pub struct OpenMxConfig {
     /// Driver-enforced ceiling on pinned pages per node; exceeding it
     /// triggers pressure unpinning of idle cached regions.
     pub pinned_pages_limit: Option<usize>,
+    /// How long a deferred-unpin flush epoch stays open after the first
+    /// deferral: notifier invalidation hits park in the driver's deferred
+    /// queue and drain in one batch when this timer fires (or earlier,
+    /// under pin-budget pressure). Allocator churn that re-pins the range
+    /// within the epoch cancels the unpin entirely.
+    pub notifier_epoch: SimDuration,
     /// §4.3 mitigation: pin this many pages synchronously before sending
     /// the initiating message in overlapped modes (0 = off).
     pub presync_pages: u64,
@@ -292,6 +298,7 @@ impl OpenMxConfig {
             per_page_pin: false,
             cache_capacity: 64,
             pinned_pages_limit: None,
+            notifier_epoch: SimDuration::from_micros(100),
             presync_pages: 0,
             colocate_with_bh: false,
             optimistic_rerequest: true,
@@ -327,6 +334,9 @@ impl OpenMxConfig {
                 "retransmit_backoff = {} must be >= 1.0",
                 self.retransmit_backoff
             ));
+        }
+        if self.notifier_epoch.is_zero() {
+            return Err("notifier_epoch must be > 0".to_string());
         }
         if !(0.0..=1.0).contains(&self.retransmit_jitter) {
             return Err(format!(
@@ -409,6 +419,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = OpenMxConfig::paper_default();
         c.retransmit_min = c.retransmit_timeout + SimDuration::from_nanos(1);
+        assert!(c.validate().is_err());
+        let mut c = OpenMxConfig::paper_default();
+        c.notifier_epoch = SimDuration::ZERO;
         assert!(c.validate().is_err());
         let mut c = OpenMxConfig::paper_default();
         c.net.loss_probability = 2.0;

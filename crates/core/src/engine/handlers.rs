@@ -1563,7 +1563,11 @@ impl Cluster {
         target_pages: u64,
         waiter: Option<PinWaiter>,
     ) -> bool {
-        let cursor = self.nodes[node].driver.region(region).pinned_pages();
+        // The protocol-visible cursor: stale pages awaiting a deferred
+        // unpin are excluded, so an invalidated tail reads as unpinned
+        // here even while its frames are still attached.
+        let r = self.nodes[node].driver.region(region);
+        let (cursor, generation) = (r.valid_pages(), r.generation);
         let plan = self
             .xfers
             .pin_plans
@@ -1602,6 +1606,10 @@ impl Cluster {
                 .expect("plan");
             plan.in_progress = true;
             plan.started_at = Some(now);
+            // Stamp the pass with the region generation it saw: a
+            // notifier invalidation bumps the region's copy, and the
+            // mismatch restarts the pass at its next chunk.
+            plan.generation = generation;
             // Mirror into the driver's region state: the notifier and the
             // pressure evictor must see that a pin pass is in flight even
             // while the cursor still reads zero.
@@ -1641,6 +1649,17 @@ impl Cluster {
         target: u64,
     ) {
         let pages = self.cfg.pin_chunk_pages.min(target - cursor);
+        // Under budget pressure, drain the deferred-unpin queue before
+        // reaching for the LRU: already-invalidated pages are the
+        // cheapest headroom, and evicting a live region while stale
+        // frames sit parked would be strictly worse.
+        let over_budget = self.cfg.pinned_pages_limit.is_some_and(|lim| {
+            let n = &self.nodes[node];
+            n.driver.has_deferred() && n.driver.pinned_pages_total() + pages > lim as u64
+        });
+        if over_budget {
+            self.close_notifier_epoch(node);
+        }
         // Enforce the pinned-pages ceiling before growing the pin set.
         let now = self.now;
         let evicted = {
@@ -1673,41 +1692,80 @@ impl Cluster {
         let Some(plan) = self.xfers.pin_plans.get(&(node, region.0)) else {
             return; // plan cancelled (transfer completed/aborted)
         };
-        let (target, proc) = (plan.target, plan.proc);
-        let cursor = self.nodes[node].driver.region(region).pinned_pages();
+        let (target, proc, plan_gen) = (plan.target, plan.proc, plan.generation);
+        let (region_gen, cursor) = {
+            let r = self.nodes[node].driver.region(region);
+            (r.generation, r.valid_pages())
+        };
+        if region_gen != plan_gen {
+            // A notifier invalidation landed while this pass was in
+            // flight: the chunk just charged was computed against a
+            // cursor the invalidation has since rewound, and pinning
+            // blindly from here would re-pin just-invalidated pages.
+            // Abort the pass and restart it from the rewound cursor —
+            // the simulated `mmu_notifier_retry`.
+            let plan = self
+                .xfers
+                .pin_plans
+                .get_mut(&(node, region.0))
+                .expect("plan");
+            plan.generation = region_gen;
+            self.nodes[node].counters.bump("pin_pass_restarts");
+            if cursor < target {
+                self.submit_pin_chunk(node, proc, region, cursor, target);
+            } else {
+                self.finish_pin_plan(node, region, cursor);
+            }
+            return;
+        }
         if cursor >= target {
             self.finish_pin_plan(node, region, cursor);
             return;
         }
         let want = self.cfg.pin_chunk_pages.min(target - cursor);
         let per_page = self.cfg.per_page_pin;
-        let (result, pin_calls) = {
+        let (result, pin_calls, stale_released) = {
             let n = &mut self.nodes[node];
             let calls_before = n.mem.pin_calls();
             let r = n.driver.region_mut(region);
-            // Re-assert the flag: a notifier invalidation between chunks
-            // clears it via unpin_all, but this pass is still running.
-            r.pinning_in_progress = true;
+            // The pin call releases the region's stale tail on its way
+            // in (cursor rewind); read it first so the unpin ledger and
+            // the charged cost stay exact.
+            let stale = r.stale_pages();
             let result = if per_page {
                 r.pin_next_chunk_per_page(&mut n.mem, want)
             } else {
                 r.pin_next_chunk(&mut n.mem, want)
             };
-            (result, n.mem.pin_calls() - calls_before)
+            (result, n.mem.pin_calls() - calls_before, stale)
         };
         self.nodes[node].counters.add("pin_syscalls", pin_calls);
+        if stale_released > 0 {
+            self.nodes[node].counters.add("unpin_pages", stale_released);
+        }
         match result {
             Err(_) => {
                 self.xfers.pin_plans.remove(&(node, region.0));
                 self.nodes[node].counters.bump("pin_failures");
                 self.fail_region_users(node, region, "pinning failed (invalid region)");
             }
-            Ok(progress) => {
+            Ok(mut progress) => {
                 self.nodes[node]
                     .counters
                     .add("pin_pages", progress.pages_pinned);
                 self.nodes[node].counters.bump("pin_chunks");
-                let cursor = self.nodes[node].driver.region(region).pinned_pages();
+                // The pin itself may have broken COW mappings (write
+                // faults under get_user_pages): dispatch those notifier
+                // events like any other invalidation, so *other* regions
+                // pinned over the same pages learn their frames moved.
+                // This region is safe from its own events — its PTEs now
+                // point at the frames it just pinned, which the stale
+                // filter recognizes.
+                let cow_events = std::mem::take(&mut progress.cow_events);
+                if !cow_events.is_empty() {
+                    self.dispatch_notifier_events(node, &cow_events);
+                }
+                let cursor = self.nodes[node].driver.region(region).valid_pages();
                 self.emit(
                     node,
                     Some(proc),
@@ -1836,6 +1894,38 @@ impl Cluster {
                 },
             );
             self.ensure_pinned(node, proc, region, target, None);
+        }
+    }
+
+    /// Close the node's deferred-unpin flush epoch: drain the driver's
+    /// coalesced queue in one batch, counting released and cancelled
+    /// entries separately. Called at epoch-timer expiry and early under
+    /// pin-budget pressure.
+    pub(crate) fn close_notifier_epoch(&mut self, node: usize) {
+        let (released, cancelled) = {
+            let n = &mut self.nodes[node];
+            n.driver.drain_deferred(&mut n.mem)
+        };
+        if released.is_empty() && cancelled.is_empty() {
+            return;
+        }
+        self.metrics.record_notifier_drain_batch();
+        {
+            let n = &mut self.nodes[node];
+            n.counters.bump("notifier_drain_batches");
+            for (_, pages) in &released {
+                n.counters.bump("notifier_region_unpins");
+                n.counters.add("notifier_unpinned_pages", *pages);
+                n.counters.add("unpin_pages", *pages);
+            }
+            n.counters.add("notifier_cancelled", cancelled.len() as u64);
+        }
+        for (rid, pages) in released {
+            self.emit(node, None, TraceEvent::NotifierDrain { region: rid, pages });
+        }
+        for rid in cancelled {
+            self.metrics.record_notifier_cancelled();
+            self.emit(node, None, TraceEvent::NotifierCancel { region: rid });
         }
     }
 
@@ -2044,6 +2134,14 @@ impl Cluster {
                 } else {
                     self.queue.cancel(timer);
                 }
+            }
+            TimerToken::NotifierEpoch(node) => {
+                // Epoch over: one batched drain of everything that
+                // deferred since the timer was armed. The flag clears
+                // first so a deferral caused by the drain's own app
+                // callbacks (none today) would open a fresh epoch.
+                self.nodes[node].epoch_armed = false;
+                self.close_notifier_epoch(node);
             }
             TimerToken::NotifyRetrans(msg) => {
                 let Some(p) = self.xfers.notify_pending.get_mut(&msg) else {

@@ -116,6 +116,9 @@ pub(crate) enum TimerToken {
     PullStall(PullId),
     /// Receiver notify retransmit.
     NotifyRetrans(MsgId),
+    /// Deferred-unpin flush epoch close on a node: drain the driver's
+    /// coalesced invalidation queue in one batch.
+    NotifierEpoch(usize),
 }
 
 /// CPU work payloads.
@@ -192,6 +195,10 @@ pub(crate) struct Node {
     pub counters: Counters,
     /// Core the NIC's interrupt bottom half is bound to.
     pub bh_core: usize,
+    /// A [`TimerToken::NotifierEpoch`] is pending for this node. Armed
+    /// only when an invalidation defers while no epoch is open — never
+    /// re-armed from its own firing, so an idle node stays quiescent.
+    pub epoch_armed: bool,
 }
 
 /// One simulated process (rank) and its kernel-side identity.
@@ -252,6 +259,7 @@ impl Cluster {
                 driver: Driver::new(cfg.pinned_pages_limit),
                 counters: Counters::new(),
                 bh_core: 0,
+                epoch_armed: false,
             })
             .collect();
         Cluster {
@@ -883,20 +891,32 @@ impl Cluster {
         if !self.cfg.use_mmu_notifiers {
             return;
         }
-        let mut affected = Vec::new();
+        let mut eager = Vec::new();
+        let mut deferred = Vec::new();
         for ev in events {
+            let release = ev.cause == simmem::InvalidateCause::Release;
             let n = &mut self.nodes[node];
             let hit = n.driver.handle_invalidate(&mut n.mem, ev);
-            // One event may unpin several regions (and most unpin none):
-            // count events and region unpins separately.
+            // One event may hit several regions (and most hit none):
+            // count events and region hits separately.
             n.counters.bump("notifier_events");
             for (rid, pages) in hit {
-                n.counters.bump("notifier_region_unpins");
-                n.counters.add("notifier_unpinned_pages", pages);
-                affected.push((rid, pages));
+                if release {
+                    // Address-space teardown unpinned inside the event:
+                    // there is no next use to defer for.
+                    n.counters.bump("notifier_region_unpins");
+                    n.counters.add("notifier_unpinned_pages", pages);
+                    n.counters.add("unpin_pages", pages);
+                    eager.push((rid, pages));
+                } else {
+                    // The unpin was parked in the deferred queue; the
+                    // stale tail is already protocol-invisible.
+                    n.counters.bump("notifier_deferred");
+                    deferred.push((rid, pages));
+                }
             }
         }
-        for (rid, pages) in affected {
+        for (rid, pages) in eager {
             self.emit(
                 node,
                 None,
@@ -904,6 +924,18 @@ impl Cluster {
             );
             // In-use regions must repin: restart their pin plan.
             self.restart_pin_plan_if_needed(node, rid);
+        }
+        for (rid, pages) in deferred {
+            self.metrics.record_notifier_deferred();
+            self.emit(node, None, TraceEvent::NotifierDefer { region: rid, pages });
+            self.restart_pin_plan_if_needed(node, rid);
+        }
+        // Open a flush epoch the first time something defers; the drain
+        // at epoch close batches every hit accumulated until then.
+        if self.nodes[node].driver.has_deferred() && !self.nodes[node].epoch_armed {
+            self.nodes[node].epoch_armed = true;
+            let epoch = self.cfg.notifier_epoch;
+            self.arm_timer(epoch, TimerToken::NotifierEpoch(node));
         }
     }
 

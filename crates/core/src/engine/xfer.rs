@@ -192,6 +192,12 @@ pub(crate) struct PinPlan {
     pub waiters: Vec<PinWaiter>,
     /// Process whose core is charged for the pin work.
     pub proc: ProcId,
+    /// Region generation this pass was stamped with at pin-start. A
+    /// notifier invalidation bumps the region's generation; the pass
+    /// detects the mismatch at its next chunk and restarts from the
+    /// rewound cursor instead of re-pinning just-invalidated pages (the
+    /// simulated `mmu_notifier_retry`).
+    pub generation: u64,
 }
 
 impl PinPlan {
@@ -202,6 +208,7 @@ impl PinPlan {
             started_at: None,
             waiters: Vec::new(),
             proc,
+            generation: 0,
         }
     }
 }

@@ -175,6 +175,29 @@ pub enum TraceEvent {
         /// Pages released.
         pages: u64,
     },
+    /// An invalidation hit was parked in the deferred-unpin queue instead
+    /// of being serviced inside the notifier event (pins stay attached,
+    /// the stale pages become protocol-invisible until the drain).
+    NotifierDefer {
+        /// Region whose tail went stale.
+        region: RegionId,
+        /// Pages newly marked stale by this event.
+        pages: u64,
+    },
+    /// A deferred unpin dissolved at drain time: the region was re-pinned
+    /// over the invalidated range before the epoch closed.
+    NotifierCancel {
+        /// Region whose pending unpin was cancelled.
+        region: RegionId,
+    },
+    /// The deferred-unpin queue released a region's stale pages in the
+    /// epoch-close (or pressure) batch.
+    NotifierDrain {
+        /// Region drained.
+        region: RegionId,
+        /// Pages released.
+        pages: u64,
+    },
     /// Pages unpinned to stay under the pinned-page ceiling.
     PressureUnpin {
         /// The evicted region.
@@ -295,6 +318,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::RetryExhausted { .. } => "retry_exhausted",
             TraceEvent::NotifierInvalidate { .. } => "notifier_invalidate",
+            TraceEvent::NotifierDefer { .. } => "notifier_defer",
+            TraceEvent::NotifierCancel { .. } => "notifier_cancel",
+            TraceEvent::NotifierDrain { .. } => "notifier_drain",
             TraceEvent::PressureUnpin { .. } => "pressure_unpin",
             TraceEvent::Repin { .. } => "repin",
             TraceEvent::CacheHit { .. } => "cache_hit",
@@ -365,6 +391,13 @@ impl TraceEvent {
             TraceEvent::NotifierInvalidate { region, pages } => {
                 format!("region {} unpinned {pages} pages", region.0)
             }
+            TraceEvent::NotifierDefer { region, pages } => {
+                format!("region {} deferred {pages} pages", region.0)
+            }
+            TraceEvent::NotifierCancel { region } => format!("region {}", region.0),
+            TraceEvent::NotifierDrain { region, pages } => {
+                format!("region {} released {pages} pages", region.0)
+            }
             TraceEvent::PressureUnpin { region, pages } => {
                 format!("region {} unpinned {pages} pages", region.0)
             }
@@ -403,6 +436,9 @@ impl TraceEvent {
             | TraceEvent::PinChunk { region, .. }
             | TraceEvent::PinComplete { region, .. }
             | TraceEvent::NotifierInvalidate { region, .. }
+            | TraceEvent::NotifierDefer { region, .. }
+            | TraceEvent::NotifierCancel { region }
+            | TraceEvent::NotifierDrain { region, .. }
             | TraceEvent::PressureUnpin { region, .. }
             | TraceEvent::Repin { region, .. }
             | TraceEvent::CacheHit { region }

@@ -35,6 +35,12 @@ pub struct Metrics {
     dup_frames_rx: u64,
     /// Faults the fabric injected on purpose (loss, dup, reorder, death).
     faults_injected: u64,
+    /// Region invalidation hits whose unpin was deferred to the epoch.
+    notifier_deferred: u64,
+    /// Deferred unpins cancelled by a repin before the epoch drained.
+    notifier_cancelled: u64,
+    /// Batched drains of the deferred-unpin queue.
+    notifier_drain_batches: u64,
     /// Trace records evicted from the tracer ring because it was full.
     dropped_events: u64,
 }
@@ -62,6 +68,9 @@ impl Metrics {
             retransmits: 0,
             dup_frames_rx: 0,
             faults_injected: 0,
+            notifier_deferred: 0,
+            notifier_cancelled: 0,
+            notifier_drain_batches: 0,
             dropped_events: 0,
         }
     }
@@ -106,6 +115,36 @@ impl Metrics {
         self.faults_injected
     }
 
+    /// Count one invalidation hit whose unpin was deferred to the epoch.
+    pub fn record_notifier_deferred(&mut self) {
+        self.notifier_deferred += 1;
+    }
+
+    /// Count one deferred unpin cancelled by a repin before the drain.
+    pub fn record_notifier_cancelled(&mut self) {
+        self.notifier_cancelled += 1;
+    }
+
+    /// Count one batched drain of the deferred-unpin queue.
+    pub fn record_notifier_drain_batch(&mut self) {
+        self.notifier_drain_batches += 1;
+    }
+
+    /// Invalidation hits deferred to the epoch so far.
+    pub fn notifier_deferred(&self) -> u64 {
+        self.notifier_deferred
+    }
+
+    /// Deferred unpins cancelled before draining so far.
+    pub fn notifier_cancelled(&self) -> u64 {
+        self.notifier_cancelled
+    }
+
+    /// Deferred-queue drain batches so far.
+    pub fn notifier_drain_batches(&self) -> u64 {
+        self.notifier_drain_batches
+    }
+
     /// Mirror the tracer's evicted-record count into the registry so every
     /// metrics snapshot (and every export stamped from it) is
     /// self-describing about trace truncation.
@@ -145,6 +184,9 @@ impl Metrics {
         self.retransmits += other.retransmits;
         self.dup_frames_rx += other.dup_frames_rx;
         self.faults_injected += other.faults_injected;
+        self.notifier_deferred += other.notifier_deferred;
+        self.notifier_cancelled += other.notifier_cancelled;
+        self.notifier_drain_batches += other.notifier_drain_batches;
         self.dropped_events += other.dropped_events;
     }
 

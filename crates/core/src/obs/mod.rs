@@ -54,6 +54,16 @@ pub struct DriverStats {
     /// Candidate regions the notifier interval index routed events to
     /// (index effectiveness: candidates ≪ declared regions).
     pub notifier_index_candidates: u64,
+    /// Region invalidation hits whose unpin was deferred to the flush
+    /// epoch instead of being serviced inside the notifier event.
+    pub notifier_deferred: u64,
+    /// Deferred unpins cancelled because the region was re-pinned over
+    /// the invalidated range before the epoch drained (allocator churn
+    /// turned into a no-op).
+    pub notifier_cancelled: u64,
+    /// Batched drains of the deferred-unpin queue (epoch close or
+    /// pin-budget pressure).
+    pub notifier_drain_batches: u64,
     /// LRU heap entries examined by pressure eviction (eviction
     /// effectiveness: pops stay near evictions instead of scaling with
     /// the region table).

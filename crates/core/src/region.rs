@@ -14,7 +14,7 @@
 //! drop.
 
 use simcore::SimTime;
-use simmem::{AsId, MemError, Memory, Pfn, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
+use simmem::{AsId, MemError, Memory, NotifierEvent, Pfn, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
 
 /// One contiguous piece of a (possibly vectorial) user region.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -198,7 +198,7 @@ pub enum RegionAccessError {
 }
 
 /// Pin progress report from [`DriverRegion::pin_next_chunk`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PinProgress {
     /// Pages pinned by this chunk.
     pub pages_pinned: u64,
@@ -206,6 +206,13 @@ pub struct PinProgress {
     pub complete: bool,
     /// True if this chunk was the first of the region (pays the base cost).
     pub first_chunk: bool,
+    /// Notifier events the pin itself generated (COW breaks under
+    /// `get_user_pages` write faults). The caller must dispatch these to
+    /// the driver like any other MMU-notifier invalidation: *other*
+    /// regions pinned over the same pages still hold the pre-break frames
+    /// and have to learn their PTEs moved. Dropping them is the silent
+    /// stale-frame bug the `StaleVisible` oracle catches.
+    pub cow_events: Vec<NotifierEvent>,
 }
 
 /// A declared region inside the driver, with its decoupled pin state.
@@ -217,12 +224,27 @@ pub struct DriverRegion {
     pub space: AsId,
     /// Physical frames of pages `0..pfns.len()` — the pin cursor.
     pfns: Vec<Pfn>,
+    /// Stale watermark: when `Some(w)`, pages `w..pfns.len()` were hit by
+    /// an MMU-notifier invalidation. Their frames are still *held* (pin
+    /// accounting stays exact) but they are invisible to the protocol —
+    /// [`DriverRegion::pinned_through`] stops at the watermark, so a stale
+    /// access is an ordinary overlap miss. The frames are released in one
+    /// batch by [`DriverRegion::release_stale`], either lazily at the next
+    /// pin pass or by the driver's deferred drain.
+    stale_from: Option<u64>,
     /// Active communications using this region.
     pub use_count: u32,
     /// Last time a communication used this region (pressure LRU).
     pub last_use: SimTime,
     /// A pin pass is currently queued/running on a core.
     pub pinning_in_progress: bool,
+    /// Invalidation generation, bumped by the driver on every notifier hit.
+    /// A pin pass stamps the generation it started under and restarts when
+    /// a completed chunk observes a newer one — the simulated equivalent of
+    /// `mmu_notifier_retry` making `get_user_pages` start over, which is
+    /// what keeps an in-flight pass from resurrecting just-invalidated
+    /// pages as if nothing happened.
+    pub generation: u64,
 }
 
 impl DriverRegion {
@@ -242,20 +264,35 @@ impl DriverRegion {
             layout: RegionLayout::try_new(segments)?,
             space,
             pfns: Vec::new(),
+            stale_from: None,
             use_count: 0,
             last_use: SimTime::ZERO,
             pinning_in_progress: false,
+            generation: 0,
         })
     }
 
-    /// Pages pinned so far (the cursor).
+    /// Pages whose frames are attached (valid *and* stale) — what pin
+    /// accounting counts, since stale frames are still held.
     pub fn pinned_pages(&self) -> u64 {
         self.pfns.len() as u64
     }
 
-    /// True when every page is pinned.
+    /// Pages the protocol may use: the pin cursor up to the stale
+    /// watermark. Equals [`DriverRegion::pinned_pages`] unless a notifier
+    /// invalidation marked a suffix stale.
+    pub fn valid_pages(&self) -> u64 {
+        self.stale_from.unwrap_or(self.pfns.len() as u64)
+    }
+
+    /// Attached pages past the stale watermark, awaiting batched release.
+    pub fn stale_pages(&self) -> u64 {
+        self.pfns.len() as u64 - self.valid_pages()
+    }
+
+    /// True when every page is pinned and none of them is stale.
     pub fn fully_pinned(&self) -> bool {
-        self.pinned_pages() == self.layout.total_pages()
+        self.valid_pages() == self.layout.total_pages()
     }
 
     /// True when no page is pinned.
@@ -279,9 +316,16 @@ impl DriverRegion {
         mem: &mut Memory,
         max_pages: u64,
     ) -> Result<PinProgress, MemError> {
+        // A stale suffix is released before pinning forward: the cursor
+        // rewinds to the watermark and the invalidated pages are re-pinned
+        // against the *current* mappings (fresh frames after a remap).
+        // This is what cancels a pending deferred unpin — by the time the
+        // drain runs, the region has nothing stale left.
+        self.release_stale(mem);
         let first_chunk = self.pfns.is_empty();
         let cursor = self.pfns.len() as u64;
         let end = (cursor + max_pages).min(self.layout.total_pages());
+        let mut cow_events = Vec::new();
         let mut idx = cursor;
         while idx < end {
             let vpn = self.layout.vpn_of_page(idx);
@@ -295,6 +339,7 @@ impl DriverRegion {
             }
             let mut partial = mem.pin_user_pages_partial(self.space, vpn.base(), run * PAGE_SIZE);
             self.pfns.append(&mut partial.pfns);
+            cow_events.append(&mut partial.events);
             if let Some(e) = partial.error {
                 self.unpin_all(mem);
                 return Err(e);
@@ -305,6 +350,7 @@ impl DriverRegion {
             pages_pinned: end - cursor,
             complete: end == self.layout.total_pages(),
             first_chunk,
+            cow_events,
         })
     }
 
@@ -318,15 +364,18 @@ impl DriverRegion {
         mem: &mut Memory,
         max_pages: u64,
     ) -> Result<PinProgress, MemError> {
+        self.release_stale(mem);
         let first_chunk = self.pfns.is_empty();
         let cursor = self.pfns.len() as u64;
         let end = (cursor + max_pages).min(self.layout.total_pages());
+        let mut cow_events = Vec::new();
         for idx in cursor..end {
             let vpn = self.layout.vpn_of_page(idx);
             match mem.pin_user_pages(self.space, vpn.base(), PAGE_SIZE) {
-                Ok((pfns, _cow_events)) => {
+                Ok((pfns, mut events)) => {
                     debug_assert_eq!(pfns.len(), 1);
                     self.pfns.push(pfns[0]);
+                    cow_events.append(&mut events);
                 }
                 Err(e) => {
                     self.unpin_all(mem);
@@ -338,6 +387,7 @@ impl DriverRegion {
             pages_pinned: end - cursor,
             complete: end == self.layout.total_pages(),
             first_chunk,
+            cow_events,
         })
     }
 
@@ -352,12 +402,75 @@ impl DriverRegion {
         let n = self.pfns.len() as u64;
         mem.unpin_pages(&self.pfns);
         self.pfns.clear();
+        self.stale_from = None;
         self.pinning_in_progress = false;
         n
     }
 
+    /// Mark every pinned page of `range` (and, conservatively, everything
+    /// behind it) stale: invisible to the protocol, frames still held for
+    /// a later batched release. Returns the number of *newly* staled
+    /// pages — re-invalidating an already-stale suffix is free, which is
+    /// how back-to-back trim events coalesce.
+    ///
+    /// The watermark is a suffix truncation on purpose: the protocol's pin
+    /// cursor is a prefix, so invalidating page `w` invalidates the
+    /// usefulness of everything at or after `w` anyway (the cursor can
+    /// never skip a hole), and glibc-style trims hit the tail of a
+    /// mapping. A middle-of-region invalidation therefore costs the tail
+    /// too — correct, just conservative.
+    ///
+    /// A page inside `range` whose PTE still resolves to the frame this
+    /// region pinned is *not* stale — its pin is what keeps the mapping
+    /// in place. That is the COW-break case: the pin that broke the COW
+    /// installed a fresh frame and reported an invalidation over the
+    /// range, but the breaking region's own PTE already points at its
+    /// pinned frame. Without the filter a region would stale itself on
+    /// its own pin's events. An unmapped page (`resident_pfn` → `None`)
+    /// always disagrees, so trims still stale the tail.
+    pub fn mark_stale(&mut self, mem: &Memory, range: &VpnRange) -> u64 {
+        let valid = self.valid_pages();
+        for idx in 0..valid {
+            let vpn = self.layout.vpn_of_page(idx);
+            if range.contains(vpn)
+                && mem.resident_pfn(self.space, vpn) != Some(self.pfns[idx as usize])
+            {
+                self.stale_from = Some(idx);
+                return valid - idx;
+            }
+        }
+        0
+    }
+
+    /// Release the stale suffix in one batched [`Memory`] call, rewinding
+    /// the pin cursor to the watermark. Returns the pages released (0 when
+    /// nothing was stale — the cancelled-unpin case).
+    pub fn release_stale(&mut self, mem: &mut Memory) -> u64 {
+        let valid = self.valid_pages() as usize;
+        if valid == self.pfns.len() {
+            self.stale_from = None;
+            return 0;
+        }
+        let released = mem.unpin_pages_partial(&self.pfns[valid..]);
+        self.pfns.truncate(valid);
+        self.stale_from = None;
+        released
+    }
+
+    /// Eagerly unpin just the pages of `range`: mark stale, then release
+    /// the suffix immediately. The partial-unpin fix for the old
+    /// whole-region `unpin_all` on a partial-range invalidation — pages in
+    /// front of the invalidated run stay pinned and accounted.
+    pub fn unpin_range(&mut self, mem: &mut Memory, range: &VpnRange) -> u64 {
+        self.mark_stale(mem, range);
+        self.release_stale(mem)
+    }
+
     /// True if bytes `[offset, offset+len)` lie entirely behind the pin
-    /// cursor (safe for the driver to access).
+    /// cursor (safe for the driver to access). Stale pages do not count:
+    /// an access past the watermark is an overlap miss, which is exactly
+    /// the machinery (packet drop → re-request → repin) that makes
+    /// deferred unpinning safe.
     pub fn pinned_through(&self, offset: u64, len: u64) -> bool {
         if len == 0 {
             return true;
@@ -371,7 +484,7 @@ impl DriverRegion {
             return false;
         }
         let (_, last) = self.layout.page_index_span(offset, len);
-        last < self.pfns.len() as u64
+        last < self.valid_pages()
     }
 
     /// Driver read of region bytes into `buf` (pull-reply construction on
@@ -487,7 +600,8 @@ mod tests {
             PinProgress {
                 pages_pinned: 4,
                 complete: false,
-                first_chunk: true
+                first_chunk: true,
+                cow_events: Vec::new(),
             }
         );
         assert_eq!(r.pinned_pages(), 4);
@@ -499,7 +613,8 @@ mod tests {
             PinProgress {
                 pages_pinned: 6,
                 complete: true,
-                first_chunk: false
+                first_chunk: false,
+                cow_events: Vec::new(),
             }
         );
         assert!(r.fully_pinned());
@@ -837,6 +952,146 @@ mod tests {
                 &[2, 6],
             );
         }
+    }
+
+    #[test]
+    fn unpin_range_releases_only_the_invalidated_pages() {
+        // Regression for the tentpole bug: a partial-range invalidation
+        // used to go through unpin_all and drop the whole region. Pin 16
+        // pages, invalidate the last 2, and 14 must stay pinned with
+        // every stat exact.
+        let (mut mem, space, addr) = setup(16);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 16 * PAGE_SIZE,
+            }],
+        );
+        r.pin_next_chunk(&mut mem, 100).unwrap();
+        assert!(r.fully_pinned());
+        assert_eq!(mem.frames().pinned_pages(), 16);
+
+        let v = addr.vpn().0;
+        let tail = VpnRange::new(Vpn(v + 14), Vpn(v + 16));
+        // The invalidation's cause: the tail mapping is actually torn
+        // down (PTE disagreement is what makes a page stale).
+        mem.munmap(space, addr.add(14 * PAGE_SIZE), 2 * PAGE_SIZE)
+            .unwrap();
+        let unpin_calls = mem.unpin_calls();
+        assert_eq!(r.unpin_range(&mut mem, &tail), 2);
+        assert_eq!(mem.unpin_calls(), unpin_calls + 1, "one batched call");
+        assert_eq!(r.pinned_pages(), 14);
+        assert_eq!(r.valid_pages(), 14);
+        assert_eq!(r.stale_pages(), 0);
+        assert_eq!(mem.frames().pinned_pages(), 14);
+        assert!(!r.fully_pinned());
+        assert!(r.pinned_through(0, 14 * PAGE_SIZE));
+        assert!(!r.pinned_through(0, 14 * PAGE_SIZE + 1));
+
+        // A disjoint range is a no-op.
+        let gone = VpnRange::new(Vpn(v + 14), Vpn(v + 16));
+        assert_eq!(r.unpin_range(&mut mem, &gone), 0);
+        assert_eq!(mem.frames().pinned_pages(), 14);
+        r.unpin_all(&mut mem);
+        assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn mark_stale_defers_release_and_coalesces() {
+        let (mut mem, space, addr) = setup(16);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 16 * PAGE_SIZE,
+            }],
+        );
+        r.pin_next_chunk(&mut mem, 100).unwrap();
+        let v = addr.vpn().0;
+
+        // While the PTEs still point at the pinned frames, an
+        // "invalidation" over them is a no-op: the pin itself is what
+        // holds the mapping (the COW-break self-event case).
+        assert_eq!(
+            r.mark_stale(&mem, &VpnRange::new(Vpn(v + 12), Vpn(v + 14))),
+            0
+        );
+
+        // Stale pages stay attached (accounting) but protocol-invisible.
+        mem.munmap(space, addr.add(12 * PAGE_SIZE), 2 * PAGE_SIZE)
+            .unwrap();
+        assert_eq!(
+            r.mark_stale(&mem, &VpnRange::new(Vpn(v + 12), Vpn(v + 14))),
+            4
+        );
+        assert_eq!(r.pinned_pages(), 16, "frames still held");
+        assert_eq!(r.valid_pages(), 12);
+        assert_eq!(mem.frames().pinned_pages(), 16);
+        assert!(!r.pinned_through(0, 13 * PAGE_SIZE));
+        assert!(r.pinned_through(0, 12 * PAGE_SIZE));
+
+        // Re-invalidating inside the stale suffix coalesces to nothing.
+        assert_eq!(
+            r.mark_stale(&mem, &VpnRange::new(Vpn(v + 13), Vpn(v + 16))),
+            0
+        );
+        // A lower hit extends the suffix by exactly the new pages.
+        mem.munmap(space, addr.add(10 * PAGE_SIZE), PAGE_SIZE)
+            .unwrap();
+        assert_eq!(
+            r.mark_stale(&mem, &VpnRange::new(Vpn(v + 10), Vpn(v + 11))),
+            2
+        );
+        assert_eq!(r.valid_pages(), 10);
+
+        // One batched release drains the whole suffix.
+        let unpin_calls = mem.unpin_calls();
+        assert_eq!(r.release_stale(&mut mem), 6);
+        assert_eq!(mem.unpin_calls(), unpin_calls + 1);
+        assert_eq!(r.pinned_pages(), 10);
+        assert_eq!(mem.frames().pinned_pages(), 10);
+        assert_eq!(r.release_stale(&mut mem), 0, "nothing stale twice");
+        r.unpin_all(&mut mem);
+    }
+
+    #[test]
+    fn repin_after_stale_suffix_sees_fresh_frames() {
+        // The malloc-trim/realloc pattern: tail unmapped + remapped, then
+        // the next pin pass rewinds to the watermark and pins the new
+        // mapping — the pending deferred unpin has nothing left to do.
+        let (mut mem, space, addr) = setup(8);
+        let mut r = DriverRegion::new(
+            space,
+            &[Segment {
+                addr,
+                len: 8 * PAGE_SIZE,
+            }],
+        );
+        r.pin_next_chunk(&mut mem, 100).unwrap();
+        let old_tail = r.pinned_pfns()[6..].to_vec();
+        let tail_addr = addr.add(6 * PAGE_SIZE);
+        mem.munmap(space, tail_addr, 2 * PAGE_SIZE).unwrap();
+        assert!(
+            mem.frames().is_pinned(old_tail[0]),
+            "pinned frames survive munmap until released"
+        );
+        let v = addr.vpn().0;
+        assert_eq!(
+            r.mark_stale(&mem, &VpnRange::new(Vpn(v + 6), Vpn(v + 8))),
+            2
+        );
+        mem.mmap_at(space, tail_addr, 2 * PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
+
+        let p = r.pin_next_chunk(&mut mem, 100).unwrap();
+        assert_eq!(p.pages_pinned, 2, "cursor rewound to the watermark");
+        assert!(r.fully_pinned());
+        assert_eq!(r.stale_pages(), 0);
+        assert_ne!(r.pinned_pfns()[6..], old_tail[..], "fresh frames");
+        assert_eq!(mem.frames().pinned_pages(), 8);
+        r.unpin_all(&mut mem);
+        assert_eq!(mem.frames().pinned_pages(), 0);
     }
 
     #[test]

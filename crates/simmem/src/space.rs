@@ -146,6 +146,10 @@ pub struct Memory {
     /// whatever its page count) — the per-call cost the batched driver
     /// path exists to amortize.
     pin_calls: u64,
+    /// Unpin syscalls serviced (each `unpin_pages*` call counts once,
+    /// whatever its page count) — the per-call cost the driver's batched
+    /// deferred-drain path exists to amortize.
+    unpin_calls: u64,
 }
 
 impl Memory {
@@ -157,12 +161,18 @@ impl Memory {
             swap: SwapSpace::new(swap_slots),
             spaces: Vec::new(),
             pin_calls: 0,
+            unpin_calls: 0,
         }
     }
 
     /// Number of `pin_user_pages*` calls serviced so far.
     pub fn pin_calls(&self) -> u64 {
         self.pin_calls
+    }
+
+    /// Number of `unpin_pages*` calls serviced so far.
+    pub fn unpin_calls(&self) -> u64 {
+        self.unpin_calls
     }
 
     /// Create an empty address space (a "process").
@@ -487,9 +497,21 @@ impl Memory {
 
     /// Release DMA pins taken by [`Memory::pin_user_pages`].
     pub fn unpin_pages(&mut self, pfns: &[Pfn]) {
+        self.unpin_pages_partial(pfns);
+    }
+
+    /// Batched release of an arbitrary run of DMA pins: one "syscall"
+    /// whatever the page count, returning the number of pages released.
+    ///
+    /// This is the unpin-side twin of [`Memory::pin_user_pages_partial`]:
+    /// the driver's deferred-drain path hands it whole invalidated page
+    /// runs so a trim storm costs one call per run, not one per page.
+    pub fn unpin_pages_partial(&mut self, pfns: &[Pfn]) -> u64 {
+        self.unpin_calls += 1;
         for &pfn in pfns {
             self.frames.unpin(pfn);
         }
+        pfns.len() as u64
     }
 
     /// Swap one resident page out to disk. Fails if the page is pinned —
@@ -993,5 +1015,30 @@ mod tests {
             m.mmap_at(a, x, PAGE_SIZE, Prot::ReadWrite),
             Err(MemError::RangeBusy(_))
         ));
+    }
+
+    #[test]
+    fn unpin_pages_partial_is_one_call_and_counts_pages() {
+        let mut m = memory();
+        let a = m.create_space();
+        let addr = m.mmap(a, 8 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let (pfns, _) = m.pin_user_pages(a, addr, 8 * PAGE_SIZE).unwrap();
+        assert_eq!(m.frames().pinned_pages(), 8);
+
+        // Release an arbitrary 3-page run out of the middle: one syscall,
+        // three pages, the other five stay pinned.
+        let before = m.unpin_calls();
+        assert_eq!(m.unpin_pages_partial(&pfns[2..5]), 3);
+        assert_eq!(m.unpin_calls(), before + 1);
+        assert_eq!(m.frames().pinned_pages(), 5);
+        for (i, &pfn) in pfns.iter().enumerate() {
+            assert_eq!(m.frames().is_pinned(pfn), !(2..5).contains(&i), "page {i}");
+        }
+
+        // The classic wrapper delegates: one more call, everything free.
+        m.unpin_pages(&pfns[..2]);
+        m.unpin_pages(&pfns[5..]);
+        assert_eq!(m.unpin_calls(), before + 3);
+        assert_eq!(m.frames().pinned_pages(), 0);
     }
 }

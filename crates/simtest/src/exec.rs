@@ -139,6 +139,20 @@ pub enum Violation {
         /// Start vpn of the diverging query window.
         start_vpn: u64,
     },
+    /// A page inside a region's protocol-visible (valid) prefix has a
+    /// PTE that no longer maps the attached pinned frame. This is the
+    /// differential oracle for the deferred-unpin path: the old eager
+    /// path could never reach this state because it unpinned every
+    /// invalidated page inside the notifier event itself, so any hit
+    /// means the deferral exposed a stale page to the protocol.
+    StaleVisible {
+        /// Node whose driver exposed the stale page.
+        node: usize,
+        /// The offending region.
+        region: u32,
+        /// Region-relative page index inside the valid prefix.
+        page: u64,
+    },
     /// Posted operations never completed although the engine went quiet
     /// (or never went quiet within the budget).
     Hang {
@@ -206,6 +220,10 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "index diverged: node {node} space {space} window at vpn {start_vpn} routed differently than the naive scan"
+            ),
+            Violation::StaleVisible { node, region, page } => write!(
+                f,
+                "stale visible: node {node} region {region} page {page} is protocol-visible but its PTE left the pinned frame"
             ),
             Violation::Hang {
                 outstanding,
@@ -652,6 +670,28 @@ impl Harness {
                         node,
                         region: rid.0,
                     });
+                    continue;
+                }
+                if !cl.memory(node).space_exists(r.space) {
+                    continue;
+                }
+                // Deferred-unpin differential check: every page the
+                // region exposes to the protocol (the valid prefix —
+                // stale pages past the watermark are excluded) must
+                // still be mapped to the exact frame that was pinned.
+                // The eager path trivially satisfies this by unpinning
+                // inside the event; the deferral must too.
+                for idx in 0..r.valid_pages() {
+                    let vpn = r.layout.vpn_of_page(idx);
+                    if cl.memory(node).resident_pfn(r.space, vpn)
+                        != Some(r.pinned_pfns()[idx as usize])
+                    {
+                        self.violations.push(Violation::StaleVisible {
+                            node,
+                            region: rid.0,
+                            page: idx,
+                        });
+                    }
                 }
             }
             // Notifier-routing cross-check: for every declared segment

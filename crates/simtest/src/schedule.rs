@@ -168,6 +168,19 @@ pub fn profiles() -> Vec<Profile> {
             weights: [40, 4, 4, 2, 10, 6, 4, 4, 26],
             sizes: &[49152, 131072, 262144, 327680],
         },
+        // Glibc-style malloc-trim storm: heavy unmap/remap churn against
+        // pinned buffers with transfers in flight — the workload the
+        // deferred-unpin epoch exists for. No fabric faults and no pin
+        // ceiling, so every failure is the notifier path's own.
+        Profile {
+            name: "trimstorm",
+            faults: FaultProfile::default(),
+            frames_per_node: 16 * 1024,
+            swap_per_node: 8 * 1024,
+            pinned_pages_limit: None,
+            weights: [32, 12, 20, 4, 0, 0, 0, 8, 24],
+            sizes: &[16384, 49152, 131072, 262144],
+        },
     ]
 }
 

@@ -66,6 +66,15 @@ fn pinned_repro_corpus_is_clean() {
         // pin budget, with swap-out churn on an idle buffer.
         "EXPL1;seed=0xb;profile=pressure;nodes=3;ppn=1;ops=\
          X0.0>1.0:262144r,X1.1>2.0:262144r,O2.2,X2.1>0.1:131072s,A80",
+        // Notifier-during-pin race: the send buffer is unmapped in the
+        // same tick the rendezvous posts, so the invalidation lands while
+        // the overlapped pin pass is still in flight — the generation
+        // stamp must restart the pass instead of re-pinning freed pages.
+        "EXPL1;seed=0xc;profile=trimstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144r,U0.0,A40",
+        // Trim/remap churn that cancels its own deferred unpins: the recv
+        // buffer is remapped twice inside one flush epoch while the pull
+        // traffic is in flight.
+        "EXPL1;seed=0xd;profile=trimstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144r,R1.0,A1,R1.0,A40",
     ];
     for repro in corpus {
         let s = decode(repro)
