@@ -48,6 +48,11 @@ fn run_scenario(s: &Scenario) -> ScenarioRun {
     cfg.colocate_with_bh = s.colocate;
     cfg.presync_pages = s.presync;
     cfg.use_ioat = s.ioat;
+    // §4.3 measures the cost of dropped pull windows under MX's *fixed*
+    // 1 s resend timer — the paper's collapse. The adaptive backoff
+    // (default since it landed) recovers those drops in milliseconds and
+    // would hide the very effect this experiment exists to show.
+    cfg.adaptive_retransmit = false;
 
     let msg: u64 = 16 << 20;
     let msgs: u32 = 6;

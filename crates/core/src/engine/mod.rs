@@ -498,6 +498,14 @@ impl Cluster {
         &self.nodes[node].mem
     }
 
+    /// Mutable driver access — fault-injection hook for test harnesses
+    /// that deliberately corrupt kernel state (e.g. forget a stale
+    /// watermark) to prove their invariant oracle catches it. Not for
+    /// applications.
+    pub fn driver_mut(&mut self, node: usize) -> &mut Driver {
+        &mut self.nodes[node].driver
+    }
+
     /// Mutable memory access — fault-injection hook for test harnesses
     /// that deliberately corrupt kernel state (e.g. leak a pin) to prove
     /// their invariant oracle catches it. Not for applications.

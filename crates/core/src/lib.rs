@@ -35,8 +35,10 @@ pub mod config;
 pub mod driver;
 pub mod endpoint;
 pub mod engine;
+mod index;
 pub mod obs;
 pub mod region;
+pub mod sync;
 pub mod wire;
 
 pub use cache::{CacheOutcome, RegionCache};
@@ -50,4 +52,5 @@ pub use obs::{
     TraceRecord, Tracer, XferSpan,
 };
 pub use region::{DeclareError, DriverRegion, RegionLayout, Segment};
+pub use sync::{ConcurrentDriver, EpochCollector, EpochHandle, EpochMutation, SharedRegionCache};
 pub use wire::{Frame, MsgId, PullId, WireMsg, XferId};

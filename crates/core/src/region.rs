@@ -57,12 +57,21 @@ pub struct RegionLayout {
 pub enum DeclareError {
     /// Every segment had zero length — there is nothing to pin.
     EmptyRegion,
+    /// The concurrent driver's fixed-capacity region table is full.
+    TableFull,
+    /// A driver lock was poisoned by a panicking thread; the declare
+    /// degrades to a counted failure instead of propagating the panic.
+    DriverUnavailable,
 }
 
 impl std::fmt::Display for DeclareError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeclareError::EmptyRegion => write!(f, "empty region (all segments zero-length)"),
+            DeclareError::TableFull => write!(f, "region table full"),
+            DeclareError::DriverUnavailable => {
+                write!(f, "driver lock poisoned; declare refused")
+            }
         }
     }
 }
@@ -455,6 +464,18 @@ impl DriverRegion {
         self.pfns.truncate(valid);
         self.stale_from = None;
         released
+    }
+
+    /// Deliberately forget the stale watermark (fault injection only):
+    /// pages a notifier invalidation marked stale become protocol-visible
+    /// again even though their PTEs moved — exactly the lost-callback bug
+    /// the simtest `StaleVisible` oracle exists to catch. Returns the
+    /// pages exposed.
+    #[doc(hidden)]
+    pub fn forget_stale_watermark_for_test(&mut self) -> u64 {
+        let exposed = self.stale_pages();
+        self.stale_from = None;
+        exposed
     }
 
     /// Eagerly unpin just the pages of `range`: mark stale, then release

@@ -1,0 +1,151 @@
+//! Sharded, thread-safe wrapper over the single-threaded
+//! [`RegionCache`]: lookups for different descriptor keys hash to
+//! different shards, so concurrent processes declaring disjoint buffers
+//! never contend. Every shard lock degrades gracefully when poisoned —
+//! a cache is advisory, so "poisoned shard" is just a (counted) miss.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use crate::cache::{CacheOutcome, RegionCache};
+use crate::driver::RegionId;
+use crate::obs::CacheStats;
+use crate::region::Segment;
+
+/// Thread-safe region cache: `RegionCache` shards keyed by segment hash.
+pub struct SharedRegionCache {
+    shards: Box<[Mutex<RegionCache>]>,
+    lock_poisoned: AtomicU64,
+}
+
+impl SharedRegionCache {
+    /// `capacity` is per shard; with the per-shard LRU this bounds total
+    /// residency at `shards * capacity`, which is the same advisory
+    /// guarantee the single-threaded cache gives the engine.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0);
+        SharedRegionCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(RegionCache::new(capacity)))
+                .collect(),
+            lock_poisoned: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, segments: &[Segment]) -> &Mutex<RegionCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        segments.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Times a poisoned shard degraded to a miss / no-op.
+    pub fn lock_poisoned(&self) -> u64 {
+        self.lock_poisoned.load(SeqCst)
+    }
+
+    /// Look up a descriptor for exactly these segments; a poisoned shard
+    /// is a counted miss.
+    pub fn lookup(&self, segments: &[Segment]) -> CacheOutcome {
+        match self.shard_of(segments).lock() {
+            Ok(mut s) => s.lookup(segments),
+            Err(_) => {
+                self.lock_poisoned.fetch_add(1, SeqCst);
+                CacheOutcome::Miss
+            }
+        }
+    }
+
+    /// Insert a freshly declared region; returns the id this insert
+    /// displaced (replaced duplicate or LRU eviction), which the caller
+    /// must undeclare — same contract as [`RegionCache::insert`].
+    pub fn insert(&self, segments: Vec<Segment>, id: RegionId) -> Option<RegionId> {
+        match self.shard_of(&segments).lock() {
+            Ok(mut s) => s.insert(segments, id),
+            Err(_) => {
+                self.lock_poisoned.fetch_add(1, SeqCst);
+                // The caller keeps ownership of `id`: with the shard
+                // unusable the region is simply never cached.
+                Some(id)
+            }
+        }
+    }
+
+    /// Drop `id` from whichever shard holds it (invalidation on
+    /// undeclare). Returns whether an entry was removed.
+    pub fn remove_by_id(&self, id: RegionId) -> bool {
+        let mut removed = false;
+        for shard in self.shards.iter() {
+            match shard.lock() {
+                Ok(mut s) => removed |= s.remove_by_id(id),
+                Err(_) => {
+                    self.lock_poisoned.fetch_add(1, SeqCst);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Every cached descriptor id, ascending (invariant oracles).
+    pub fn cached_ids(&self) -> Vec<RegionId> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            match shard.lock() {
+                Ok(s) => out.extend(s.cached_ids()),
+                Err(_) => {
+                    self.lock_poisoned.fetch_add(1, SeqCst);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(s) => s.len(),
+                Err(_) => {
+                    self.lock_poisoned.fetch_add(1, SeqCst);
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated hit/miss counters across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            match shard.lock() {
+                Ok(s) => {
+                    let st = s.stats();
+                    total.hits += st.hits;
+                    total.misses += st.misses;
+                }
+                Err(_) => {
+                    self.lock_poisoned.fetch_add(1, SeqCst);
+                }
+            }
+        }
+        total
+    }
+
+    /// Deliberately poison the shard covering `segments` (regression
+    /// tests for the graceful paths only).
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, segments: &[Segment]) {
+        let lock = self.shard_of(segments);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock.lock().unwrap();
+            panic!("deliberate cache-shard poison");
+        }));
+    }
+}

@@ -1,0 +1,706 @@
+//! The concurrent driver: the single-threaded [`crate::Driver`]'s
+//! region-table / notifier / deferred-unpin surface re-built for real
+//! threads — ROADMAP item 5's "sharded read path + epoch-based
+//! reclamation", proven by `crates/core/tests/concurrency.rs`.
+//!
+//! Structure:
+//! - **Region table**: a fixed-capacity array of `AtomicPtr<ConcRegion>`.
+//!   Lookups are a single atomic load under an epoch guard; descriptor ids
+//!   are reused lowest-first through a mutexed free heap, exactly like the
+//!   single-threaded driver, so replays allocate identical ids.
+//! - **Interval index**: per-address-space [`SpaceIndex`] maps sharded by
+//!   `hash(AsId)` under `RwLock` — notifier routing for different address
+//!   spaces never contends, readers of the same space share the lock.
+//! - **Reclamation**: undeclare unlinks the slot, then *retires* the
+//!   region to the [`EpochCollector`]; a reader that loaded the pointer
+//!   just before the unlink finishes its read under its epoch guard before
+//!   the region is poisoned. Guard counters on every region are the
+//!   quiescence oracle.
+//! - **Lock poisoning**: a thread that panics while holding a shard or
+//!   region lock poisons it; every lock acquisition here degrades to a
+//!   counted graceful failure ([`ConcurrentDriver::lock_poisoned`])
+//!   instead of propagating the panic.
+//!
+//! Counter semantics deliberately mirror [`crate::Driver`] line-for-line:
+//! the harness replays a linearized op log into both drivers and asserts
+//! the resulting [`DriverStats`] are bit-identical.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Mutex, RwLock};
+
+use simmem::{AsId, InvalidateCause, MemError, Memory, NotifierEvent, VpnRange};
+
+use super::epoch::{EpochCollector, EpochHandle, Retired};
+use crate::driver::RegionId;
+use crate::index::SpaceIndex;
+use crate::obs::DriverStats;
+use crate::region::{DeclareError, DriverRegion, PinProgress, RegionLayout, Segment};
+
+/// Liveness word values for the poison oracle.
+const MAGIC_LIVE: u64 = 0x4C49_5645_4C49_5645;
+const MAGIC_FREED: u64 = 0xFEED_DEAD_FEED_DEAD;
+
+/// A region as published to concurrent readers. Geometry (`layout`,
+/// `space`) is immutable and readable lock-free; the mutable pin state
+/// lives behind an internal `RwLock`; `valid_pages` and `generation` are
+/// mirrored into atomics after every mutation so the hot-path cursor reads
+/// ([`ConcurrentDriver::probe`], [`ConcurrentDriver::pinned_through`])
+/// never take the lock at all.
+pub struct ConcRegion {
+    magic: AtomicU64,
+    /// Reader-guard counter: incremented for the duration of every
+    /// lock-free read. The epoch collector asserts it is zero when the
+    /// region's grace period expires — the use-after-free oracle.
+    readers: AtomicU64,
+    space: AsId,
+    layout: RegionLayout,
+    valid_pages: AtomicU64,
+    generation: AtomicU64,
+    inner: RwLock<DriverRegion>,
+}
+
+impl ConcRegion {
+    fn new(space: AsId, segments: &[Segment]) -> Result<Self, DeclareError> {
+        let inner = DriverRegion::try_new(space, segments)?;
+        Ok(ConcRegion {
+            magic: AtomicU64::new(MAGIC_LIVE),
+            readers: AtomicU64::new(0),
+            space,
+            layout: inner.layout.clone(),
+            valid_pages: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            inner: RwLock::new(inner),
+        })
+    }
+
+    fn is_live(&self) -> bool {
+        self.magic.load(SeqCst) == MAGIC_LIVE
+    }
+
+    /// Re-mirror the lock-free cursor state from the locked inner region.
+    /// Called while still holding the inner write lock, so mirrors can
+    /// only lag a *concurrent* mutation, never the one just made.
+    fn sync_mirrors(&self, inner: &DriverRegion) {
+        self.valid_pages.store(inner.valid_pages(), SeqCst);
+        self.generation.store(inner.generation, SeqCst);
+    }
+}
+
+impl Retired for ConcRegion {
+    fn readers(&self) -> u64 {
+        self.readers.load(SeqCst)
+    }
+    fn poison(&self) {
+        self.magic.store(MAGIC_FREED, SeqCst);
+    }
+}
+
+/// Lock-free cursor snapshot from [`ConcurrentDriver::probe`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegionProbe {
+    /// Owning address space.
+    pub space: AsId,
+    /// Total page count of the region's layout.
+    pub total_pages: u64,
+    /// Protocol-visible pin cursor (stale watermark applied).
+    pub valid_pages: u64,
+    /// Invalidation generation stamp.
+    pub generation: u64,
+}
+
+/// Fault-injection knobs for the differential mutation self-tests: each
+/// deletes one load-bearing step of the notifier protocol, and the
+/// concurrent-vs-single-threaded replay (or the stale-page oracle) must
+/// catch the divergence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DriverMutation {
+    /// `handle_invalidate` marks pages stale but forgets the generation
+    /// bump — an in-flight pin pass would resurrect dead mappings.
+    SkipGenerationBump,
+    /// `handle_invalidate` marks pages stale but forgets to park the
+    /// region in the deferred queue — the stale suffix never drains.
+    SkipDeferredQueue,
+}
+
+/// RAII wrapper for slot allocation parity with the single-threaded
+/// driver: lowest free id first, then first-never-used.
+struct SlotAlloc {
+    free: BinaryHeap<Reverse<u32>>,
+    high_water: u32,
+}
+
+/// The shared driver. All methods take `&self`; reader methods
+/// additionally take the calling thread's [`EpochHandle`].
+pub struct ConcurrentDriver {
+    slots: Box<[AtomicPtr<ConcRegion>]>,
+    alloc: Mutex<SlotAlloc>,
+    shards: Box<[RwLock<HashMap<AsId, SpaceIndex>>]>,
+    pending: Mutex<BTreeSet<u32>>,
+    epoch: EpochCollector<ConcRegion>,
+    declared: AtomicU64,
+    // DriverStats mirror (pressure eviction stays engine-side and
+    // single-threaded, so pressure_unpins / evict_lru_pops stay zero).
+    notifier_events: AtomicU64,
+    notifier_region_unpins: AtomicU64,
+    notifier_index_candidates: AtomicU64,
+    notifier_deferred: AtomicU64,
+    notifier_cancelled: AtomicU64,
+    notifier_drain_batches: AtomicU64,
+    lock_poisoned: AtomicU64,
+    mutation: Option<DriverMutation>,
+}
+
+impl ConcurrentDriver {
+    /// A driver with room for `capacity` simultaneously declared regions
+    /// and `shards` index shards. Capacity is fixed so the slot table
+    /// never reallocates under readers.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_mutation(capacity, shards, None)
+    }
+
+    /// A driver with a protocol fault injected (mutation self-tests only).
+    pub fn with_mutation(capacity: usize, shards: usize, mutation: Option<DriverMutation>) -> Self {
+        assert!(capacity > 0 && shards > 0);
+        let slots = (0..capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        let shards = (0..shards).map(|_| RwLock::new(HashMap::new())).collect();
+        ConcurrentDriver {
+            slots,
+            alloc: Mutex::new(SlotAlloc {
+                free: BinaryHeap::new(),
+                high_water: 0,
+            }),
+            shards,
+            pending: Mutex::new(BTreeSet::new()),
+            epoch: EpochCollector::new(),
+            declared: AtomicU64::new(0),
+            notifier_events: AtomicU64::new(0),
+            notifier_region_unpins: AtomicU64::new(0),
+            notifier_index_candidates: AtomicU64::new(0),
+            notifier_deferred: AtomicU64::new(0),
+            notifier_cancelled: AtomicU64::new(0),
+            notifier_drain_batches: AtomicU64::new(0),
+            lock_poisoned: AtomicU64::new(0),
+            mutation,
+        }
+    }
+
+    /// Register the calling thread with the reclamation scheme.
+    pub fn register_thread(&self) -> EpochHandle<'_, ConcRegion> {
+        self.epoch.register()
+    }
+
+    /// The reclamation collector (harness oracles read its stats).
+    pub fn epoch_collector(&self) -> &EpochCollector<ConcRegion> {
+        &self.epoch
+    }
+
+    fn shard_of(&self, space: AsId) -> &RwLock<HashMap<AsId, SpaceIndex>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        space.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn count_poison(&self) {
+        self.lock_poisoned.fetch_add(1, SeqCst);
+    }
+
+    /// Times a poisoned lock was met with a graceful degraded answer
+    /// instead of a panic.
+    pub fn lock_poisoned(&self) -> u64 {
+        self.lock_poisoned.load(SeqCst)
+    }
+
+    /// Load a live region pointer. Caller must hold an epoch guard for
+    /// the returned reference's lifetime; the guard on the *handle* is
+    /// what makes the `&self`-lifetime borrow sound, so this is private
+    /// and every public caller pins first.
+    fn load(&self, id: RegionId) -> Option<&ConcRegion> {
+        let ptr = self.slots.get(id.0 as usize)?.load(SeqCst);
+        if ptr.is_null() {
+            return None;
+        }
+        // Safety: non-null slot pointers are valid until retired, and the
+        // caller holds an epoch guard spanning this read.
+        let r = unsafe { &*ptr };
+        if !r.is_live() {
+            // Collector reclaimed a region a guard should have protected.
+            self.epoch.note_uaf_observed();
+            return None;
+        }
+        Some(r)
+    }
+
+    /// Declare a region. Mirrors [`crate::Driver::declare`]: lowest free
+    /// id, index insert per segment. Fails gracefully (not a panic) when
+    /// the table is full or an allocator/shard lock is poisoned.
+    pub fn declare(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        space: AsId,
+        segments: &[Segment],
+    ) -> Result<RegionId, DeclareError> {
+        let _g = h.pin();
+        let region = Box::new(ConcRegion::new(space, segments)?);
+        let id = {
+            let Ok(mut alloc) = self.alloc.lock() else {
+                self.count_poison();
+                return Err(DeclareError::DriverUnavailable);
+            };
+            if let Some(Reverse(idx)) = alloc.free.pop() {
+                idx
+            } else if (alloc.high_water as usize) < self.slots.len() {
+                alloc.high_water += 1;
+                alloc.high_water - 1
+            } else {
+                return Err(DeclareError::TableFull);
+            }
+        };
+        let ptr = Box::into_raw(region);
+        self.slots[id as usize].store(ptr, SeqCst);
+        {
+            let Ok(mut shard) = self.shard_of(space).write() else {
+                // Unwind the publish so the table stays consistent.
+                self.count_poison();
+                self.slots[id as usize].store(std::ptr::null_mut(), SeqCst);
+                self.epoch.retire(NonNull::new(ptr).expect("just boxed"));
+                if let Ok(mut alloc) = self.alloc.lock() {
+                    alloc.free.push(Reverse(id));
+                }
+                return Err(DeclareError::DriverUnavailable);
+            };
+            let idx = shard.entry(space).or_default();
+            // Safety: just published, cannot be retired before the index
+            // insert because only undeclare retires and nobody holds the id.
+            let r = unsafe { &*ptr };
+            for seg in r.layout.segments() {
+                let pr = seg.page_range();
+                idx.insert(pr.start.0, pr.end.0, id);
+            }
+        }
+        self.declared.fetch_add(1, SeqCst);
+        Ok(RegionId(id))
+    }
+
+    /// Undeclare: unlink the slot (new readers miss), remove the index
+    /// entries (notifiers stop routing), release pins, then retire the
+    /// region to the collector. Readers that got in before the unlink
+    /// finish under their epoch guard. Returns pages released, or `None`
+    /// if `id` is not declared (graceful, unlike the single-threaded
+    /// driver's panic — two racing undeclares must not crash).
+    pub fn undeclare(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        mem: &mut Memory,
+        id: RegionId,
+    ) -> Option<u64> {
+        let _g = h.pin();
+        let ptr = self
+            .slots
+            .get(id.0 as usize)?
+            .swap(std::ptr::null_mut(), SeqCst);
+        if ptr.is_null() {
+            return None;
+        }
+        // Safety: we won the unlink race; the pointer stays valid until
+        // retired below, and our guard spans the whole window.
+        let r = unsafe { &*ptr };
+        {
+            match self.shard_of(r.space).write() {
+                Ok(mut shard) => {
+                    if let Some(idx) = shard.get_mut(&r.space) {
+                        for seg in r.layout.segments() {
+                            idx.remove(seg.page_range().start.0, id.0);
+                        }
+                    }
+                }
+                Err(_) => self.count_poison(),
+            }
+        }
+        let released = match r.inner.write() {
+            Ok(mut inner) => {
+                let pages = inner.unpin_all(mem);
+                r.sync_mirrors(&inner);
+                pages
+            }
+            Err(_) => {
+                self.count_poison();
+                0
+            }
+        };
+        match self.pending.lock() {
+            Ok(mut p) => {
+                p.remove(&id.0);
+            }
+            Err(_) => self.count_poison(),
+        }
+        if let Ok(mut alloc) = self.alloc.lock() {
+            alloc.free.push(Reverse(id.0));
+        } else {
+            self.count_poison();
+        }
+        self.declared.fetch_sub(1, SeqCst);
+        self.epoch
+            .retire(NonNull::new(ptr).expect("non-null checked"));
+        Some(released)
+    }
+
+    /// Advance a region's pin pass by up to `max_pages`. Returns `None`
+    /// when `id` is no longer declared (the undeclare won) or the region
+    /// lock is poisoned.
+    pub fn pin_next_chunk(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        mem: &mut Memory,
+        id: RegionId,
+        max_pages: u64,
+    ) -> Option<Result<PinProgress, MemError>> {
+        let _g = h.pin();
+        let r = self.load(id)?;
+        let Ok(mut inner) = r.inner.write() else {
+            self.count_poison();
+            return None;
+        };
+        let out = inner.pin_next_chunk(mem, max_pages);
+        r.sync_mirrors(&inner);
+        Some(out)
+    }
+
+    /// Lock-free cursor snapshot: one slot load plus three atomic reads,
+    /// no locks. The guard counter brackets the whole read — this is the
+    /// probe the race harness hammers from reader threads.
+    pub fn probe(&self, h: &EpochHandle<'_, ConcRegion>, id: RegionId) -> Option<RegionProbe> {
+        let _g = h.pin();
+        let r = self.load(id)?;
+        r.readers.fetch_add(1, SeqCst);
+        let out = if r.is_live() {
+            Some(RegionProbe {
+                space: r.space,
+                total_pages: r.layout.total_pages(),
+                valid_pages: r.valid_pages.load(SeqCst),
+                generation: r.generation.load(SeqCst),
+            })
+        } else {
+            self.epoch.note_uaf_observed();
+            None
+        };
+        r.readers.fetch_sub(1, SeqCst);
+        out
+    }
+
+    /// Lock-free [`DriverRegion::pinned_through`]: geometry from the
+    /// immutable layout, cursor from the mirror atomic.
+    pub fn pinned_through(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        id: RegionId,
+        offset: u64,
+        len: u64,
+    ) -> Option<bool> {
+        let _g = h.pin();
+        let r = self.load(id)?;
+        r.readers.fetch_add(1, SeqCst);
+        let out = if len == 0 {
+            true
+        } else if let Some(end) = offset.checked_add(len) {
+            if end > r.layout.total_len() {
+                false
+            } else {
+                let (_, last) = r.layout.page_index_span(offset, len);
+                last < r.valid_pages.load(SeqCst)
+            }
+        } else {
+            false
+        };
+        r.readers.fetch_sub(1, SeqCst);
+        Some(out)
+    }
+
+    /// Regions of `space` intersecting `range`, ascending by id — the
+    /// shard's index under a *read* lock, then an exact layout
+    /// confirmation per candidate through the epoch-guarded slot.
+    pub fn regions_intersecting(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        space: AsId,
+        range: &VpnRange,
+    ) -> Vec<RegionId> {
+        let _g = h.pin();
+        let mut ids = BTreeSet::new();
+        match self.shard_of(space).read() {
+            Ok(shard) => {
+                if let Some(idx) = shard.get(&space) {
+                    idx.intersecting(range, &mut ids);
+                }
+            }
+            Err(_) => self.count_poison(),
+        }
+        ids.into_iter()
+            .map(RegionId)
+            .filter(|&id| {
+                self.load(id)
+                    .is_some_and(|r| r.space == space && r.layout.intersects(range))
+            })
+            .collect()
+    }
+
+    /// Full-table-scan answer to [`ConcurrentDriver::regions_intersecting`]
+    /// — the differential oracle, exactly like the single-threaded
+    /// driver's naive twin.
+    pub fn regions_intersecting_naive(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        space: AsId,
+        range: &VpnRange,
+    ) -> Vec<RegionId> {
+        let _g = h.pin();
+        let mut out = Vec::new();
+        for i in 0..self.slots.len() {
+            if let Some(r) = self.load(RegionId(i as u32)) {
+                if r.space == space && r.layout.intersects(range) {
+                    out.push(RegionId(i as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// MMU-notifier callback; semantics (and counters) mirror
+    /// [`crate::Driver::handle_invalidate`] exactly: mark stale + bump
+    /// generation + park in the deferred queue, except `Release` events
+    /// which unpin eagerly.
+    pub fn handle_invalidate(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        mem: &mut Memory,
+        event: &NotifierEvent,
+    ) -> Vec<(RegionId, u64)> {
+        let _g = h.pin();
+        self.notifier_events.fetch_add(1, SeqCst);
+        if event.cause == InvalidateCause::Release {
+            return self.invalidate_eagerly(h, mem, event);
+        }
+        let candidates = self.regions_intersecting(h, event.space, &event.range);
+        self.notifier_index_candidates
+            .fetch_add(candidates.len() as u64, SeqCst);
+        let mut hit = Vec::new();
+        for id in candidates {
+            // The region can be undeclared between the index probe and
+            // here; skip it like the single-threaded driver skips
+            // unpinned regions.
+            let Some(r) = self.load(id) else { continue };
+            let Ok(mut inner) = r.inner.write() else {
+                self.count_poison();
+                continue;
+            };
+            if inner.unpinned() && !inner.pinning_in_progress {
+                continue;
+            }
+            let staled = inner.mark_stale(&*mem, &event.range);
+            if staled == 0 {
+                continue;
+            }
+            if self.mutation != Some(DriverMutation::SkipGenerationBump) {
+                inner.generation += 1;
+            }
+            r.sync_mirrors(&inner);
+            drop(inner);
+            if self.mutation != Some(DriverMutation::SkipDeferredQueue) {
+                match self.pending.lock() {
+                    Ok(mut p) => {
+                        p.insert(id.0);
+                    }
+                    Err(_) => self.count_poison(),
+                }
+            }
+            self.notifier_deferred.fetch_add(1, SeqCst);
+            hit.push((id, staled));
+        }
+        hit
+    }
+
+    fn invalidate_eagerly(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        mem: &mut Memory,
+        event: &NotifierEvent,
+    ) -> Vec<(RegionId, u64)> {
+        let candidates = self.regions_intersecting(h, event.space, &event.range);
+        self.notifier_index_candidates
+            .fetch_add(candidates.len() as u64, SeqCst);
+        let mut hit = Vec::new();
+        for id in candidates {
+            let Some(r) = self.load(id) else { continue };
+            let Ok(mut inner) = r.inner.write() else {
+                self.count_poison();
+                continue;
+            };
+            if inner.unpinned() && !inner.pinning_in_progress {
+                continue;
+            }
+            inner.generation += 1;
+            let pages = inner.unpin_all(mem);
+            r.sync_mirrors(&inner);
+            drop(inner);
+            match self.pending.lock() {
+                Ok(mut p) => {
+                    p.remove(&id.0);
+                }
+                Err(_) => self.count_poison(),
+            }
+            self.notifier_region_unpins.fetch_add(1, SeqCst);
+            hit.push((id, pages));
+        }
+        hit
+    }
+
+    /// True when regions await a deferred-unpin drain. A poisoned queue
+    /// lock reads as "nothing pending" (counted).
+    pub fn has_deferred(&self) -> bool {
+        match self.pending.lock() {
+            Ok(p) => !p.is_empty(),
+            Err(_) => {
+                self.count_poison();
+                false
+            }
+        }
+    }
+
+    /// Drain the deferred-unpin queue; mirrors
+    /// [`crate::Driver::drain_deferred`] including the released/cancelled
+    /// split and its counters.
+    pub fn drain_deferred(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        mem: &mut Memory,
+    ) -> (Vec<(RegionId, u64)>, Vec<RegionId>) {
+        let _g = h.pin();
+        let mut released = Vec::new();
+        let mut cancelled = Vec::new();
+        let drained = match self.pending.lock() {
+            Ok(mut p) => std::mem::take(&mut *p),
+            Err(_) => {
+                self.count_poison();
+                return (released, cancelled);
+            }
+        };
+        if drained.is_empty() {
+            return (released, cancelled);
+        }
+        self.notifier_drain_batches.fetch_add(1, SeqCst);
+        for idx in drained {
+            let Some(r) = self.load(RegionId(idx)) else {
+                continue;
+            };
+            let Ok(mut inner) = r.inner.write() else {
+                self.count_poison();
+                continue;
+            };
+            let pages = inner.release_stale(mem);
+            r.sync_mirrors(&inner);
+            if pages == 0 {
+                self.notifier_cancelled.fetch_add(1, SeqCst);
+                cancelled.push(RegionId(idx));
+            } else {
+                self.notifier_region_unpins.fetch_add(1, SeqCst);
+                released.push((RegionId(idx), pages));
+            }
+        }
+        (released, cancelled)
+    }
+
+    /// Regions currently declared.
+    pub fn declared_count(&self) -> usize {
+        self.declared.load(SeqCst) as usize
+    }
+
+    /// Sum of pinned pages across declared regions (join-time accounting
+    /// oracle; takes every region's read lock, not a hot path).
+    pub fn pinned_pages_total(&self, h: &EpochHandle<'_, ConcRegion>) -> u64 {
+        let _g = h.pin();
+        let mut total = 0;
+        for i in 0..self.slots.len() {
+            if let Some(r) = self.load(RegionId(i as u32)) {
+                match r.inner.read() {
+                    Ok(inner) => total += inner.pinned_pages(),
+                    Err(_) => self.count_poison(),
+                }
+            }
+        }
+        total
+    }
+
+    /// Stale pages still attached across declared regions (must be zero
+    /// after a final drain — the join-time deferred-queue oracle).
+    pub fn stale_pages_total(&self, h: &EpochHandle<'_, ConcRegion>) -> u64 {
+        let _g = h.pin();
+        let mut total = 0;
+        for i in 0..self.slots.len() {
+            if let Some(r) = self.load(RegionId(i as u32)) {
+                match r.inner.read() {
+                    Ok(inner) => total += inner.stale_pages(),
+                    Err(_) => self.count_poison(),
+                }
+            }
+        }
+        total
+    }
+
+    /// Per-region generation stamps, for the differential state check.
+    pub fn region_generation(&self, h: &EpochHandle<'_, ConcRegion>, id: RegionId) -> Option<u64> {
+        self.probe(h, id).map(|p| p.generation)
+    }
+
+    /// [`DriverStats`] mirror. Pressure eviction is engine-side and
+    /// single-threaded, so its two counters are structurally zero here.
+    pub fn stats(&self) -> DriverStats {
+        DriverStats {
+            pressure_unpinned_pages: 0,
+            notifier_events: self.notifier_events.load(SeqCst),
+            notifier_region_unpins: self.notifier_region_unpins.load(SeqCst),
+            notifier_index_candidates: self.notifier_index_candidates.load(SeqCst),
+            notifier_deferred: self.notifier_deferred.load(SeqCst),
+            notifier_cancelled: self.notifier_cancelled.load(SeqCst),
+            notifier_drain_batches: self.notifier_drain_batches.load(SeqCst),
+            evict_lru_pops: 0,
+        }
+    }
+
+    /// Deliberately poison the shard lock covering `space` (regression
+    /// tests for the graceful-degradation paths only): a helper thread
+    /// panics while holding the write lock, exactly the failure a buggy
+    /// notifier callback would produce.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, space: AsId) {
+        let lock = self.shard_of(space);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock.write().unwrap();
+            panic!("deliberate shard poison");
+        }));
+    }
+}
+
+// Safety: every interior-mutable field is an atomic, a lock, or the epoch
+// collector (itself built from atomics and mutexes); raw region pointers
+// are only dereferenced under epoch guards.
+unsafe impl Send for ConcurrentDriver {}
+unsafe impl Sync for ConcurrentDriver {}
+
+impl Drop for ConcurrentDriver {
+    fn drop(&mut self) {
+        // Retire every still-declared region so the collector's drop (runs
+        // right after, as a field) frees them; `&mut self` proves no
+        // readers remain.
+        for slot in self.slots.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), SeqCst);
+            if let Some(nn) = NonNull::new(ptr) {
+                self.epoch.retire(nn);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Concurrency layer for the driver: hand-rolled epoch-based reclamation
+//! ([`epoch`]), the sharded multi-thread driver ([`driver`]), and the
+//! sharded region cache ([`cache`]). See DESIGN.md §16 and the race
+//! harness in `crates/core/tests/concurrency.rs`.
+
+pub mod cache;
+pub mod driver;
+pub mod epoch;
+
+pub use cache::SharedRegionCache;
+pub use driver::{ConcRegion, ConcurrentDriver, DriverMutation, RegionProbe};
+pub use epoch::{
+    EpochCollector, EpochGuard, EpochHandle, EpochMutation, EpochStats, Retired, MAX_EPOCH_THREADS,
+};

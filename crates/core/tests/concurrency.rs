@@ -1,0 +1,871 @@
+//! The real-thread race harness for the concurrent driver (ISSUE 8 /
+//! ROADMAP item 5): N pinner threads race M notifier/undeclare threads, a
+//! cross-space notifier-storm thread, a reclamation churn thread and
+//! lock-free reader threads over one shared [`ConcurrentDriver`].
+//!
+//! Oracles, asserted at join for every seeded schedule:
+//! - **Epoch quiescence / use-after-free**: guard counters on every region
+//!   are zero, every retired region was reclaimed after its grace period,
+//!   no reader ever observed a poisoned region, no reclaim ever saw a live
+//!   reader (`EpochStats` + `quiescent_violations`).
+//! - **Pin accounting**: driver pinned pages == frame-pool pinned pages,
+//!   and zero after undeclaring everything.
+//! - **Index consistency**: sharded interval index == full-table scan.
+//! - **Deferred-queue hygiene**: no stale pages after a final drain.
+//!
+//! The differential test serializes mutators through a world lock (readers
+//! still free-run), records the linearized op log with every op's result,
+//! then replays it into the single-threaded [`Driver`]: DriverStats must
+//! be bit-identical and every logged op result must match.
+//!
+//! Mutation self-tests prove each oracle catches what it claims: drop the
+//! epoch guard pin, reclaim without a grace period, skip the generation
+//! bump, skip the deferred-queue insert, poison a shard lock.
+//!
+//! Thread interleaving is real (OS threads, no harness scheduler); the
+//! *schedules* are seeded — each seed fixes every thread's op stream, so a
+//! failing seed replays the same workload even though the interleaving
+//! may differ. The oracles are interleaving-independent by construction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use openmx_core::driver::{Driver, RegionId};
+use openmx_core::region::Segment;
+use openmx_core::sync::{
+    ConcurrentDriver, DriverMutation, EpochCollector, EpochMutation, Retired, SharedRegionCache,
+};
+use openmx_core::{CacheOutcome, DeclareError};
+use simmem::{AsId, Memory, Prot, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
+
+/// Dep-free deterministic PRNG (same xorshift used across the repo).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const ARENA_PAGES: u64 = 64;
+const TEMPLATES: u64 = 4;
+const TEMPLATE_PAGES: u64 = 12;
+const MUTATORS: usize = 4;
+const READERS: usize = 2;
+const TABLE_CAP: usize = 256;
+const SHARDS: usize = 8;
+
+/// Region template `k` inside an arena: templates 0..3 at page offsets
+/// 0/14/28/42, template 3 vectorial (two segments) so the interval index
+/// sees multi-segment regions.
+fn template_segments(arena: VirtAddr, k: u64) -> Vec<Segment> {
+    let base = arena.add(k * 14 * PAGE_SIZE);
+    if k == TEMPLATES - 1 {
+        vec![
+            Segment {
+                addr: base,
+                len: (TEMPLATE_PAGES / 2) * PAGE_SIZE,
+            },
+            Segment {
+                addr: base.add((TEMPLATE_PAGES / 2 + 2) * PAGE_SIZE),
+                len: (TEMPLATE_PAGES / 2) * PAGE_SIZE,
+            },
+        ]
+    } else {
+        vec![Segment {
+            addr: base,
+            len: TEMPLATE_PAGES * PAGE_SIZE,
+        }]
+    }
+}
+
+struct Arena {
+    space: AsId,
+    base: VirtAddr,
+}
+
+/// Shared-memory setup: one `Memory`, one registered space + arena per
+/// mutator. The memory sits behind a mutex — it models the mm layer
+/// (`mmap_sem`): page-table ops serialize, driver structures do not.
+fn setup(mutators: usize) -> (Memory, Vec<Arena>) {
+    let mut mem = Memory::new(8192, 64);
+    let mut arenas = Vec::new();
+    for _ in 0..mutators {
+        let space = mem.create_space();
+        mem.register_notifier(space).unwrap();
+        let base = mem
+            .mmap(space, ARENA_PAGES * PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
+        arenas.push(Arena { space, base });
+    }
+    (mem, arenas)
+}
+
+/// Unmap a small window and feed the notifier events to the driver —
+/// under the memory lock, like a real notifier callback running inside
+/// the unmap path. Usually remaps the window right after (malloc churn);
+/// sometimes leaves it unmapped.
+fn churn_window(
+    rng: &mut Rng,
+    driver: &ConcurrentDriver,
+    h: &openmx_core::EpochHandle<'_, openmx_core::sync::ConcRegion>,
+    mem: &mut Memory,
+    arena: &Arena,
+) {
+    let w = 1 + rng.below(4);
+    let p = rng.below(ARENA_PAGES - w);
+    let addr = arena.base.add(p * PAGE_SIZE);
+    let len = w * PAGE_SIZE;
+    let Ok(events) = mem.munmap(arena.space, addr, len) else {
+        return;
+    };
+    for ev in &events {
+        driver.handle_invalidate(h, mem, ev);
+    }
+    if rng.below(10) < 7 {
+        let _ = mem.mmap_at(arena.space, addr, len, Prot::ReadWrite);
+    }
+}
+
+/// One storm run: 8 spawned OS threads (4 pinner/undeclare mutators, 1
+/// cross-space notifier storm, 1 reclamation churn, 2 lock-free readers)
+/// over one driver. Returns nothing — every oracle asserts inline or at
+/// join.
+fn storm_run(seed: u64, ops_per_mutator: usize) {
+    let driver = ConcurrentDriver::new(TABLE_CAP, SHARDS);
+    let (mem, arenas) = setup(MUTATORS);
+    let mem = Mutex::new(mem);
+    let active = AtomicUsize::new(MUTATORS + 1); // mutators + notifier storm
+    let probes_ok = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for (t, arena) in arenas.iter().enumerate().take(MUTATORS) {
+            let driver = &driver;
+            let mem = &mem;
+            let active = &active;
+            s.spawn(move || {
+                let h = driver.register_thread();
+                let mut rng = Rng::new(seed ^ (0x9e37_79b9 * (t as u64 + 1)));
+                let mut mine: HashMap<u64, RegionId> = HashMap::new();
+                for _ in 0..ops_per_mutator {
+                    match rng.below(100) {
+                        0..=24 => {
+                            let k = rng.below(TEMPLATES);
+                            if let std::collections::hash_map::Entry::Vacant(e) = mine.entry(k) {
+                                let segs = template_segments(arena.base, k);
+                                if let Ok(id) = driver.declare(&h, arena.space, &segs) {
+                                    e.insert(id);
+                                }
+                            }
+                        }
+                        25..=59 => {
+                            let k = rng.below(TEMPLATES);
+                            if let Some(&id) = mine.get(&k) {
+                                let mut guard = mem.lock().unwrap();
+                                let _ = driver.pin_next_chunk(&h, &mut guard, id, 4);
+                            }
+                        }
+                        60..=74 => {
+                            let mut guard = mem.lock().unwrap();
+                            churn_window(&mut rng, driver, &h, &mut guard, arena);
+                        }
+                        75..=84 => {
+                            let k = rng.below(TEMPLATES);
+                            if let Some(id) = mine.remove(&k) {
+                                let mut guard = mem.lock().unwrap();
+                                driver.undeclare(&h, &mut guard, id);
+                            }
+                        }
+                        85..=92 => {
+                            let mut guard = mem.lock().unwrap();
+                            driver.drain_deferred(&h, &mut guard);
+                        }
+                        _ => {
+                            // Reader ops from a mutator thread: reentrancy
+                            // across the pin/probe surface.
+                            let k = rng.below(TEMPLATES);
+                            if let Some(&id) = mine.get(&k) {
+                                driver.probe(&h, id);
+                                driver.pinned_through(&h, id, 0, PAGE_SIZE);
+                            }
+                        }
+                    }
+                }
+                active.fetch_sub(1, SeqCst);
+            });
+        }
+
+        // Cross-space notifier storm: munmap/invalidate windows in every
+        // mutator's space — the "M notifier threads" racing the pinners.
+        {
+            let driver = &driver;
+            let mem = &mem;
+            let active = &active;
+            let arenas = &arenas;
+            s.spawn(move || {
+                let h = driver.register_thread();
+                let mut rng = Rng::new(seed ^ 0xdead_beef);
+                for _ in 0..ops_per_mutator {
+                    let arena = &arenas[rng.below(MUTATORS as u64) as usize];
+                    let mut guard = mem.lock().unwrap();
+                    churn_window(&mut rng, driver, &h, &mut guard, arena);
+                    if rng.below(4) == 0 {
+                        driver.drain_deferred(&h, &mut guard);
+                    }
+                }
+                active.fetch_sub(1, SeqCst);
+            });
+        }
+
+        // Reclamation churn: force epoch advances and collection while
+        // everyone else runs.
+        {
+            let driver = &driver;
+            let active = &active;
+            s.spawn(move || {
+                while active.load(SeqCst) > 0 {
+                    driver.epoch_collector().collect();
+                    std::hint::spin_loop();
+                }
+            });
+        }
+
+        // Lock-free readers: hammer probe / pinned_through /
+        // regions_intersecting across the whole table, including ids being
+        // concurrently undeclared and reclaimed.
+        for r in 0..READERS {
+            let driver = &driver;
+            let active = &active;
+            let probes_ok = &probes_ok;
+            let arenas = &arenas;
+            s.spawn(move || {
+                let h = driver.register_thread();
+                let mut rng = Rng::new(seed ^ (0xabcd_ef01 * (r as u64 + 3)));
+                let mut ok = 0;
+                while active.load(SeqCst) > 0 {
+                    let id = RegionId(rng.below(TABLE_CAP as u64) as u32);
+                    if let Some(p) = driver.probe(&h, id) {
+                        // Sanity on a racing snapshot: the cursor never
+                        // exceeds the region's geometry.
+                        assert!(p.valid_pages <= p.total_pages);
+                        ok += 1;
+                    }
+                    driver.pinned_through(&h, id, 0, 3 * PAGE_SIZE);
+                    let arena = &arenas[rng.below(MUTATORS as u64) as usize];
+                    let start = arena.base.vpn().0 + rng.below(ARENA_PAGES - 4);
+                    let range = VpnRange::new(Vpn(start), Vpn(start + 4));
+                    driver.regions_intersecting(&h, arena.space, &range);
+                }
+                probes_ok.fetch_add(ok, SeqCst);
+            });
+        }
+    });
+
+    // --- Join-time oracles ---
+    let h = driver.register_thread();
+    let mut mem = mem.into_inner().unwrap();
+
+    // Deferred-queue hygiene: one final drain leaves nothing stale.
+    driver.drain_deferred(&h, &mut mem);
+    assert_eq!(
+        driver.stale_pages_total(&h),
+        0,
+        "seed {seed}: stale pages survived the final drain"
+    );
+
+    // Pin accounting: driver view == frame-pool view.
+    assert_eq!(
+        driver.pinned_pages_total(&h),
+        mem.frames().pinned_pages() as u64,
+        "seed {seed}: driver/frame-pool pin accounting diverged"
+    );
+
+    // Index consistency: sharded index == full-table scan, on windows
+    // across every space.
+    let mut rng = Rng::new(seed ^ 0x51ca_fe77);
+    for arena in &arenas {
+        for _ in 0..8 {
+            let start = arena.base.vpn().0 + rng.below(ARENA_PAGES - 6);
+            let range = VpnRange::new(Vpn(start), Vpn(start + 6));
+            assert_eq!(
+                driver.regions_intersecting(&h, arena.space, &range),
+                driver.regions_intersecting_naive(&h, arena.space, &range),
+                "seed {seed}: index diverged from naive scan"
+            );
+        }
+    }
+
+    // Undeclare everything; pins must return to zero.
+    for i in 0..TABLE_CAP as u32 {
+        driver.undeclare(&h, &mut mem, RegionId(i));
+    }
+    assert_eq!(driver.pinned_pages_total(&h), 0);
+    assert_eq!(mem.frames().pinned_pages(), 0, "seed {seed}: leaked pins");
+    assert_eq!(driver.declared_count(), 0);
+
+    // Epoch quiescence: with all guards released, a bounded collect loop
+    // must reclaim every retirement; every oracle counter must be clean.
+    drop(h);
+    for _ in 0..8 {
+        driver.epoch_collector().collect();
+    }
+    let violations = driver.epoch_collector().quiescent_violations();
+    assert!(
+        violations.is_empty(),
+        "seed {seed}: epoch oracle violations: {violations:?}"
+    );
+    // No lock was ever poisoned in a clean run.
+    assert_eq!(driver.lock_poisoned(), 0);
+}
+
+/// CI smoke: ≥ 100 seeded schedules × 8 real OS threads. `RACE_SEEDS`
+/// scales the sweep up for the nightly job.
+#[test]
+fn storm_seed_sweep() {
+    let seeds: u64 = std::env::var("RACE_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let ops = if seeds > 100 { 150 } else { 120 };
+    for seed in 0..seeds {
+        storm_run(0xA11CE ^ (seed * 0x1_0001), ops);
+    }
+}
+
+/// A couple of long, hot runs: fewer seeds, much more churn per seed.
+#[test]
+fn storm_deep_runs() {
+    for seed in [0xFEED_F00D, 0x00DD_BA11] {
+        storm_run(seed, 600);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: linearized concurrent run vs single-threaded replay
+// ---------------------------------------------------------------------------
+
+/// One linearized op with its observed result; replay must reproduce both.
+#[derive(Debug, PartialEq, Eq)]
+enum Op {
+    Declare {
+        arena: usize,
+        k: u64,
+        got: Result<RegionId, DeclareError>,
+    },
+    Pin {
+        id: RegionId,
+        max: u64,
+        /// `(pages_pinned, complete)` on success; `None` for a pin error
+        /// (rollback) — either way replay must agree.
+        got: Option<Option<(u64, bool)>>,
+    },
+    Churn {
+        arena: usize,
+        page: u64,
+        pages: u64,
+        remap: bool,
+        /// Invalidation hits per event, flattened.
+        got: Vec<(RegionId, u64)>,
+    },
+    Undeclare {
+        id: RegionId,
+        got: Option<u64>,
+    },
+    Drain {
+        got: (Vec<(RegionId, u64)>, Vec<RegionId>),
+    },
+}
+
+/// Concurrent run with mutators serialized through the world lock (the op
+/// log *is* the linearization); readers and the collector still free-run
+/// against the epoch machinery. Returns the log and the driver's stats.
+fn differential_concurrent(
+    seed: u64,
+    ops_per_mutator: usize,
+) -> (Vec<Op>, openmx_core::DriverStats) {
+    let driver = ConcurrentDriver::new(TABLE_CAP, SHARDS);
+    let (mem, arenas) = setup(MUTATORS);
+    let world = Mutex::new((mem, Vec::<Op>::new()));
+    let active = AtomicUsize::new(MUTATORS);
+
+    std::thread::scope(|s| {
+        for (t, arena) in arenas.iter().enumerate() {
+            let driver = &driver;
+            let world = &world;
+            let active = &active;
+            s.spawn(move || {
+                let h = driver.register_thread();
+                let mut rng = Rng::new(seed ^ (0x9e37_79b9 * (t as u64 + 1)));
+                let mut mine: HashMap<u64, RegionId> = HashMap::new();
+                for _ in 0..ops_per_mutator {
+                    // The world lock spans the whole op, driver call
+                    // included: the log order is a true linearization.
+                    let mut w = world.lock().unwrap();
+                    let (mem, log) = &mut *w;
+                    match rng.below(100) {
+                        0..=29 => {
+                            let k = rng.below(TEMPLATES);
+                            if let std::collections::hash_map::Entry::Vacant(e) = mine.entry(k) {
+                                let segs = template_segments(arena.base, k);
+                                let got = driver.declare(&h, arena.space, &segs);
+                                if let Ok(id) = got {
+                                    e.insert(id);
+                                }
+                                log.push(Op::Declare { arena: t, k, got });
+                            }
+                        }
+                        30..=59 => {
+                            let k = rng.below(TEMPLATES);
+                            if let Some(&id) = mine.get(&k) {
+                                let got = driver
+                                    .pin_next_chunk(&h, mem, id, 4)
+                                    .map(|r| r.ok().map(|p| (p.pages_pinned, p.complete)));
+                                log.push(Op::Pin { id, max: 4, got });
+                            }
+                        }
+                        60..=74 => {
+                            let pages = 1 + rng.below(4);
+                            let page = rng.below(ARENA_PAGES - pages);
+                            let remap = rng.below(10) < 7;
+                            let addr = arena.base.add(page * PAGE_SIZE);
+                            let len = pages * PAGE_SIZE;
+                            let mut got = Vec::new();
+                            if let Ok(events) = mem.munmap(arena.space, addr, len) {
+                                for ev in &events {
+                                    got.extend(driver.handle_invalidate(&h, mem, ev));
+                                }
+                            }
+                            if remap {
+                                let _ = mem.mmap_at(arena.space, addr, len, Prot::ReadWrite);
+                            }
+                            log.push(Op::Churn {
+                                arena: t,
+                                page,
+                                pages,
+                                remap,
+                                got,
+                            });
+                        }
+                        75..=87 => {
+                            let k = rng.below(TEMPLATES);
+                            if let Some(id) = mine.remove(&k) {
+                                let got = driver.undeclare(&h, mem, id);
+                                log.push(Op::Undeclare { id, got });
+                            }
+                        }
+                        _ => {
+                            let got = driver.drain_deferred(&h, mem);
+                            log.push(Op::Drain { got });
+                        }
+                    }
+                }
+                active.fetch_sub(1, SeqCst);
+            });
+        }
+
+        // Free-running lock-free load against the same driver: stats and
+        // the log must be oblivious to it.
+        for r in 0..READERS {
+            let driver = &driver;
+            let active = &active;
+            s.spawn(move || {
+                let h = driver.register_thread();
+                let mut rng = Rng::new(seed ^ (0x1234_5678 * (r as u64 + 5)));
+                while active.load(SeqCst) > 0 {
+                    let id = RegionId(rng.below(TABLE_CAP as u64) as u32);
+                    driver.probe(&h, id);
+                    driver.pinned_through(&h, id, 0, PAGE_SIZE);
+                }
+            });
+        }
+        {
+            let driver = &driver;
+            let active = &active;
+            s.spawn(move || {
+                while active.load(SeqCst) > 0 {
+                    driver.epoch_collector().collect();
+                    std::hint::spin_loop();
+                }
+            });
+        }
+    });
+
+    let (_, log) = world.into_inner().unwrap();
+    let stats = driver.stats();
+
+    // The linearized run still passes the storm oracles.
+    for _ in 0..8 {
+        driver.epoch_collector().collect();
+    }
+    let violations = driver.epoch_collector().quiescent_violations();
+    assert!(violations.is_empty(), "epoch violations: {violations:?}");
+
+    (log, stats)
+}
+
+/// Replay the linearized log into the single-threaded driver and assert
+/// every op result matches, then return its stats for the bit-identity
+/// check.
+fn replay_single_threaded(log: &[Op]) -> openmx_core::DriverStats {
+    let mut driver = Driver::new(None);
+    let (mut mem, arenas) = setup(MUTATORS);
+    for (i, op) in log.iter().enumerate() {
+        match op {
+            Op::Declare { arena, k, got } => {
+                let segs = template_segments(arenas[*arena].base, *k);
+                let re = driver.declare(arenas[*arena].space, &segs);
+                assert_eq!(&re, got, "op {i}: declare diverged");
+            }
+            Op::Pin { id, max, got } => {
+                let re = driver
+                    .try_region_mut(*id)
+                    .map(|r| r.pin_next_chunk(&mut mem, *max))
+                    .map(|r| r.ok().map(|p| (p.pages_pinned, p.complete)));
+                assert_eq!(&re, got, "op {i}: pin diverged");
+            }
+            Op::Churn {
+                arena,
+                page,
+                pages,
+                remap,
+                got,
+            } => {
+                let a = &arenas[*arena];
+                let addr = a.base.add(page * PAGE_SIZE);
+                let len = pages * PAGE_SIZE;
+                let mut re = Vec::new();
+                if let Ok(events) = mem.munmap(a.space, addr, len) {
+                    for ev in &events {
+                        re.extend(driver.handle_invalidate(&mut mem, ev));
+                    }
+                }
+                if *remap {
+                    let _ = mem.mmap_at(a.space, addr, len, Prot::ReadWrite);
+                }
+                assert_eq!(&re, got, "op {i}: invalidation hits diverged");
+            }
+            Op::Undeclare { id, got } => {
+                let re = driver
+                    .is_declared(*id)
+                    .then(|| driver.undeclare(&mut mem, *id));
+                assert_eq!(&re, got, "op {i}: undeclare diverged");
+            }
+            Op::Drain { got } => {
+                let re = driver.drain_deferred(&mut mem);
+                assert_eq!(&re, got, "op {i}: drain diverged");
+            }
+        }
+    }
+    driver.stats()
+}
+
+/// The tentpole differential: concurrent run (readers racing) and
+/// single-threaded replay of its linearized log produce *bit-identical*
+/// DriverStats, and every individual op result matches.
+#[test]
+fn differential_replay_stats_identical() {
+    let mut total = openmx_core::DriverStats::default();
+    for seed in 0..16u64 {
+        let (log, concurrent_stats) = differential_concurrent(0xD1FF ^ (seed * 0xBEEF), 150);
+        let replay_stats = replay_single_threaded(&log);
+        assert_eq!(
+            concurrent_stats, replay_stats,
+            "seed {seed}: DriverStats diverged between concurrent driver and replay"
+        );
+        total.notifier_events += concurrent_stats.notifier_events;
+        total.notifier_deferred += concurrent_stats.notifier_deferred;
+        total.notifier_cancelled += concurrent_stats.notifier_cancelled;
+        total.notifier_drain_batches += concurrent_stats.notifier_drain_batches;
+    }
+    // Guard against a vacuous pass: the sweep must actually have driven
+    // the notifier machinery, both arms of it.
+    assert!(total.notifier_events > 0 && total.notifier_deferred > 0);
+    assert!(total.notifier_cancelled > 0 && total.notifier_drain_batches > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation self-tests: prove the oracles catch what they claim
+// ---------------------------------------------------------------------------
+
+/// Minimal retired object for collector-level mutation rigs.
+struct Obj {
+    live: AtomicU64,
+    readers: AtomicU64,
+}
+impl Obj {
+    fn boxed() -> std::ptr::NonNull<Obj> {
+        std::ptr::NonNull::from(Box::leak(Box::new(Obj {
+            live: AtomicU64::new(1),
+            readers: AtomicU64::new(0),
+        })))
+    }
+}
+impl Retired for Obj {
+    fn readers(&self) -> u64 {
+        self.readers.load(SeqCst)
+    }
+    fn poison(&self) {
+        self.live.store(0, SeqCst);
+    }
+}
+
+/// Mutation: guards that skip the epoch announcement. A reader inside a
+/// critical section becomes invisible to the collector, which reclaims
+/// the object under its feet — the reader-side poison check must fire.
+#[test]
+fn mutation_skip_guard_pin_is_caught() {
+    let c = EpochCollector::<Obj>::with_mutation(Some(EpochMutation::SkipGuardPin));
+    let h = c.register();
+    let ptr = Obj::boxed();
+    let guard = h.pin(); // mutated: announces nothing
+    c.retire(ptr);
+    for _ in 0..4 {
+        c.collect();
+    }
+    // The collector believed the system quiescent and reclaimed. The
+    // reader is still inside its critical section and now observes the
+    // poisoned liveness word — exactly the use-after-free the oracle
+    // exists to catch.
+    let live = unsafe { ptr.as_ref() }.live.load(SeqCst);
+    assert_eq!(live, 0, "mutated collector failed to reclaim early");
+    c.note_uaf_observed();
+    drop(guard);
+    let v = c.quiescent_violations();
+    assert!(
+        v.iter().any(|s| s.contains("poisoned")),
+        "uaf oracle did not fire: {v:?}"
+    );
+}
+
+/// Control for the above: with no mutation, the identical schedule does
+/// NOT reclaim under the guard (regression-proofs the self-test itself).
+#[test]
+fn control_guard_pin_protects() {
+    let c = EpochCollector::<Obj>::new();
+    let h = c.register();
+    let ptr = Obj::boxed();
+    let guard = h.pin();
+    c.retire(ptr);
+    for _ in 0..4 {
+        c.collect();
+    }
+    assert_eq!(unsafe { ptr.as_ref() }.live.load(SeqCst), 1);
+    drop(guard);
+}
+
+/// Mutation: reclaim ignores the grace period. A reader that bumped the
+/// region's guard counter mid-read is caught by the collector-side
+/// busy-reclaim oracle.
+#[test]
+fn mutation_reclaim_without_grace_is_caught() {
+    let c = EpochCollector::<Obj>::with_mutation(Some(EpochMutation::ReclaimWithoutGrace));
+    let h = c.register();
+    let ptr = Obj::boxed();
+    let _guard = h.pin();
+    // Reader is mid-read: guard counter held high.
+    unsafe { ptr.as_ref() }.readers.fetch_add(1, SeqCst);
+    c.retire(ptr);
+    c.collect(); // mutated: frees immediately, despite announced epoch
+    assert_eq!(c.stats().busy_reclaims, 1, "busy-reclaim oracle missed");
+    unsafe { ptr.as_ref() }.readers.fetch_sub(1, SeqCst);
+    let v = c.quiescent_violations();
+    assert!(
+        v.iter().any(|s| s.contains("live reader")),
+        "missing: {v:?}"
+    );
+}
+
+/// Serial protocol sequence that defers an unpin and then drains — the
+/// spine of the two driver-mutation self-tests below.
+fn run_protocol_sequence(
+    driver: &ConcurrentDriver,
+    mem: &mut Memory,
+    arena: &Arena,
+) -> (RegionId, Vec<(RegionId, u64)>) {
+    let h = driver.register_thread();
+    let id = driver
+        .declare(&h, arena.space, &template_segments(arena.base, 0))
+        .unwrap();
+    while let Some(Ok(p)) = driver.pin_next_chunk(&h, mem, id, 4) {
+        if p.complete {
+            break;
+        }
+    }
+    let addr = arena.base.add(2 * PAGE_SIZE);
+    let events = mem.munmap(arena.space, addr, 3 * PAGE_SIZE).unwrap();
+    let mut hits = Vec::new();
+    for ev in &events {
+        hits.extend(driver.handle_invalidate(&h, mem, ev));
+    }
+    (id, hits)
+}
+
+/// Mutation: invalidate forgets the generation bump. The differential
+/// state check (concurrent generation vs single-threaded replay) catches
+/// it.
+#[test]
+fn mutation_skip_generation_bump_is_caught() {
+    let (mut mem, arenas) = setup(1);
+    let driver = ConcurrentDriver::with_mutation(
+        TABLE_CAP,
+        SHARDS,
+        Some(DriverMutation::SkipGenerationBump),
+    );
+    let (id, hits) = run_protocol_sequence(&driver, &mut mem, &arenas[0]);
+    assert!(!hits.is_empty(), "rig must produce an invalidation hit");
+    let h = driver.register_thread();
+    let mutated_gen = driver.region_generation(&h, id).unwrap();
+
+    // Single-threaded reference of the same sequence.
+    let (mut mem2, arenas2) = setup(1);
+    let mut reference = Driver::new(None);
+    let rid = reference
+        .declare(arenas2[0].space, &template_segments(arenas2[0].base, 0))
+        .unwrap();
+    loop {
+        let p = reference
+            .region_mut(rid)
+            .pin_next_chunk(&mut mem2, 4)
+            .unwrap();
+        if p.complete {
+            break;
+        }
+    }
+    let addr = arenas2[0].base.add(2 * PAGE_SIZE);
+    for ev in &mem2.munmap(arenas2[0].space, addr, 3 * PAGE_SIZE).unwrap() {
+        reference.handle_invalidate(&mut mem2, ev);
+    }
+    let reference_gen = reference.region(rid).generation;
+
+    assert_ne!(
+        mutated_gen, reference_gen,
+        "differential oracle failed to catch the skipped generation bump"
+    );
+}
+
+/// Mutation: invalidate forgets the deferred-queue insert. The join-time
+/// "no stale pages after final drain" oracle catches it: the stale suffix
+/// never drains.
+#[test]
+fn mutation_skip_deferred_queue_is_caught() {
+    let (mut mem, arenas) = setup(1);
+    let driver =
+        ConcurrentDriver::with_mutation(TABLE_CAP, SHARDS, Some(DriverMutation::SkipDeferredQueue));
+    let (_, hits) = run_protocol_sequence(&driver, &mut mem, &arenas[0]);
+    assert!(!hits.is_empty());
+    let h = driver.register_thread();
+    driver.drain_deferred(&h, &mut mem);
+    assert!(
+        driver.stale_pages_total(&h) > 0,
+        "stale-page oracle failed to catch the skipped queue insert"
+    );
+    // And the unmutated driver passes the same oracle on the same rig.
+    let (mut mem2, arenas2) = setup(1);
+    let clean = ConcurrentDriver::new(TABLE_CAP, SHARDS);
+    let (_, hits) = run_protocol_sequence(&clean, &mut mem2, &arenas2[0]);
+    assert!(!hits.is_empty());
+    let h2 = clean.register_thread();
+    clean.drain_deferred(&h2, &mut mem2);
+    assert_eq!(clean.stale_pages_total(&h2), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-poison graceful degradation (satellite 6)
+// ---------------------------------------------------------------------------
+
+/// A poisoned shard lock must degrade to counted failures — declare
+/// refuses, notifier routing skips — never a propagated panic, and the
+/// rest of the driver keeps working.
+#[test]
+fn poisoned_shard_degrades_gracefully() {
+    let (mut mem, arenas) = setup(1);
+    let driver = ConcurrentDriver::new(TABLE_CAP, 1); // one shard: poison hits everything
+    let h = driver.register_thread();
+    let arena = &arenas[0];
+    let id = driver
+        .declare(&h, arena.space, &template_segments(arena.base, 0))
+        .unwrap();
+    while let Some(Ok(p)) = driver.pin_next_chunk(&h, &mut mem, id, 4) {
+        if p.complete {
+            break;
+        }
+    }
+    driver.poison_shard_for_test(arena.space);
+
+    // Declare on the poisoned shard: counted graceful refusal.
+    assert_eq!(
+        driver.declare(&h, arena.space, &template_segments(arena.base, 1)),
+        Err(DeclareError::DriverUnavailable)
+    );
+    // Notifier routing: no candidates from a poisoned shard, no panic.
+    let addr = arena.base.add(2 * PAGE_SIZE);
+    let events = mem.munmap(arena.space, addr, PAGE_SIZE).unwrap();
+    for ev in &events {
+        driver.handle_invalidate(&h, &mut mem, ev);
+    }
+    // Slot-table paths are independent of the shard lock and keep working.
+    assert!(driver.probe(&h, id).is_some());
+    assert!(driver.undeclare(&h, &mut mem, id).is_some());
+    assert!(driver.lock_poisoned() >= 2, "poison hits were not counted");
+}
+
+/// Same for the shared region cache: a poisoned shard is a counted miss,
+/// and an insert that cannot cache hands the id back for undeclare.
+#[test]
+fn poisoned_cache_shard_degrades_gracefully() {
+    let cache = SharedRegionCache::new(1, 8);
+    let segs = vec![Segment {
+        addr: VirtAddr(0x1000),
+        len: PAGE_SIZE,
+    }];
+    assert_eq!(cache.insert(segs.clone(), RegionId(7)), None);
+    assert_eq!(cache.lookup(&segs), CacheOutcome::Hit(RegionId(7)));
+    cache.poison_shard_for_test(&segs);
+    assert_eq!(cache.lookup(&segs), CacheOutcome::Miss);
+    assert_eq!(cache.insert(segs.clone(), RegionId(8)), Some(RegionId(8)));
+    assert!(cache.lock_poisoned() >= 2);
+}
+
+/// Multi-thread smoke for the sharded cache: concurrent insert/lookup
+/// churn across shards, then the aggregate invariants hold.
+#[test]
+fn shared_cache_concurrent_churn() {
+    let cache = SharedRegionCache::new(4, 8);
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let cache = &cache;
+            s.spawn(move || {
+                let mut rng = Rng::new(0xCACE ^ (t as u64 + 1));
+                for i in 0..500u32 {
+                    let key = rng.below(64);
+                    let segs = vec![Segment {
+                        addr: VirtAddr((key + 1) * 0x10_0000),
+                        len: PAGE_SIZE,
+                    }];
+                    match cache.lookup(&segs) {
+                        CacheOutcome::Hit(_) => {}
+                        CacheOutcome::Miss => {
+                            cache.insert(segs, RegionId(t * 1000 + i));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.hits + stats.misses, 4 * 500);
+    assert!(cache.len() <= 4 * 8, "per-shard LRU capacity exceeded");
+    assert_eq!(cache.lock_poisoned(), 0);
+    let ids = cache.cached_ids();
+    assert_eq!(ids.len(), cache.len(), "duplicate ids across shards");
+}

@@ -253,6 +253,15 @@ pub enum Mutation {
         /// Zero-based completion index to swallow.
         nth: usize,
     },
+    /// After op `after_op`, make one invalidated region forget its stale
+    /// watermark — or, when nothing is stale yet, unmap a pinned page and
+    /// swallow the notifier events. Both are the same bug seen from two
+    /// ends: a lost MMU-notifier callback leaves moved pages
+    /// protocol-visible.
+    ForgetStale {
+        /// Op index to inject after (clamped to the op count).
+        after_op: usize,
+    },
 }
 
 /// What one executed schedule produced.
@@ -269,6 +278,11 @@ pub struct RunOutcome {
     /// Flight-recorder dump (post-mortem JSON: last correlated spans +
     /// metrics snapshot + repro string), present iff the run failed.
     pub post_mortem: Option<String>,
+    /// Final per-node driver counters — lets a pinned repro assert it
+    /// actually exercised the path it was minimized for (e.g. a deferral
+    /// really parked, a drain really cancelled) instead of passing
+    /// vacuously. Empty when the run panicked before completion.
+    pub driver_stats: Vec<openmx_core::obs::DriverStats>,
 }
 
 /// A process that does nothing but record its completions for the harness.
@@ -770,6 +784,45 @@ impl Harness {
             .pin_user_pages(space, addr, PAGE_SIZE)
             .expect("leak-pin target");
     }
+
+    fn inject_forget_stale(&mut self, cl: &mut Cluster) {
+        // Preferred: a region already parked with a stale suffix (the
+        // deferred-unpin window) — clear the watermark so the moved
+        // pages become protocol-visible again.
+        for node in 0..cl.node_count() {
+            let hit = cl
+                .driver(node)
+                .iter_regions()
+                .find(|(_, r)| r.stale_pages() > 0)
+                .map(|(rid, _)| rid);
+            if let Some(rid) = hit {
+                cl.driver_mut(node)
+                    .region_mut(rid)
+                    .forget_stale_watermark_for_test();
+                return;
+            }
+        }
+        // Nothing stale yet: lose a notifier callback instead. Unmap one
+        // pinned page straight through the memory subsystem and drop the
+        // events on the floor — the driver keeps exposing the old frame.
+        for node in 0..cl.node_count() {
+            let candidates: Vec<_> = cl
+                .driver(node)
+                .iter_regions()
+                .filter(|(_, r)| r.valid_pages() > 0)
+                .map(|(_, r)| (r.space, r.layout.vpn_of_page(0)))
+                .collect();
+            for (space, vpn) in candidates {
+                if cl
+                    .memory_mut(node)
+                    .munmap(space, vpn.base(), PAGE_SIZE)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Execute a schedule against the real stack, checking every invariant at
@@ -827,6 +880,9 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
             if matches!(mutation, Some(Mutation::LeakPin { after_op }) if after_op == i) {
                 h.inject_leak_pin(&mut cl);
             }
+            if matches!(mutation, Some(Mutation::ForgetStale { after_op }) if after_op == i) {
+                h.inject_forget_stale(&mut cl);
+            }
             let ticks = match op {
                 Op::Advance { ticks } => (*ticks).max(1) as u32,
                 _ => 1,
@@ -844,6 +900,9 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
         }
         if matches!(mutation, Some(Mutation::LeakPin { after_op }) if after_op >= s.ops.len()) {
             h.inject_leak_pin(&mut cl);
+        }
+        if matches!(mutation, Some(Mutation::ForgetStale { after_op }) if after_op >= s.ops.len()) {
+            h.inject_forget_stale(&mut cl);
         }
         // Quiescence: post any still-delayed receives, then drain the
         // event queue completely (timers included) in bounded chunks.
@@ -922,12 +981,14 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
             POST_MORTEM_SPANS,
         )
     });
+    let driver_stats = (0..cl.node_count()).map(|n| cl.driver(n).stats()).collect();
     RunOutcome {
         violations: h.violations,
         ops_executed,
         xfers: h.pairs.len(),
         completions: h.completions,
         post_mortem,
+        driver_stats,
     }
 }
 
@@ -1070,6 +1131,45 @@ mod tests {
             "dump must carry correlated spans"
         );
         assert!(pm.contains("\"metrics\":{"), "dump must snapshot metrics");
+    }
+
+    #[test]
+    fn forgotten_stale_watermark_trips_stale_visible() {
+        // Pin a rendezvous transfer to completion, unmap the send buffer
+        // (marking its pinned suffix stale), then inject right after the
+        // unmap: whichever branch fires — watermark forgotten in the
+        // deferred window, or a notifier callback lost outright — the
+        // per-tick residency oracle must flag the exposed page.
+        let s = Schedule {
+            seed: 21,
+            profile: "churn".into(),
+            nodes: 2,
+            procs_per_node: 1,
+            ops: vec![
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 0,
+                    dst: 1,
+                    rbuf: 0,
+                    len: 262_144,
+                    recv_first: true,
+                },
+                Op::Advance { ticks: 10 },
+                Op::Churn {
+                    proc: 0,
+                    buf: 0,
+                    kind: ChurnKind::Unmap,
+                },
+            ],
+        };
+        let out = run_schedule(&s, Some(Mutation::ForgetStale { after_op: 2 }));
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| matches!(v, Violation::StaleVisible { .. })),
+            "{:?}",
+            out.violations
+        );
     }
 
     #[test]

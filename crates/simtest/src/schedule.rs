@@ -191,8 +191,11 @@ pub fn profile_by_name(name: &str) -> Option<Profile> {
 
 /// Build the full stack configuration for a schedule: overlapped+cached
 /// pinning, a deliberately tiny region cache (eviction paths stay hot), a
-/// short retransmission ceiling, and the profile's faults on every
-/// directed inter-node link.
+/// stretched deferred-unpin flush epoch (parked regions span several ops,
+/// so schedules can race declares, evictions and pin-budget pressure
+/// against the deferred queue — where that path's bugs live), a short
+/// retransmission ceiling, and the profile's faults on every directed
+/// inter-node link.
 pub fn schedule_cfg(s: &Schedule, p: &Profile) -> OpenMxConfig {
     let mut cfg = OpenMxConfig::with_mode(PinningMode::OverlappedCached);
     cfg.seed = s.seed;
@@ -200,6 +203,7 @@ pub fn schedule_cfg(s: &Schedule, p: &Profile) -> OpenMxConfig {
     cfg.adaptive_retransmit = true;
     cfg.retransmit_timeout = SimDuration::from_millis(20);
     cfg.cache_capacity = 4;
+    cfg.notifier_epoch = TICK * 5;
     cfg.frames_per_node = p.frames_per_node;
     cfg.swap_per_node = p.swap_per_node;
     cfg.pinned_pages_limit = p.pinned_pages_limit;

@@ -75,6 +75,22 @@ fn pinned_repro_corpus_is_clean() {
         // buffer is remapped twice inside one flush epoch while the pull
         // traffic is in flight.
         "EXPL1;seed=0xd;profile=trimstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144r,R1.0,A1,R1.0,A40",
+        // Deferred drain racing an epoch-timer close under pin-budget
+        // pressure: the unmapped send buffer parks 64 stale-held pages,
+        // then the next 80-page pin overruns the 96-page budget while the
+        // flush timer is still armed — submit_pin_chunk must drain the
+        // deferred queue early (cheapest headroom) and the later timer
+        // close must tolerate finding the queue already empty.
+        "EXPL1;seed=0x10;profile=pressure;nodes=2;ppn=1;ops=\
+         X0.0>1.0:262144r,A10,U0.0,X0.1>1.1:327680r,A80",
+        // Region undeclared while parked in the deferred-unpin queue: the
+        // trimmed buffer's region sits in the driver's pending set when
+        // LRU churn on the tiny descriptor cache evicts and undeclares
+        // it mid-epoch — the undeclare must also drop the pending entry,
+        // or the drain would touch a recycled region slot.
+        "EXPL1;seed=0x11;profile=trimstorm;nodes=2;ppn=1;ops=\
+         X0.0>1.0:262144r,A10,R0.0,X0.1>1.1:49152r,X0.2>1.2:49152r,\
+         X0.1>1.1:131072r,X0.2>1.2:131072r,A40",
     ];
     for repro in corpus {
         let s = decode(repro)
@@ -88,6 +104,52 @@ fn pinned_repro_corpus_is_clean() {
         );
         assert!(out.xfers > 0);
     }
+}
+
+/// The two deferred-unpin edge repros must actually reach their edge, not
+/// just pass: the counter signatures below were pinned from instrumented
+/// runs and distinguish the paths from an ordinary timer drain.
+#[test]
+fn deferred_unpin_edge_repros_hit_their_paths() {
+    // Pressure-forced early drain: the deferral parks, and exactly one
+    // drain batch releases it (the timer close that follows finds the
+    // queue empty and counts nothing). The drain — not LRU eviction —
+    // provides the headroom, so node 0 does no pressure unpinning at all.
+    let s = decode(
+        "EXPL1;seed=0x10;profile=pressure;nodes=2;ppn=1;ops=\
+         X0.0>1.0:262144r,A10,U0.0,X0.1>1.1:327680r,A80",
+    )
+    .unwrap();
+    let out = run_schedule_catching(&s, None);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    let n0 = &out.driver_stats[0];
+    assert_eq!(n0.notifier_deferred, 1, "unmap must park a deferral");
+    assert_eq!(n0.notifier_drain_batches, 1, "early drain must release it");
+    assert_eq!(n0.notifier_region_unpins, 1);
+    assert_eq!(
+        n0.pressure_unpinned_pages, 0,
+        "the deferred drain, not pressure eviction, must provide headroom"
+    );
+
+    // Undeclare-while-parked: the deferral parks, then cache churn
+    // undeclares the region before any drain runs — a parked entry that
+    // vanishes without ever being drained is exactly this path's
+    // signature (`notifier_deferred` counted, zero drain batches).
+    let s = decode(
+        "EXPL1;seed=0x11;profile=trimstorm;nodes=2;ppn=1;ops=\
+         X0.0>1.0:262144r,A10,R0.0,X0.1>1.1:49152r,X0.2>1.2:49152r,\
+         X0.1>1.1:131072r,X0.2>1.2:131072r,A40",
+    )
+    .unwrap();
+    let out = run_schedule_catching(&s, None);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    let n0 = &out.driver_stats[0];
+    assert_eq!(n0.notifier_deferred, 1, "trim must park a deferral");
+    assert_eq!(
+        n0.notifier_drain_batches, 0,
+        "the undeclare must beat every drain to the parked entry"
+    );
+    assert_eq!(n0.notifier_region_unpins, 0);
 }
 
 /// Acceptance mutation: a deliberately leaked page pin must be caught by
@@ -124,6 +186,28 @@ fn injected_pin_leak_is_caught_shrinks_and_replays() {
     assert!(!a.violations.is_empty(), "shrunk repro no longer fails");
     assert_eq!(a.violations, b.violations, "replay is not deterministic");
     assert_eq!(a.ops_executed, b.ops_executed);
+}
+
+/// A forgotten stale watermark (equivalently: a lost MMU-notifier
+/// callback) must surface as a `StaleVisible` residency violation — the
+/// per-tick oracle that guards the deferred-unpin path has to notice a
+/// moved page the driver still exposes to the protocol.
+#[test]
+fn forgotten_stale_watermark_is_caught() {
+    let p = profile_by_name("trimstorm").unwrap();
+    let s = generate(9, &p);
+    let m = Some(Mutation::ForgetStale { after_op: 4 });
+    let out = run_schedule_catching(&s, m);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| matches!(v, Violation::StaleVisible { .. })),
+        "forgotten watermark not caught: {:?}",
+        out.violations
+    );
+    // Two replays of the same (schedule, mutation) agree exactly.
+    let again = run_schedule_catching(&s, m);
+    assert_eq!(out.violations, again.violations);
 }
 
 /// A swallowed completion must surface as a conservation violation
