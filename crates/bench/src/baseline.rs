@@ -1,0 +1,86 @@
+//! Flat-JSON bench baselines: the `"key": value` artifact format the
+//! regression gates diff, shared by `bench_core` and `tenantstorm`.
+//!
+//! A baseline file is hand-rolled JSON (the repo carries no serde) whose
+//! gated metrics each sit on their own `"key": number` line. Values
+//! written as JSON strings are deliberately invisible to the parser —
+//! bins use that for raw counts that scale with the iteration axis and
+//! must not be compared between a smoke run and a full baseline.
+
+/// Parse the flat `"key": value` entries out of a baseline JSON written
+/// by the bench bins. Lines whose value is not a bare number (e.g. the
+/// schema string, or string-quoted informational counts) are skipped.
+pub fn parse_entries(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, val)) = rest.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = val.parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// The regression gate: every key present in both the current run and the
+/// baseline at `path` must agree within `tolerance` relative drift. Keys
+/// only in the baseline (e.g. points a smoke run skips) are not compared.
+/// Prints a per-key report and exits 1 on any regression; panics if the
+/// baseline is unreadable or shares no keys (a silently vacuous check).
+pub fn check_against(name: &str, entries: &[(String, f64)], path: &str, tolerance: f64) {
+    let baseline = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let base = parse_entries(&baseline);
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for (k, v) in entries {
+        let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) else {
+            continue;
+        };
+        compared += 1;
+        let rel = (v - b).abs() / b.abs().max(1e-9);
+        if rel > tolerance {
+            regressions.push(format!(
+                "{k}: baseline {b:.3}, now {v:.3} ({:+.1}%)",
+                (v / b - 1.0) * 100.0
+            ));
+        }
+    }
+    assert!(
+        compared > 0,
+        "no shared keys between run and baseline {path}"
+    );
+    if !regressions.is_empty() {
+        eprintln!(
+            "{name}: {} of {compared} shared keys drifted beyond {:.0}%:",
+            regressions.len(),
+            tolerance * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "{name} check OK: {compared} shared keys within {:.0}% of {path}",
+        tolerance * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_numbers_and_skips_strings() {
+        let text = "{\n  \"schema\": \"bench-core-v1\",\n  \"entries\": {\n    \
+                    \"a.b\": 1.500000,\n    \"c\": 2,\n    \"raw\": \"12345\"\n  }\n}\n";
+        let got = parse_entries(text);
+        assert_eq!(got, vec![("a.b".to_string(), 1.5), ("c".to_string(), 2.0)]);
+    }
+}

@@ -18,6 +18,7 @@
 //! * `--out PATH`    where to write the JSON (default `BENCH_core.json`),
 //! * `--check PATH`  diff against a baseline JSON; exit 1 on regression.
 
+use openmx_bench::baseline::check_against;
 use openmx_bench::pingpong::{paper_cfg, pingpong_throughput};
 use openmx_bench::table::Table;
 use openmx_core::{Driver, PinningMode, Segment};
@@ -95,25 +96,6 @@ fn pin_call_count(per_page: bool) -> u64 {
         }
     }
     mem.pin_calls() - before
-}
-
-/// Parse the flat `"key": value` entries out of a baseline JSON written
-/// by this bin (hand-rolled; the repo carries no serde).
-fn parse_entries(text: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some(rest) = line.strip_prefix('"') else {
-            continue;
-        };
-        let Some((key, val)) = rest.split_once("\": ") else {
-            continue;
-        };
-        if let Ok(v) = val.parse::<f64>() {
-            out.push((key.to_string(), v));
-        }
-    }
-    out
 }
 
 fn main() {
@@ -208,42 +190,6 @@ fn main() {
     // within tolerance. Keys only in the baseline (e.g. the 16 MiB points
     // a smoke run skips) are not compared.
     if let Some(path) = &args.check {
-        let baseline = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let base = parse_entries(&baseline);
-        let mut compared = 0usize;
-        let mut regressions = Vec::new();
-        for (k, v) in &entries {
-            let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) else {
-                continue;
-            };
-            compared += 1;
-            let rel = (v - b).abs() / b.abs().max(1e-9);
-            if rel > TOLERANCE {
-                regressions.push(format!(
-                    "{k}: baseline {b:.3}, now {v:.3} ({:+.1}%)",
-                    (v / b - 1.0) * 100.0
-                ));
-            }
-        }
-        assert!(
-            compared > 0,
-            "no shared keys between run and baseline {path}"
-        );
-        if !regressions.is_empty() {
-            eprintln!(
-                "bench-core: {} of {compared} shared keys drifted beyond {:.0}%:",
-                regressions.len(),
-                TOLERANCE * 100.0
-            );
-            for r in &regressions {
-                eprintln!("  {r}");
-            }
-            std::process::exit(1);
-        }
-        println!(
-            "bench-core check OK: {compared} shared keys within {:.0}% of {path}",
-            TOLERANCE * 100.0
-        );
+        check_against("bench-core", &entries, path, TOLERANCE);
     }
 }

@@ -189,7 +189,7 @@ fn bench_evict(n: u64, reps: usize) -> EvictPoint {
     for rep in 0..reps {
         repin_all(&mut d, &mut mem, &ids, rep as u64);
         let t = Instant::now();
-        let evicted = d.pressure_evict(&mut mem, 0, SimTime::ZERO);
+        let evicted = d.pressure_evict(&mut mem, 0, SimTime::ZERO, None);
         let ns = t.elapsed().as_nanos() as f64;
         assert_eq!(evicted.len() as u64, n, "drain must evict every region");
         heap_best = heap_best.min(ns);

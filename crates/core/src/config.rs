@@ -236,6 +236,12 @@ pub struct OpenMxConfig {
     /// Driver-enforced ceiling on pinned pages per node; exceeding it
     /// triggers pressure unpinning of idle cached regions.
     pub pinned_pages_limit: Option<usize>,
+    /// Per-tenant pin quota (soft share + hard cap). With it set, pressure
+    /// eviction is weighted-fair — tenants pinned past their soft share
+    /// pay first — and a pin pass that would push its tenant past the
+    /// hard cap self-evicts the tenant's idle regions or fails cleanly
+    /// with a quota denial. `None` keeps the single-tenant semantics.
+    pub pin_quota: Option<crate::PinQuota>,
     /// How long a deferred-unpin flush epoch stays open after the first
     /// deferral: notifier invalidation hits park in the driver's deferred
     /// queue and drain in one batch when this timer fires (or earlier,
@@ -298,6 +304,7 @@ impl OpenMxConfig {
             per_page_pin: false,
             cache_capacity: 64,
             pinned_pages_limit: None,
+            pin_quota: None,
             notifier_epoch: SimDuration::from_micros(100),
             presync_pages: 0,
             colocate_with_bh: false,
@@ -349,6 +356,17 @@ impl OpenMxConfig {
                 "retransmit_min = {} must be in (0, retransmit_timeout = {}]",
                 self.retransmit_min, self.retransmit_timeout
             ));
+        }
+        if let Some(q) = self.pin_quota {
+            if q.soft_share < 1 {
+                return Err("pin_quota.soft_share must be >= 1".to_string());
+            }
+            if q.hard_cap < q.soft_share {
+                return Err(format!(
+                    "pin_quota.hard_cap = {} must be >= soft_share = {}",
+                    q.hard_cap, q.soft_share
+                ));
+            }
         }
         self.net.validate()
     }
@@ -426,6 +444,22 @@ mod tests {
         let mut c = OpenMxConfig::paper_default();
         c.net.loss_probability = 2.0;
         assert!(c.validate().is_err());
+        let mut c = OpenMxConfig::paper_default();
+        c.pin_quota = Some(crate::PinQuota {
+            soft_share: 0,
+            hard_cap: 8,
+        });
+        assert!(c.validate().is_err());
+        c.pin_quota = Some(crate::PinQuota {
+            soft_share: 16,
+            hard_cap: 8,
+        });
+        assert!(c.validate().is_err());
+        c.pin_quota = Some(crate::PinQuota {
+            soft_share: 16,
+            hard_cap: 64,
+        });
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -20,18 +20,53 @@
 //! before the drain cancels its pending unpin entirely. See DESIGN.md §15.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 use simcore::SimTime;
-use simmem::{AsId, InvalidateCause, Memory, NotifierEvent, VpnRange};
+use simmem::{AsId, InvalidateCause, MemError, Memory, NotifierEvent, VpnRange};
 
+use crate::engine::ProcId;
 use crate::index::SpaceIndex;
-use crate::obs::DriverStats;
-use crate::region::{DeclareError, DriverRegion, Segment};
+use crate::obs::{DriverStats, TenantStats};
+use crate::region::{DeclareError, DriverRegion, PinProgress, Segment};
 
 /// The integer descriptor user space holds for a declared region.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegionId(pub u32);
+
+/// Per-tenant pin quota (§3.1 made multi-tenant): every process sharing
+/// the driver gets a *soft share* of the pinned-page budget and a *hard
+/// cap* it can never exceed. Under global pressure, tenants pinned past
+/// their soft share pay first (deficit-weighted eviction); a pin pass
+/// that would push its tenant past the hard cap first evicts the
+/// tenant's own idle regions and, failing that, is denied cleanly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PinQuota {
+    /// Fair share of pinned pages per tenant; being over it makes the
+    /// tenant the preferred pressure-eviction victim.
+    pub soft_share: u64,
+    /// Hard ceiling on one tenant's pinned pages (`>= soft_share`).
+    pub hard_cap: u64,
+}
+
+/// Per-tenant accounting: the attributed pinned-page count, its own LRU
+/// heap of idle evictable regions, and the fairness counters.
+#[derive(Default)]
+struct Tenant {
+    /// Pages currently pinned and attributed to this tenant.
+    pinned: u64,
+    /// High-water mark of `pinned`.
+    peak: u64,
+    /// Pin passes denied because the hard cap left no headroom.
+    denials: u64,
+    /// Pages this tenant's pressure evicted from *other* tenants.
+    inflicted: u64,
+    /// Pages other tenants' pressure evicted from this one.
+    suffered: u64,
+    /// Idle-pinned-region LRU keyed on `(last_use, id)`, lazily
+    /// invalidated exactly like the old global heap.
+    lru: BinaryHeap<Reverse<(SimTime, u32)>>,
+}
 
 /// Per-node driver state.
 pub struct Driver {
@@ -41,12 +76,22 @@ pub struct Driver {
     free_slots: BinaryHeap<Reverse<u32>>,
     /// Per-address-space interval index for notifier routing.
     index: HashMap<AsId, SpaceIndex>,
-    /// Idle-pinned-region LRU, keyed on `(last_use, id)` with lazy
-    /// invalidation: entries are validated when popped, stale stamps are
-    /// re-pushed at their current position.
-    lru: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Per-tenant state: attributed pin counts, fairness counters, and
+    /// the per-tenant idle-region LRU heaps that together replace the old
+    /// single global heap. With one tenant (every raw `declare`) the
+    /// min-over-tops victim selection degenerates to exactly the old
+    /// global pop order.
+    tenants: BTreeMap<ProcId, Tenant>,
+    /// Declared regions (maintained so the heap-size bound is O(1)).
+    live_regions: usize,
     /// Ceiling on pinned pages; `None` = unlimited.
     pinned_limit: Option<usize>,
+    /// Per-tenant quota; `None` = single-tenant semantics.
+    quota: Option<PinQuota>,
+    /// Fault-injection hook: report the quota as absent to the engine's
+    /// enforcement while the invariant oracle still knows it — proves the
+    /// `QuotaExceeded` oracle fires when enforcement is broken.
+    quota_disabled: bool,
     /// Regions with a deferred unpin pending: their stale suffix is still
     /// attached, awaiting the batched drain at epoch close or under
     /// pin-budget pressure. The coalesced-VA-range queue of the design is
@@ -80,8 +125,11 @@ impl Driver {
             regions: Vec::new(),
             free_slots: BinaryHeap::new(),
             index: HashMap::new(),
-            lru: BinaryHeap::new(),
+            tenants: BTreeMap::new(),
+            live_regions: 0,
             pinned_limit,
+            quota: None,
+            quota_disabled: false,
             pending: BTreeSet::new(),
             pressure_unpins: 0,
             notifier_events: 0,
@@ -94,11 +142,55 @@ impl Driver {
         }
     }
 
+    /// Install (or clear) the per-tenant pin quota.
+    pub fn set_quota(&mut self, quota: Option<PinQuota>) {
+        self.quota = quota;
+    }
+
+    /// The installed per-tenant quota (what the invariant oracle checks).
+    pub fn quota(&self) -> Option<PinQuota> {
+        self.quota
+    }
+
+    /// The quota the engine must *enforce* — `None` while the
+    /// fault-injection hook has enforcement disabled.
+    pub fn enforced_quota(&self) -> Option<PinQuota> {
+        if self.quota_disabled {
+            None
+        } else {
+            self.quota
+        }
+    }
+
+    /// Fault injection: keep the quota installed (so oracles still know
+    /// the cap) but hide it from enforcement. Mutation self-tests use
+    /// this to prove the `QuotaExceeded` oracle catches a broken check.
+    pub fn disable_quota_enforcement_for_test(&mut self) {
+        self.quota_disabled = true;
+    }
+
     /// Declare a region (the only time segments cross the syscall
     /// boundary). Never pins. A region with zero total length — user
     /// space can hand the driver anything — is rejected, not a panic.
+    /// Attribution falls to the single default tenant `ProcId(0)`; the
+    /// engine uses [`Driver::declare_owned`].
     pub fn declare(&mut self, space: AsId, segments: &[Segment]) -> Result<RegionId, DeclareError> {
-        let region = DriverRegion::try_new(space, segments)?;
+        self.declare_owned(space, ProcId(0), segments)
+    }
+
+    /// Declare a region owned by `owner`: every page later pinned through
+    /// [`Driver::pin_chunk`] is attributed to that tenant, and the region
+    /// files into that tenant's eviction heap when idle.
+    pub fn declare_owned(
+        &mut self,
+        space: AsId,
+        owner: ProcId,
+        segments: &[Segment],
+    ) -> Result<RegionId, DeclareError> {
+        let mut region = DriverRegion::try_new(space, segments)?;
+        region.owner = owner;
+        self.tenants.entry(owner).or_default();
+        self.live_regions += 1;
         let id = if let Some(Reverse(idx)) = self.free_slots.pop() {
             self.regions[idx as usize] = Some(region);
             RegionId(idx)
@@ -140,7 +232,10 @@ impl Driver {
         // slot may be recycled before the next drain runs.
         self.pending.remove(&id.0);
         self.free_slots.push(Reverse(id.0));
-        region.unpin_all(mem)
+        self.live_regions -= 1;
+        let pages = region.unpin_all(mem);
+        self.debit(region.owner, pages);
+        pages
     }
 
     /// Borrow a declared region.
@@ -192,6 +287,102 @@ impl Driver {
     /// accounting invariant.
     pub fn pinned_pages_total(&self) -> u64 {
         self.iter_regions().map(|(_, r)| r.pinned_pages()).sum()
+    }
+
+    /// Pages currently pinned and attributed to `proc`. Only pins taken
+    /// through the attributed entry points ([`Driver::pin_chunk`] /
+    /// [`Driver::unpin_region`], i.e. everything the engine does) are
+    /// counted; tests poking regions directly bypass attribution.
+    pub fn pinned_pages_of(&self, proc: ProcId) -> u64 {
+        self.tenants.get(&proc).map_or(0, |t| t.pinned)
+    }
+
+    /// Per-tenant accounting snapshot, ascending by `ProcId`.
+    pub fn tenant_stats(&self) -> Vec<(ProcId, TenantStats)> {
+        self.tenants
+            .iter()
+            .map(|(&p, t)| {
+                (
+                    p,
+                    TenantStats {
+                        pinned_pages: t.pinned,
+                        peak_pinned_pages: t.peak,
+                        quota_denials: t.denials,
+                        evictions_inflicted_on_others: t.inflicted,
+                        evictions_suffered_from_others: t.suffered,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Record a pin pass denied against `proc` for lack of hard-cap
+    /// headroom (the engine calls this on the `PinDenied` path).
+    pub fn note_quota_denial(&mut self, proc: ProcId) {
+        self.tenants.entry(proc).or_default().denials += 1;
+    }
+
+    /// Total entries across every tenant's LRU heap, stale included —
+    /// bounded to `2 * live_regions + 8` by the rebuild in
+    /// [`Driver::note_region_idle`]; the churn test asserts it.
+    pub fn lru_len(&self) -> usize {
+        self.tenants.values().map(|t| t.lru.len()).sum()
+    }
+
+    fn credit(&mut self, owner: ProcId, pages: u64) {
+        let t = self.tenants.entry(owner).or_default();
+        t.pinned += pages;
+        t.peak = t.peak.max(t.pinned);
+    }
+
+    /// Saturating on purpose: regions pinned *around* the attributed
+    /// entry points (benches and tests calling `region_mut` directly)
+    /// were never credited, so their release must not underflow the
+    /// tenant that happens to own the slot.
+    fn debit(&mut self, owner: ProcId, pages: u64) {
+        let t = self.tenants.entry(owner).or_default();
+        t.pinned = t.pinned.saturating_sub(pages);
+    }
+
+    /// Pin the next chunk of `id` — the engine's pin entry point —
+    /// attributing the net change in attached pages to the region's
+    /// owner. Charging the signed delta (not the chunk size) makes the
+    /// attribution robust to `release_stale` running inside the call and
+    /// to the rollback a partial-pin failure performs: whatever the
+    /// region ends up holding is exactly what its owner is charged for,
+    /// so a failed pass can never leak budget headroom.
+    pub fn pin_chunk(
+        &mut self,
+        mem: &mut Memory,
+        id: RegionId,
+        max_pages: u64,
+        per_page: bool,
+    ) -> Result<PinProgress, MemError> {
+        let region = self.region_mut(id);
+        let owner = region.owner;
+        let before = region.pinned_pages();
+        let result = if per_page {
+            region.pin_next_chunk_per_page(mem, max_pages)
+        } else {
+            region.pin_next_chunk(mem, max_pages)
+        };
+        let after = self.region(id).pinned_pages();
+        if after >= before {
+            self.credit(owner, after - before);
+        } else {
+            self.debit(owner, before - after);
+        }
+        result
+    }
+
+    /// Unpin everything `id` holds, attributed to its owner — the
+    /// engine's release path. Returns the pages released.
+    pub fn unpin_region(&mut self, mem: &mut Memory, id: RegionId) -> u64 {
+        let region = self.region_mut(id);
+        let owner = region.owner;
+        let pages = region.unpin_all(mem);
+        self.debit(owner, pages);
+        pages
     }
 
     /// Regions of `space` whose layout intersects `range`, ascending by
@@ -308,9 +499,11 @@ impl Driver {
                 continue;
             }
             region.generation += 1;
+            let owner = region.owner;
             let pages = region.unpin_all(mem);
             self.pending.remove(&id.0);
             self.notifier_region_unpins += 1;
+            self.debit(owner, pages);
             hit.push((id, pages));
         }
         hit
@@ -339,12 +532,14 @@ impl Driver {
             let Some(region) = self.regions.get_mut(idx as usize).and_then(Option::as_mut) else {
                 continue;
             };
+            let owner = region.owner;
             let pages = region.release_stale(mem);
             if pages == 0 {
                 self.notifier_cancelled += 1;
                 cancelled.push(RegionId(idx));
             } else {
                 self.notifier_region_unpins += 1;
+                self.debit(owner, pages);
                 released.push((RegionId(idx), pages));
             }
         }
@@ -360,27 +555,150 @@ impl Driver {
     pub fn note_region_idle(&mut self, id: RegionId) {
         if let Some(r) = self.try_region(id) {
             if r.use_count == 0 && !r.unpinned() && !r.pinning_in_progress {
-                self.lru.push(Reverse((r.last_use, id.0)));
+                let entry = Reverse((r.last_use, id.0));
+                let owner = r.owner;
+                self.tenants.entry(owner).or_default().lru.push(entry);
+                // Bound stale-entry growth: declare/undeclare churn leaves
+                // dead `(last_use, id)` stamps for recycled slots, and the
+                // one-rebuild-per-call fallback in `pressure_evict` never
+                // amortizes them away. Once more than half the entries
+                // could be dead (heap > 2x live regions, plus slack so
+                // tiny tables never rebuild), rescan into fresh heaps.
+                if self.lru_len() > 2 * self.live_regions + 8 {
+                    self.rebuild_heaps();
+                }
             }
         }
+    }
+
+    /// Rescan the region table into fresh per-tenant heaps, dropping
+    /// every stale entry.
+    fn rebuild_heaps(&mut self) {
+        for t in self.tenants.values_mut() {
+            t.lru.clear();
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if let Some(r) = r {
+                if r.use_count == 0 && !r.unpinned() && !r.pinning_in_progress {
+                    self.tenants
+                        .entry(r.owner)
+                        .or_default()
+                        .lru
+                        .push(Reverse((r.last_use, i as u32)));
+                }
+            }
+        }
+    }
+
+    /// Pop one entry off `owner`'s heap and validate it against the live
+    /// region table. `Err(())` when the heap is empty; `Ok(Some(idx))`
+    /// for a live victim; `Ok(None)` when the entry was lazily
+    /// invalidated — dead slot, busy region, moved stamp, or a recycled
+    /// id surfacing in the wrong tenant's heap (re-filed where it
+    /// belongs) — and the caller should keep looking.
+    fn pop_one(&mut self, owner: ProcId) -> Result<Option<u32>, ()> {
+        let Some(Reverse((stamp, idx))) = self.tenants.get_mut(&owner).and_then(|t| t.lru.pop())
+        else {
+            return Err(());
+        };
+        self.evict_lru_pops += 1;
+        let Some(r) = self.regions.get(idx as usize).and_then(Option::as_ref) else {
+            return Ok(None);
+        };
+        // A region whose pin pass is currently running is not idle:
+        // evicting it would race the repin it is in the middle of (the
+        // cursor grows right back, and the eviction bought nothing).
+        if r.use_count != 0 || r.unpinned() || r.pinning_in_progress {
+            return Ok(None);
+        }
+        let (real_owner, last_use) = (r.owner, r.last_use);
+        if real_owner != owner || last_use != stamp {
+            self.tenants
+                .entry(real_owner)
+                .or_default()
+                .lru
+                .push(Reverse((last_use, idx)));
+            return Ok(None);
+        }
+        Ok(Some(idx))
+    }
+
+    /// The globally least-recently-used idle victim across every tenant
+    /// heap. Exactly one entry is popped and validated per iteration —
+    /// min-over-tops selection makes the pop sequence identical to the
+    /// single global heap this replaces, so single-tenant eviction order
+    /// (and every figure built on it) is unchanged.
+    fn pop_victim_global(&mut self) -> Option<u32> {
+        loop {
+            let owner = self
+                .tenants
+                .iter()
+                .filter_map(|(&p, t)| t.lru.peek().map(|&Reverse(top)| (top, p)))
+                .min()
+                .map(|(_, p)| p)?;
+            match self.pop_one(owner) {
+                Ok(Some(idx)) => return Some(idx),
+                Ok(None) => continue,
+                Err(()) => unreachable!("peeked heap is non-empty"),
+            }
+        }
+    }
+
+    /// `owner`'s least-recently-used idle victim, or `None` when its
+    /// heap holds nothing live.
+    fn pop_victim_of(&mut self, owner: ProcId) -> Option<u32> {
+        loop {
+            match self.pop_one(owner) {
+                Ok(Some(idx)) => return Some(idx),
+                Ok(None) => continue,
+                Err(()) => return None,
+            }
+        }
+    }
+
+    /// Weighted-fair victim selection: tenants pinned past their soft
+    /// share pay first — largest deficit first, lower `ProcId` on ties —
+    /// so the noisiest tenant's own working set absorbs the pressure it
+    /// creates. Only when no over-share tenant has an evictable region
+    /// does selection fall back to the global LRU order.
+    fn pop_victim_weighted(&mut self, q: PinQuota) -> Option<u32> {
+        let mut over: Vec<(u64, ProcId)> = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| t.pinned > q.soft_share)
+            .map(|(&p, t)| (t.pinned - q.soft_share, p))
+            .collect();
+        over.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, p) in over {
+            if let Some(idx) = self.pop_victim_of(p) {
+                return Some(idx);
+            }
+        }
+        self.pop_victim_global()
     }
 
     /// Before pinning `needed` more pages, enforce the pinned-page ceiling
     /// by unpinning idle (use_count == 0) regions, least recently used
     /// first ("if there are too many pinned pages … it may also request
-    /// some unpinning", §3.1). Returns the regions it unpinned.
+    /// some unpinning", §3.1). With a quota installed, victim selection is
+    /// weighted-fair ([`Driver::pop_victim_weighted`]); otherwise it is
+    /// the plain global LRU order. `requester` is the tenant whose pin
+    /// pass triggered the pressure — evictions that land on *other*
+    /// tenants are booked to its `inflicted` counter (and the victims'
+    /// `suffered`). Returns the regions it unpinned.
     ///
-    /// Victims come off the LRU heap in O(log n): popped entries are
-    /// validated against the live region (still declared, idle, pinned,
-    /// stamp current) and discarded or re-stamped otherwise. If the heap
-    /// runs dry while still over the limit — regions mutated behind the
-    /// driver's back, e.g. by tests poking `last_use` — one full-scan
-    /// rebuild per call restores it.
+    /// Victims come off the per-tenant LRU heaps in O(log n): popped
+    /// entries are validated against the live region (still declared,
+    /// idle, pinned, stamp current, owner current) and discarded or
+    /// re-filed otherwise. If the heaps run dry while still over the
+    /// limit — regions mutated behind the driver's back, e.g. by tests
+    /// poking `last_use` — one full-scan rebuild per call restores them.
     pub fn pressure_evict(
         &mut self,
         mem: &mut Memory,
         needed: u64,
         _now: SimTime,
+        requester: Option<ProcId>,
     ) -> Vec<(RegionId, u64)> {
         let Some(limit) = self.pinned_limit else {
             return Vec::new();
@@ -388,50 +706,75 @@ impl Driver {
         let mut evicted = Vec::new();
         let mut rebuilt = false;
         while mem.frames().pinned_pages() as u64 + needed > limit as u64 {
-            let mut victim = None;
-            loop {
-                let Some(Reverse((stamp, idx))) = self.lru.pop() else {
-                    if rebuilt {
-                        break;
-                    }
-                    rebuilt = true;
-                    for (i, r) in self.regions.iter().enumerate() {
-                        if let Some(r) = r {
-                            if r.use_count == 0 && !r.unpinned() && !r.pinning_in_progress {
-                                self.lru.push(Reverse((r.last_use, i as u32)));
-                            }
-                        }
-                    }
-                    if self.lru.is_empty() {
-                        break;
-                    }
-                    continue;
+            let mut victim = match self.enforced_quota() {
+                Some(q) => self.pop_victim_weighted(q),
+                None => self.pop_victim_global(),
+            };
+            if victim.is_none() && !rebuilt {
+                rebuilt = true;
+                self.rebuild_heaps();
+                victim = match self.enforced_quota() {
+                    Some(q) => self.pop_victim_weighted(q),
+                    None => self.pop_victim_global(),
                 };
-                self.evict_lru_pops += 1;
-                let Some(r) = self.regions.get(idx as usize).and_then(Option::as_ref) else {
-                    continue;
-                };
-                // A region whose pin pass is currently running is not
-                // idle: evicting it would race the repin it is in the
-                // middle of (the cursor grows right back, and the
-                // eviction bought nothing).
-                if r.use_count != 0 || r.unpinned() || r.pinning_in_progress {
-                    continue;
-                }
-                if r.last_use != stamp {
-                    self.lru.push(Reverse((r.last_use, idx)));
-                    continue;
-                }
-                victim = Some(idx);
-                break;
             }
             let Some(idx) = victim else { break };
-            let region = self.regions[idx as usize].as_mut().expect("victim exists");
-            let pages = region.unpin_all(mem);
-            self.pressure_unpins += pages;
+            let pages = self.evict_region(mem, idx);
+            let owner = self.regions[idx as usize].as_ref().expect("victim").owner;
+            if let Some(req) = requester {
+                if req != owner {
+                    self.tenants.entry(req).or_default().inflicted += pages;
+                    self.tenants.entry(owner).or_default().suffered += pages;
+                }
+            }
             evicted.push((RegionId(idx), pages));
         }
         evicted
+    }
+
+    /// Evict `owner`'s own idle regions, oldest first, until its
+    /// attributed pinned count is at or below `max_pinned` (or no idle
+    /// victim of its remains). Runs regardless of the global
+    /// `pinned_limit` — this is the self-eviction a tenant performs to
+    /// reclaim hard-cap headroom before a pin pass is denied, and it
+    /// never touches another tenant's working set.
+    pub fn pressure_evict_tenant(
+        &mut self,
+        mem: &mut Memory,
+        owner: ProcId,
+        max_pinned: u64,
+    ) -> Vec<(RegionId, u64)> {
+        let mut evicted = Vec::new();
+        let mut rebuilt = false;
+        while self.pinned_pages_of(owner) > max_pinned {
+            let mut victim = self.pop_victim_of(owner);
+            if victim.is_none() && !rebuilt {
+                rebuilt = true;
+                self.rebuild_heaps();
+                victim = self.pop_victim_of(owner);
+            }
+            let Some(idx) = victim else { break };
+            let pages = self.evict_region(mem, idx);
+            evicted.push((RegionId(idx), pages));
+        }
+        evicted
+    }
+
+    /// Unpin one pressure victim, attributed. Settling the deferred-unpin
+    /// queue entry first is load-bearing: `unpin_all` releases the stale
+    /// suffix along with everything else, so a victim parked in the queue
+    /// that kept its entry would be double-booked at the next drain — the
+    /// drain finds nothing stale and records a spurious *cancelled*
+    /// unpin, corrupting the coalescing stats the churnstorm gates ride
+    /// on.
+    fn evict_region(&mut self, mem: &mut Memory, idx: u32) -> u64 {
+        self.pending.remove(&idx);
+        let region = self.regions[idx as usize].as_mut().expect("victim exists");
+        let owner = region.owner;
+        let pages = region.unpin_all(mem);
+        self.pressure_unpins += pages;
+        self.debit(owner, pages);
+        pages
     }
 
     /// Pressure/notifier counters.
@@ -901,13 +1244,13 @@ mod tests {
         assert_eq!(mem.frames().pinned_pages(), 8);
 
         // Need 4 more pages: r1 (older) must go.
-        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30));
+        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30), None);
         assert_eq!(evicted, vec![(r1, 4)]);
         assert_eq!(mem.frames().pinned_pages(), 4);
 
         // In-use regions are never victims.
         d.region_mut(r2).use_count = 1;
-        let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40));
+        let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40), None);
         assert!(evicted.is_empty());
         assert_eq!(d.stats().pressure_unpinned_pages, 4);
     }
@@ -940,7 +1283,7 @@ mod tests {
         // detected on pop and re-filed at its current position, so the
         // eviction order is still exactly oldest-first.
         d.region_mut(ids[0]).last_use = SimTime::from_nanos(200);
-        let evicted = d.pressure_evict(&mut mem, 0, SimTime::from_nanos(300));
+        let evicted = d.pressure_evict(&mut mem, 0, SimTime::from_nanos(300), None);
         assert_eq!(
             evicted,
             vec![(ids[1], 1), (ids[2], 1), (ids[3], 1), (ids[0], 1)]
@@ -1124,12 +1467,12 @@ mod tests {
         d.region_mut(r2).last_use = SimTime::from_nanos(20);
 
         // r1 is older but repinning: r2 must be the victim.
-        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30));
+        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30), None);
         assert_eq!(evicted, vec![(r2, 4)]);
         assert!(d.region(r1).fully_pinned());
 
         // Only the in-progress region is left: no victim, no livelock.
-        let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40));
+        let evicted = d.pressure_evict(&mut mem, 100, SimTime::from_nanos(40), None);
         assert!(evicted.is_empty());
         assert_eq!(mem.frames().pinned_pages(), 4);
     }
@@ -1276,6 +1619,323 @@ mod tests {
             assert!(r.generation >= db.region(id).generation);
         }
         check(&da, &db, &mem_a, &mem_b, 999);
+    }
+
+    #[test]
+    fn pressure_eviction_settles_pending_deferred_unpin() {
+        // Satellite regression (counter signature): a victim parked in
+        // the deferred-unpin queue must leave the queue with its
+        // eviction. Before the fix the entry stayed behind: the next
+        // drain found the stale suffix already gone and booked a spurious
+        // *cancelled* unpin — double-booking pages the churnstorm cancel
+        // ratio is built on.
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(Some(4));
+        let r = d
+            .declare(
+                space,
+                &[Segment {
+                    addr,
+                    len: 8 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        d.region_mut(r).pin_next_chunk(&mut mem, 100).unwrap();
+        let events = mem
+            .munmap(space, addr.add(6 * PAGE_SIZE), 2 * PAGE_SIZE)
+            .unwrap();
+        d.handle_invalidate(&mut mem, &events[0]);
+        assert!(d.has_deferred());
+        assert_eq!(d.region(r).stale_pages(), 2);
+        d.note_region_idle(r);
+
+        let evicted = d.pressure_evict(&mut mem, 0, SimTime::from_nanos(10), None);
+        assert_eq!(evicted, vec![(r, 8)], "stale suffix goes with the victim");
+        assert!(!d.has_deferred(), "pending drain settled, not orphaned");
+        let (released, cancelled) = d.drain_deferred(&mut mem);
+        assert!(released.is_empty());
+        assert!(cancelled.is_empty());
+        let s = d.stats();
+        assert_eq!(s.pressure_unpinned_pages, 8);
+        assert_eq!(s.notifier_cancelled, 0, "no spurious cancelled unpin");
+        assert_eq!(s.notifier_drain_batches, 0, "nothing was left to drain");
+    }
+
+    #[test]
+    fn declare_undeclare_churn_keeps_eviction_heap_bounded() {
+        // Satellite regression: recycled slots leave one dead
+        // `(last_use, id)` stamp per round, and the one-rebuild-per-call
+        // fallback in pressure_evict never amortizes them. The rebuild
+        // bound in note_region_idle must keep the heap O(live regions).
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        for round in 0..1000u64 {
+            let r = d
+                .declare(
+                    space,
+                    &[Segment {
+                        addr,
+                        len: PAGE_SIZE,
+                    }],
+                )
+                .unwrap();
+            assert_eq!(r, RegionId(0), "slot is recycled every round");
+            d.region_mut(r).pin_next_chunk(&mut mem, 100).unwrap();
+            d.region_mut(r).last_use = SimTime::from_nanos(round);
+            d.note_region_idle(r);
+            assert!(
+                d.lru_len() <= 2 * d.declared_count() + 8,
+                "heap grew unbounded: {} entries at round {round}",
+                d.lru_len()
+            );
+            d.undeclare(&mut mem, r);
+        }
+    }
+
+    #[test]
+    fn failed_partial_pin_rolls_back_attribution() {
+        // Satellite regression: a pin pass dying mid-run (frame pool
+        // exhausted) rolls its pages back via PartialPin — the tenant's
+        // attributed count must roll back with them, or every failed
+        // pass permanently leaks budget headroom.
+        let mut mem = Memory::new(3, 0);
+        let space = mem.create_space();
+        mem.register_notifier(space).unwrap();
+        let addr = mem.mmap(space, 8 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let mut d = Driver::new(None);
+        let r = d
+            .declare_owned(
+                space,
+                ProcId(7),
+                &[Segment {
+                    addr,
+                    len: 8 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        assert!(d.pin_chunk(&mut mem, r, 100, false).is_err());
+        assert_eq!(d.pinned_pages_of(ProcId(7)), 0, "attribution rolled back");
+        assert_eq!(d.pinned_pages_total(), 0);
+        assert_eq!(mem.frames().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn attributed_pins_follow_the_owner_through_release() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let a = d
+            .declare_owned(
+                space,
+                ProcId(1),
+                &[Segment {
+                    addr,
+                    len: 4 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        let b = d
+            .declare_owned(
+                space,
+                ProcId(2),
+                &[Segment {
+                    addr: addr.add(4 * PAGE_SIZE),
+                    len: 2 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        d.pin_chunk(&mut mem, a, 100, false).unwrap();
+        d.pin_chunk(&mut mem, b, 100, false).unwrap();
+        assert_eq!(d.pinned_pages_of(ProcId(1)), 4);
+        assert_eq!(d.pinned_pages_of(ProcId(2)), 2);
+        let total: u64 = d.tenant_stats().iter().map(|(_, t)| t.pinned_pages).sum();
+        assert_eq!(total, d.pinned_pages_total(), "Σ per-tenant == global");
+
+        // Deferred invalidation keeps the frames attributed until the
+        // drain actually releases them.
+        let events = mem
+            .munmap(space, addr.add(2 * PAGE_SIZE), 2 * PAGE_SIZE)
+            .unwrap();
+        d.handle_invalidate(&mut mem, &events[0]);
+        assert_eq!(d.pinned_pages_of(ProcId(1)), 4, "stale still attached");
+        d.drain_deferred(&mut mem);
+        assert_eq!(d.pinned_pages_of(ProcId(1)), 2);
+
+        assert_eq!(d.unpin_region(&mut mem, b), 2);
+        assert_eq!(d.pinned_pages_of(ProcId(2)), 0);
+        assert_eq!(d.undeclare(&mut mem, a), 2);
+        assert_eq!(d.pinned_pages_of(ProcId(1)), 0);
+        let stats = d.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1.peak_pinned_pages, 4);
+        assert_eq!(stats[1].1.peak_pinned_pages, 2);
+    }
+
+    #[test]
+    fn weighted_eviction_charges_the_over_share_tenant_first() {
+        // Aggressor (ProcId 1) pinned past its soft share; victim
+        // (ProcId 2) under it but holding the *older* region. Quota-aware
+        // pressure must evict the aggressor's region even though plain
+        // LRU would take the victim's — and the fairness counters must
+        // say nobody else paid.
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(Some(8));
+        d.set_quota(Some(PinQuota {
+            soft_share: 4,
+            hard_cap: 16,
+        }));
+        let v = d
+            .declare_owned(
+                space,
+                ProcId(2),
+                &[Segment {
+                    addr,
+                    len: 4 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        let a = d
+            .declare_owned(
+                space,
+                ProcId(1),
+                &[Segment {
+                    addr: addr.add(4 * PAGE_SIZE),
+                    len: 8 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        d.pin_chunk(&mut mem, v, 100, false).unwrap();
+        d.region_mut(v).last_use = SimTime::from_nanos(10);
+        d.note_region_idle(v);
+        d.pin_chunk(&mut mem, a, 100, false).unwrap();
+        d.region_mut(a).last_use = SimTime::from_nanos(20);
+        d.note_region_idle(a);
+
+        let evicted = d.pressure_evict(&mut mem, 4, SimTime::from_nanos(30), Some(ProcId(1)));
+        assert_eq!(evicted, vec![(a, 8)], "the over-share tenant pays");
+        assert_eq!(d.pinned_pages_of(ProcId(1)), 0);
+        assert_eq!(d.pinned_pages_of(ProcId(2)), 4, "victim untouched");
+        for (p, t) in d.tenant_stats() {
+            assert_eq!(
+                t.evictions_suffered_from_others, 0,
+                "tenant {p:?} suffered cross-tenant eviction"
+            );
+            assert_eq!(t.evictions_inflicted_on_others, 0);
+        }
+
+        // Without a quota the same layout evicts strictly by age: the
+        // victim's older region goes first.
+        let mut d2 = Driver::new(Some(8));
+        let v2 = d2
+            .declare_owned(
+                space,
+                ProcId(2),
+                &[Segment {
+                    addr,
+                    len: 4 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        let a2 = d2
+            .declare_owned(
+                space,
+                ProcId(1),
+                &[Segment {
+                    addr: addr.add(4 * PAGE_SIZE),
+                    len: 8 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        d2.pin_chunk(&mut mem, v2, 100, false).unwrap();
+        d2.region_mut(v2).last_use = SimTime::from_nanos(10);
+        d2.note_region_idle(v2);
+        d2.pin_chunk(&mut mem, a2, 100, false).unwrap();
+        d2.region_mut(a2).last_use = SimTime::from_nanos(20);
+        d2.note_region_idle(a2);
+        let evicted = d2.pressure_evict(&mut mem, 4, SimTime::from_nanos(30), Some(ProcId(1)));
+        assert_eq!(evicted[0].0, v2, "LRU order without quota");
+        let suffered: u64 = d2
+            .tenant_stats()
+            .iter()
+            .map(|(_, t)| t.evictions_suffered_from_others)
+            .sum();
+        assert_eq!(suffered, 4, "cross-tenant eviction is booked");
+        assert_eq!(
+            d2.tenant_stats()
+                .iter()
+                .find(|(p, _)| *p == ProcId(1))
+                .unwrap()
+                .1
+                .evictions_inflicted_on_others,
+            4
+        );
+    }
+
+    #[test]
+    fn tenant_self_eviction_never_touches_other_tenants() {
+        let (mut mem, space, addr) = setup();
+        let mut d = Driver::new(None);
+        let a1 = d
+            .declare_owned(
+                space,
+                ProcId(1),
+                &[Segment {
+                    addr,
+                    len: 4 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        let a2 = d
+            .declare_owned(
+                space,
+                ProcId(1),
+                &[Segment {
+                    addr: addr.add(4 * PAGE_SIZE),
+                    len: 4 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        let b = d
+            .declare_owned(
+                space,
+                ProcId(2),
+                &[Segment {
+                    addr: addr.add(8 * PAGE_SIZE),
+                    len: 4 * PAGE_SIZE,
+                }],
+            )
+            .unwrap();
+        for (r, t) in [(a1, 10u64), (a2, 20), (b, 5)] {
+            d.pin_chunk(&mut mem, r, 100, false).unwrap();
+            d.region_mut(r).last_use = SimTime::from_nanos(t);
+            d.note_region_idle(r);
+        }
+        // Tenant 1 must get down to 4 pages: its own *older* region goes;
+        // tenant 2's region is older than both but is not a candidate.
+        let evicted = d.pressure_evict_tenant(&mut mem, ProcId(1), 4);
+        assert_eq!(evicted, vec![(a1, 4)]);
+        assert_eq!(d.pinned_pages_of(ProcId(1)), 4);
+        assert_eq!(d.pinned_pages_of(ProcId(2)), 4, "other tenant untouched");
+        // Already at target: nothing more to do.
+        assert!(d.pressure_evict_tenant(&mut mem, ProcId(1), 4).is_empty());
+        // Unreachable target with nothing idle left evictable: the in-use
+        // region is skipped and the loop gives up rather than livelocking.
+        d.region_mut(a2).use_count = 1;
+        assert!(d.pressure_evict_tenant(&mut mem, ProcId(1), 0).is_empty());
+    }
+
+    #[test]
+    fn quota_enforcement_toggle_hides_quota_from_enforcement_only() {
+        let mut d = Driver::new(None);
+        let q = PinQuota {
+            soft_share: 8,
+            hard_cap: 16,
+        };
+        d.set_quota(Some(q));
+        assert_eq!(d.quota(), Some(q));
+        assert_eq!(d.enforced_quota(), Some(q));
+        d.disable_quota_enforcement_for_test();
+        assert_eq!(d.quota(), Some(q), "oracle still sees the quota");
+        assert_eq!(d.enforced_quota(), None, "enforcement does not");
     }
 
     #[test]

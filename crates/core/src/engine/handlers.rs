@@ -1440,7 +1440,9 @@ impl Cluster {
                 crate::cache::CacheOutcome::Miss => {
                     self.nodes[node].counters.bump("cache_miss");
                     self.emit(node, Some(proc), TraceEvent::CacheMiss);
-                    let rid = self.nodes[node].driver.declare(space, &segments)?;
+                    let rid = self.nodes[node]
+                        .driver
+                        .declare_owned(space, proc, &segments)?;
                     let pages = self.nodes[node].driver.region(rid).layout.total_pages();
                     self.emit(
                         node,
@@ -1454,7 +1456,9 @@ impl Cluster {
                 }
             }
         } else {
-            let rid = self.nodes[node].driver.declare(space, &segments)?;
+            let rid = self.nodes[node]
+                .driver
+                .declare_owned(space, proc, &segments)?;
             let pages = self.nodes[node].driver.region(rid).layout.total_pages();
             self.emit(
                 node,
@@ -1533,7 +1537,7 @@ impl Cluster {
             return;
         }
         let n = &mut self.nodes[node];
-        let pages = n.driver.region_mut(region).unpin_all(&mut n.mem);
+        let pages = n.driver.unpin_region(&mut n.mem, region);
         n.counters.add("unpin_pages", pages);
         if undeclare {
             n.driver.undeclare(&mut n.mem, region);
@@ -1649,6 +1653,49 @@ impl Cluster {
         target: u64,
     ) {
         let pages = self.cfg.pin_chunk_pages.min(target - cursor);
+        // Per-tenant hard cap, enforced before the chunk is charged: a
+        // tenant out of headroom pays with its own idle regions and,
+        // failing that, has the pass denied — it never pushes the whole
+        // node into pressure eviction of other tenants' working sets.
+        // In-flight chunks of the same tenant count via their plans'
+        // reservations, so two passes racing the last of the headroom
+        // cannot both squeeze through.
+        if let Some(q) = self.nodes[node].driver.enforced_quota() {
+            let owner = self.nodes[node].driver.region(region).owner;
+            let reserved = self.reserved_pages(node, owner, region);
+            let over_cap =
+                |d: &crate::Driver| d.pinned_pages_of(owner) + reserved + pages > q.hard_cap;
+            if over_cap(&self.nodes[node].driver) {
+                // Cheapest headroom first: stale frames parked for the
+                // deferred drain, then the tenant's own idle regions.
+                if self.nodes[node].driver.has_deferred() {
+                    self.close_notifier_epoch(node);
+                }
+                let keep = q.hard_cap.saturating_sub(reserved + pages);
+                let evicted = {
+                    let n = &mut self.nodes[node];
+                    let evicted = n.driver.pressure_evict_tenant(&mut n.mem, owner, keep);
+                    for (_, p) in &evicted {
+                        n.counters.add("pressure_unpinned_pages", *p);
+                    }
+                    evicted
+                };
+                for (rid, p) in evicted {
+                    self.emit(
+                        node,
+                        None,
+                        TraceEvent::PressureUnpin {
+                            region: rid,
+                            pages: p,
+                        },
+                    );
+                }
+                if over_cap(&self.nodes[node].driver) {
+                    self.deny_pin(node, owner, region, pages);
+                    return;
+                }
+            }
+        }
         // Under budget pressure, drain the deferred-unpin queue before
         // reaching for the LRU: already-invalidated pages are the
         // cheapest headroom, and evicting a live region while stale
@@ -1664,7 +1711,7 @@ impl Cluster {
         let now = self.now;
         let evicted = {
             let n = &mut self.nodes[node];
-            let evicted = n.driver.pressure_evict(&mut n.mem, pages, now);
+            let evicted = n.driver.pressure_evict(&mut n.mem, pages, now, Some(proc));
             for (_, p) in &evicted {
                 n.counters.add("pressure_unpinned_pages", *p);
             }
@@ -1680,8 +1727,55 @@ impl Cluster {
                 },
             );
         }
+        // The chunk is on its way to a kernel core: reserve its pages
+        // against the tenant's cap until `on_pin_chunk` settles them.
+        if let Some(plan) = self.xfers.pin_plans.get_mut(&(node, region.0)) {
+            plan.reserved = pages;
+        }
         let duration = self.cfg.profile.pin_cost(pages, cursor == 0);
         self.submit_kernel_work(proc, duration, Work::PinChunk { node, region });
+    }
+
+    /// Pages reserved by in-flight pin chunks of `owner`'s *other* plans
+    /// on `node` (the plan for `region` is the one being charged here).
+    fn reserved_pages(&self, node: usize, owner: ProcId, region: RegionId) -> u64 {
+        self.xfers
+            .pin_plans
+            .iter()
+            .filter(|((n, rid), _)| {
+                *n == node
+                    && *rid != region.0
+                    && self.nodes[node]
+                        .driver
+                        .try_region(RegionId(*rid))
+                        .is_some_and(|r| r.owner == owner)
+            })
+            .map(|(_, p)| p.reserved)
+            .sum()
+    }
+
+    /// Deny a pin pass that cannot proceed without busting its tenant's
+    /// hard cap: release whatever the pass holds, account the denial, and
+    /// fail its transfers cleanly. The application surface is the same as
+    /// any pin failure — `AppEvent::Failed` — so the tenant sees a clean
+    /// error instead of a hang, and no other tenant's working set is
+    /// stolen to cover for it.
+    fn deny_pin(&mut self, node: usize, owner: ProcId, region: RegionId, pages: u64) {
+        let released = {
+            let n = &mut self.nodes[node];
+            n.driver.unpin_region(&mut n.mem, region)
+        };
+        if released > 0 {
+            self.nodes[node].counters.add("unpin_pages", released);
+        }
+        if let Some(r) = self.nodes[node].driver.try_region_mut(region) {
+            r.pinning_in_progress = false;
+        }
+        self.xfers.pin_plans.remove(&(node, region.0));
+        self.nodes[node].counters.bump("quota_denials");
+        self.nodes[node].driver.note_quota_denial(owner);
+        self.emit(node, Some(owner), TraceEvent::PinDenied { region, pages });
+        self.fail_region_users(node, region, "pin quota exceeded");
     }
 
     fn on_pin_chunk(&mut self, node: usize, region: RegionId) {
@@ -1689,9 +1783,12 @@ impl Cluster {
             self.xfers.pin_plans.remove(&(node, region.0));
             return;
         }
-        let Some(plan) = self.xfers.pin_plans.get(&(node, region.0)) else {
+        let Some(plan) = self.xfers.pin_plans.get_mut(&(node, region.0)) else {
             return; // plan cancelled (transfer completed/aborted)
         };
+        // The submitted chunk has arrived: its reservation against the
+        // tenant's cap settles into the attributed pin count below.
+        plan.reserved = 0;
         let (target, proc, plan_gen) = (plan.target, plan.proc, plan.generation);
         let (region_gen, cursor) = {
             let r = self.nodes[node].driver.region(region);
@@ -1724,20 +1821,18 @@ impl Cluster {
         }
         let want = self.cfg.pin_chunk_pages.min(target - cursor);
         let per_page = self.cfg.per_page_pin;
-        let (result, pin_calls, stale_released) = {
+        let (result, pin_calls, stale_released, attached_before) = {
             let n = &mut self.nodes[node];
             let calls_before = n.mem.pin_calls();
-            let r = n.driver.region_mut(region);
+            let r = n.driver.region(region);
             // The pin call releases the region's stale tail on its way
             // in (cursor rewind); read it first so the unpin ledger and
-            // the charged cost stay exact.
+            // the charged cost stay exact. The total attached count is
+            // what a failed pass rolls back below.
             let stale = r.stale_pages();
-            let result = if per_page {
-                r.pin_next_chunk_per_page(&mut n.mem, want)
-            } else {
-                r.pin_next_chunk(&mut n.mem, want)
-            };
-            (result, n.mem.pin_calls() - calls_before, stale)
+            let attached = r.pinned_pages();
+            let result = n.driver.pin_chunk(&mut n.mem, region, want, per_page);
+            (result, n.mem.pin_calls() - calls_before, stale, attached)
         };
         self.nodes[node].counters.add("pin_syscalls", pin_calls);
         if stale_released > 0 {
@@ -1745,6 +1840,16 @@ impl Cluster {
         }
         match result {
             Err(_) => {
+                // A mid-run partial-pin failure rolled back *everything*
+                // the region held: the stale tail (credited above) plus
+                // the previously valid pages and whatever this chunk had
+                // pinned before dying. The valid pages must hit the unpin
+                // ledger too, or every failed pass permanently leaks
+                // budget headroom.
+                let rolled_back = attached_before - stale_released;
+                if rolled_back > 0 {
+                    self.nodes[node].counters.add("unpin_pages", rolled_back);
+                }
                 self.xfers.pin_plans.remove(&(node, region.0));
                 self.nodes[node].counters.bump("pin_failures");
                 self.fail_region_users(node, region, "pinning failed (invalid region)");

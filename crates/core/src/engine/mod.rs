@@ -256,7 +256,11 @@ impl Cluster {
                 mem: Memory::new(cfg.frames_per_node, cfg.swap_per_node),
                 cores: (0..cfg.cores_per_node).map(|_| CpuCore::new()).collect(),
                 ioat: IoatEngine::default_chipset(),
-                driver: Driver::new(cfg.pinned_pages_limit),
+                driver: {
+                    let mut d = Driver::new(cfg.pinned_pages_limit);
+                    d.set_quota(cfg.pin_quota);
+                    d
+                },
                 counters: Counters::new(),
                 bh_core: 0,
                 epoch_armed: false,

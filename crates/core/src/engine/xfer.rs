@@ -198,6 +198,11 @@ pub(crate) struct PinPlan {
     /// rewound cursor instead of re-pinning just-invalidated pages (the
     /// simulated `mmu_notifier_retry`).
     pub generation: u64,
+    /// Pages of the in-flight pin chunk, reserved against the owning
+    /// tenant's hard cap from submit until the chunk lands — two passes
+    /// of one tenant racing the last of its headroom must not both pass
+    /// the quota check.
+    pub reserved: u64,
 }
 
 impl PinPlan {
@@ -209,6 +214,7 @@ impl PinPlan {
             waiters: Vec::new(),
             proc,
             generation: 0,
+            reserved: 0,
         }
     }
 }

@@ -43,13 +43,13 @@ pub mod wire;
 
 pub use cache::{CacheOutcome, RegionCache};
 pub use config::{CpuProfile, OpenMxConfig, PinningMode};
-pub use driver::{Driver, RegionId};
+pub use driver::{Driver, PinQuota, RegionId};
 pub use endpoint::{Endpoint, EndpointAddr, RequestId};
 pub use engine::{AppEvent, Cluster, Ctx, OverlapHint, ProcId, Process};
 pub use obs::{
     build_spans, chrome_spans_json, per_proc_latency, post_mortem_json, CacheStats, ChildSpan,
-    CriticalPath, DriverStats, FaultKind, Metrics, ProcLatencyStats, RetransKind, TraceEvent,
-    TraceRecord, Tracer, XferSpan,
+    CriticalPath, DriverStats, FaultKind, Metrics, ProcLatencyStats, RetransKind, TenantStats,
+    TraceEvent, TraceRecord, Tracer, XferSpan,
 };
 pub use region::{DeclareError, DriverRegion, RegionLayout, Segment};
 pub use sync::{ConcurrentDriver, EpochCollector, EpochHandle, EpochMutation, SharedRegionCache};

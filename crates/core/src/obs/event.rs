@@ -205,6 +205,14 @@ pub enum TraceEvent {
         /// Pages released.
         pages: u64,
     },
+    /// A pin pass denied because the tenant's hard cap left no headroom
+    /// even after self-eviction; its transfers fail cleanly.
+    PinDenied {
+        /// Region whose pin pass was denied.
+        region: RegionId,
+        /// Pages the denied chunk asked for.
+        pages: u64,
+    },
     /// An in-use region restarted pinning after an invalidation.
     Repin {
         /// Region being repinned.
@@ -322,6 +330,7 @@ impl TraceEvent {
             TraceEvent::NotifierCancel { .. } => "notifier_cancel",
             TraceEvent::NotifierDrain { .. } => "notifier_drain",
             TraceEvent::PressureUnpin { .. } => "pressure_unpin",
+            TraceEvent::PinDenied { .. } => "pin_denied",
             TraceEvent::Repin { .. } => "repin",
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss => "cache_miss",
@@ -401,6 +410,9 @@ impl TraceEvent {
             TraceEvent::PressureUnpin { region, pages } => {
                 format!("region {} unpinned {pages} pages", region.0)
             }
+            TraceEvent::PinDenied { region, pages } => {
+                format!("region {} denied {pages} pages (quota)", region.0)
+            }
             TraceEvent::Repin {
                 region,
                 target_pages,
@@ -440,6 +452,7 @@ impl TraceEvent {
             | TraceEvent::NotifierCancel { region }
             | TraceEvent::NotifierDrain { region, .. }
             | TraceEvent::PressureUnpin { region, .. }
+            | TraceEvent::PinDenied { region, .. }
             | TraceEvent::Repin { region, .. }
             | TraceEvent::CacheHit { region }
             | TraceEvent::CacheEvict { region }

@@ -70,6 +70,26 @@ pub struct DriverStats {
     pub evict_lru_pops: u64,
 }
 
+/// Per-tenant pinning accounting (the multi-tenant half of the driver
+/// stats): how many pages each process has pinned, how often its pin
+/// passes were denied for quota, and how eviction pressure flowed
+/// between tenants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TenantStats {
+    /// Pages currently pinned and attributed to this tenant.
+    pub pinned_pages: u64,
+    /// High-water mark of `pinned_pages`.
+    pub peak_pinned_pages: u64,
+    /// Pin passes denied because the tenant's hard cap left no headroom.
+    pub quota_denials: u64,
+    /// Pages this tenant's pressure evicted from *other* tenants — the
+    /// noisy-neighbor damage it caused.
+    pub evictions_inflicted_on_others: u64,
+    /// Pages other tenants' pressure evicted from this one — the
+    /// noisy-neighbor damage it absorbed.
+    pub evictions_suffered_from_others: u64,
+}
+
 /// Region-cache effectiveness counters (was an anonymous `(u64, u64)`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {

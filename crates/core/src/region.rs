@@ -16,6 +16,8 @@
 use simcore::SimTime;
 use simmem::{AsId, MemError, Memory, NotifierEvent, Pfn, VirtAddr, Vpn, VpnRange, PAGE_SIZE};
 
+use crate::engine::ProcId;
+
 /// One contiguous piece of a (possibly vectorial) user region.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Segment {
@@ -231,6 +233,11 @@ pub struct DriverRegion {
     pub layout: RegionLayout,
     /// Owning address space.
     pub space: AsId,
+    /// Tenant (process) every pinned page of this region is attributed
+    /// to. Raw declares default to `ProcId(0)`; the engine declares
+    /// through [`crate::Driver::declare_owned`] so each region carries
+    /// its real owner for quota accounting and weighted-fair eviction.
+    pub owner: ProcId,
     /// Physical frames of pages `0..pfns.len()` — the pin cursor.
     pfns: Vec<Pfn>,
     /// Stale watermark: when `Some(w)`, pages `w..pfns.len()` were hit by
@@ -272,6 +279,7 @@ impl DriverRegion {
         Ok(DriverRegion {
             layout: RegionLayout::try_new(segments)?,
             space,
+            owner: ProcId(0),
             pfns: Vec::new(),
             stale_from: None,
             use_count: 0,

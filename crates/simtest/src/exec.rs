@@ -153,6 +153,28 @@ pub enum Violation {
         /// Region-relative page index inside the valid prefix.
         page: u64,
     },
+    /// A tenant's attributed pinned pages exceeded its hard quota cap.
+    QuotaExceeded {
+        /// Node whose driver let the tenant through.
+        node: usize,
+        /// The over-cap process.
+        proc: u32,
+        /// Pages attributed to the tenant.
+        pinned: u64,
+        /// The profile's hard cap.
+        cap: u64,
+    },
+    /// The per-tenant attributed pinned-page sum disagrees with the
+    /// driver's global pinned count — attribution leaked or double-counted
+    /// somewhere on the pin/unpin/evict path.
+    TenantAccounting {
+        /// Node where the books diverged.
+        node: usize,
+        /// Sum of per-tenant attributed pages.
+        attributed: u64,
+        /// The driver's global pinned count.
+        pinned: u64,
+    },
     /// Posted operations never completed although the engine went quiet
     /// (or never went quiet within the budget).
     Hang {
@@ -225,6 +247,23 @@ impl fmt::Display for Violation {
                 f,
                 "stale visible: node {node} region {region} page {page} is protocol-visible but its PTE left the pinned frame"
             ),
+            Violation::QuotaExceeded {
+                node,
+                proc,
+                pinned,
+                cap,
+            } => write!(
+                f,
+                "quota exceeded: node {node} proc {proc} holds {pinned} pinned pages over its hard cap of {cap}"
+            ),
+            Violation::TenantAccounting {
+                node,
+                attributed,
+                pinned,
+            } => write!(
+                f,
+                "tenant accounting: node {node} attributes {attributed} pages across tenants but {pinned} are pinned"
+            ),
             Violation::Hang {
                 outstanding,
                 inflight,
@@ -262,6 +301,10 @@ pub enum Mutation {
         /// Op index to inject after (clamped to the op count).
         after_op: usize,
     },
+    /// Disable per-tenant quota enforcement in every driver while the
+    /// profile still advertises a quota — tenants sail past their hard
+    /// cap and the per-tick quota oracle must notice.
+    SkipQuota,
 }
 
 /// What one executed schedule produced.
@@ -361,6 +404,10 @@ struct Harness {
     children: BTreeMap<usize, AsId>,
     events: Rc<RefCell<Vec<(ProcId, AppEvent)>>>,
     rng: SimRng,
+    /// The profile's per-tenant hard cap, sourced from the schedule (not
+    /// the driver) so a mutation that blinds enforcement cannot also
+    /// blind the oracle.
+    quota_cap: Option<u64>,
     mutation: Option<Mutation>,
     completions: usize,
     violations: Vec<Violation>,
@@ -678,6 +725,30 @@ impl Harness {
                     pinned,
                 });
             }
+            // Tenant books: attribution must partition the global pinned
+            // count, and (when the profile runs quotas) no tenant may sit
+            // over its hard cap at any tick.
+            let tenants = cl.driver(node).tenant_stats();
+            let attributed: u64 = tenants.iter().map(|(_, t)| t.pinned_pages).sum();
+            if attributed != declared {
+                self.violations.push(Violation::TenantAccounting {
+                    node,
+                    attributed,
+                    pinned: declared,
+                });
+            }
+            if let Some(cap) = self.quota_cap {
+                for (proc, t) in &tenants {
+                    if t.pinned_pages > cap {
+                        self.violations.push(Violation::QuotaExceeded {
+                            node,
+                            proc: proc.0,
+                            pinned: t.pinned_pages,
+                            cap,
+                        });
+                    }
+                }
+            }
             for (rid, r) in cl.driver(node).iter_regions() {
                 if r.pinned_pages() > 0 && !cl.memory(node).space_exists(r.space) {
                     self.violations.push(Violation::DeadSpacePin {
@@ -839,6 +910,11 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
     // Bounded tracing feeds the flight recorder on failure; the ring cap
     // keeps long schedules at a fixed memory footprint.
     cl.enable_trace_with_capacity(TRACE_CAPACITY);
+    if matches!(mutation, Some(Mutation::SkipQuota)) {
+        for n in 0..cl.node_count() {
+            cl.driver_mut(n).disable_quota_enforcement_for_test();
+        }
+    }
     let events: Rc<RefCell<Vec<(ProcId, AppEvent)>>> = Rc::default();
     for p in 0..nprocs {
         cl.add_process(
@@ -860,6 +936,7 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
         children: BTreeMap::new(),
         events,
         rng: SimRng::new(s.seed).derive_stream("harness"),
+        quota_cap: profile.pin_quota.map(|q| q.hard_cap),
         mutation,
         completions: 0,
         violations: Vec::new(),
@@ -1168,6 +1245,51 @@ mod tests {
                 .iter()
                 .any(|v| matches!(v, Violation::StaleVisible { .. })),
             "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn skipped_quota_enforcement_trips_quota_exceeded() {
+        // Two back-to-back 80-page rendezvous sends from one tenant under
+        // tenantmix's 96-page hard cap. Enforced, the second pin
+        // self-evicts the first (idle, cached) region and stays legal;
+        // with enforcement skipped both stay pinned and the per-tick
+        // oracle must flag 160 > 96.
+        let s = Schedule {
+            seed: 31,
+            profile: "tenantmix".into(),
+            nodes: 2,
+            procs_per_node: 1,
+            ops: vec![
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 0,
+                    dst: 1,
+                    rbuf: 0,
+                    len: 327_680,
+                    recv_first: true,
+                },
+                Op::Advance { ticks: 20 },
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 1,
+                    dst: 1,
+                    rbuf: 1,
+                    len: 327_680,
+                    recv_first: true,
+                },
+                Op::Advance { ticks: 20 },
+            ],
+        };
+        let clean = run_schedule(&s, None);
+        assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+        let out = run_schedule(&s, Some(Mutation::SkipQuota));
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| matches!(v, Violation::QuotaExceeded { .. })),
+            "skipped quota not caught: {:?}",
             out.violations
         );
     }

@@ -11,7 +11,7 @@ use simcore::{SimDuration, SimRng};
 use simmem::PAGE_SIZE;
 use simnet::{FaultConfig, FaultProfile, GilbertElliott};
 
-use openmx_core::{OpenMxConfig, PinningMode};
+use openmx_core::{OpenMxConfig, PinQuota, PinningMode};
 
 /// Virtual time between schedule steps: one op is applied, then the engine
 /// runs for this long before the invariant oracle looks at the world.
@@ -120,6 +120,8 @@ pub struct Profile {
     pub swap_per_node: usize,
     /// Driver pinned-page ceiling (pressure eviction when `Some`).
     pub pinned_pages_limit: Option<usize>,
+    /// Per-tenant pin quota (soft share + hard cap) when `Some`.
+    pub pin_quota: Option<PinQuota>,
     /// Generation weights, indexed
     /// `[xfer, unmap, remap, cow, swapout, swapin, migrate, rewrite, advance]`.
     pub weights: [u32; 9],
@@ -147,6 +149,7 @@ pub fn profiles() -> Vec<Profile> {
             frames_per_node: 16 * 1024,
             swap_per_node: 8 * 1024,
             pinned_pages_limit: None,
+            pin_quota: None,
             weights: [30, 8, 8, 6, 8, 6, 6, 8, 20],
             sizes: &[2048, 16384, 49152, 131072, 262144],
         },
@@ -156,6 +159,7 @@ pub fn profiles() -> Vec<Profile> {
             frames_per_node: 16 * 1024,
             swap_per_node: 8 * 1024,
             pinned_pages_limit: None,
+            pin_quota: None,
             weights: [45, 4, 4, 2, 3, 2, 3, 4, 33],
             sizes: &[2048, 16384, 49152, 131072, 262144],
         },
@@ -165,6 +169,7 @@ pub fn profiles() -> Vec<Profile> {
             frames_per_node: 16 * 1024,
             swap_per_node: 8 * 1024,
             pinned_pages_limit: Some(96),
+            pin_quota: None,
             weights: [40, 4, 4, 2, 10, 6, 4, 4, 26],
             sizes: &[49152, 131072, 262144, 327680],
         },
@@ -178,8 +183,27 @@ pub fn profiles() -> Vec<Profile> {
             frames_per_node: 16 * 1024,
             swap_per_node: 8 * 1024,
             pinned_pages_limit: None,
+            pin_quota: None,
             weights: [32, 12, 20, 4, 0, 0, 0, 8, 24],
             sizes: &[16384, 49152, 131072, 262144],
+        },
+        // Multi-tenant quota mix: no global pin ceiling, but every process
+        // runs under a per-tenant quota (soft share 64 pages, hard cap 96).
+        // One 80-page harness buffer pins fine; pinning a second one pushes
+        // the tenant over its cap, so self-eviction and clean quota denials
+        // interleave with rendezvous traffic and malloc-style remap churn.
+        Profile {
+            name: "tenantmix",
+            faults: FaultProfile::default(),
+            frames_per_node: 16 * 1024,
+            swap_per_node: 8 * 1024,
+            pinned_pages_limit: None,
+            pin_quota: Some(PinQuota {
+                soft_share: 64,
+                hard_cap: 96,
+            }),
+            weights: [42, 6, 10, 2, 0, 0, 0, 6, 24],
+            sizes: &[131072, 262144, 327680],
         },
     ]
 }
@@ -207,6 +231,7 @@ pub fn schedule_cfg(s: &Schedule, p: &Profile) -> OpenMxConfig {
     cfg.frames_per_node = p.frames_per_node;
     cfg.swap_per_node = p.swap_per_node;
     cfg.pinned_pages_limit = p.pinned_pages_limit;
+    cfg.pin_quota = p.pin_quota;
     let mut faults = FaultConfig::clean();
     if !p.faults.is_clean() {
         for a in 0..s.nodes as u32 {

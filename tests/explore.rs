@@ -210,6 +210,29 @@ fn forgotten_stale_watermark_is_caught() {
     assert_eq!(out.violations, again.violations);
 }
 
+/// Quota enforcement switched off behind the oracle's back must surface
+/// as a `QuotaExceeded` violation: the per-tick tenant oracle takes the
+/// hard cap from the *profile*, so blinding the driver cannot blind it.
+#[test]
+fn skipped_quota_enforcement_is_caught() {
+    let p = profile_by_name("tenantmix").unwrap();
+    let s = generate(5, &p);
+    let clean = run_schedule_catching(&s, None);
+    assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+    let m = Some(Mutation::SkipQuota);
+    let out = run_schedule_catching(&s, m);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| matches!(v, Violation::QuotaExceeded { .. })),
+        "skipped quota not caught: {:?}",
+        out.violations
+    );
+    // Two replays of the same (schedule, mutation) agree exactly.
+    let again = run_schedule_catching(&s, m);
+    assert_eq!(out.violations, again.violations);
+}
+
 /// A swallowed completion must surface as a conservation violation
 /// (the pair never settles → Hang), not pass silently.
 #[test]
