@@ -11,7 +11,9 @@
 //! * `--seeds N`        number of seeds per cell (default 8),
 //! * `--max-retries N`  retry budget handed to the engine (default 16).
 
-use openmx_bench::chaos::{chaos_cfg, duplicate_comparison, profiles, run_chaos, Verdict};
+use openmx_bench::chaos::{
+    chaos_cfg, crash_profiles, duplicate_comparison, profiles, run_chaos, run_chaos_crash, Verdict,
+};
 use openmx_bench::sweep::parallel_map;
 use openmx_bench::table::Table;
 
@@ -131,6 +133,73 @@ fn main() {
     }
     assert_eq!(hung_total, 0, "chaos soak found hung transfers");
     println!("soak: {n_cells} runs, 0 hangs, 0 panics");
+
+    // Crash column: the receiving rank is crashed and restarted
+    // mid-stream, alone and crossed with loss and duplication. The bar
+    // is the same — every send settles, nothing hangs — plus byte
+    // verification of whatever the reborn incarnation completed.
+    let crash_profs = crash_profiles();
+    let mut crash_cells = Vec::new();
+    for (pi, _) in crash_profs.iter().enumerate() {
+        for seed in 0..args.seeds {
+            for &size in &args.sizes {
+                crash_cells.push((pi, seed, size));
+            }
+        }
+    }
+    let n_crash = crash_cells.len();
+    let cprofs = crash_profs.clone();
+    let crash_results = parallel_map(crash_cells, move |(pi, seed, size)| {
+        let (name, profile) = &cprofs[pi];
+        let cfg = chaos_cfg(0xc4a5_4000 + seed, max_retries, true);
+        let out = run_chaos_crash(&cfg, profile, size, msgs + 2);
+        (*name, seed, size, out)
+    });
+    let mut t = Table::new(
+        "chaos crash column: receiver crash/restart mid-stream",
+        &[
+            "profile", "runs", "intact", "failed", "hung", "faults", "retrans",
+        ],
+    );
+    let mut crash_hung = 0u64;
+    for (name, _) in &crash_profs {
+        let rows: Vec<_> = crash_results.iter().filter(|r| r.0 == *name).collect();
+        let intact = rows
+            .iter()
+            .filter(|r| r.3.verdict == Verdict::Intact)
+            .count();
+        let failed = rows
+            .iter()
+            .filter(|r| r.3.verdict == Verdict::FailedCleanly)
+            .count();
+        let hung = rows.iter().filter(|r| r.3.verdict == Verdict::Hung).count();
+        crash_hung += hung as u64;
+        let faults: u64 = rows.iter().map(|r| r.3.faults_injected).sum();
+        let retrans: u64 = rows.iter().map(|r| r.3.retransmits).sum();
+        t.row(vec![
+            name.to_string(),
+            format!("{}", rows.len()),
+            format!("{intact}"),
+            format!("{failed}"),
+            format!("{hung}"),
+            format!("{faults}"),
+            format!("{retrans}"),
+        ]);
+    }
+    t.emit(None);
+    if crash_hung > 0 {
+        for (name, seed, size, out) in &crash_results {
+            if out.verdict != Verdict::Hung {
+                continue;
+            }
+            let path = format!("postmortem_chaos_{name}_{seed}_{size}.json");
+            let dump = out.post_mortem.as_deref().unwrap_or("{}");
+            std::fs::write(&path, dump).expect("write post-mortem");
+            eprintln!("hung: {name} seed {seed} size {size} -> {path}");
+        }
+    }
+    assert_eq!(crash_hung, 0, "crash column found hung transfers");
+    println!("crash column: {n_crash} runs, 0 hangs, 0 panics");
 
     // Adaptive-vs-fixed duplicate comparison under 5% i.i.d. loss. Bigger
     // messages than the soak cells: the duplicate gap comes from frames

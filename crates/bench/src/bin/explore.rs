@@ -9,7 +9,7 @@
 //! * `--smoke`       reduced matrix for CI (5 seeds per profile),
 //! * `--seeds N`     seeds per profile (default 70 → 210 runs total),
 //! * `--start N`     first seed (default 0),
-//! * `--profile P`   restrict to one profile (churn | lossy | pressure | trimstorm | tenantmix),
+//! * `--profile P`   restrict to one profile (churn | lossy | pressure | trimstorm | tenantmix | crashstorm),
 //! * `--shrink N`    shrink budget in candidate runs (default 400).
 
 use openmx_bench::sweep::parallel_map;
@@ -71,7 +71,7 @@ fn main() {
         .filter(|p| args.profile.as_deref().is_none_or(|want| want == p.name))
         .collect();
     if profs.is_empty() {
-        eprintln!("no such profile; choose from: churn, lossy, pressure, trimstorm, tenantmix");
+        eprintln!("no such profile; choose from: churn, lossy, pressure, trimstorm, tenantmix, crashstorm");
         std::process::exit(2);
     }
 

@@ -13,10 +13,15 @@
 //! The sweep axes (seeds × profiles × message sizes) and the adaptive-vs-
 //! fixed retransmission comparison are driven by the `chaos` binary.
 
-use openmx_core::{OpenMxConfig, PinningMode, ProcId};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use openmx_core::engine::{Cluster, Ctx, Process};
+use openmx_core::{AppEvent, OpenMxConfig, PinningMode, ProcId};
 use openmx_mpi::collectives::JobBuilder;
 use openmx_mpi::{run_job, Op};
-use simcore::SimDuration;
+use simcore::{SimDuration, SimTime};
+use simmem::VirtAddr;
 use simnet::{FaultConfig, FaultProfile, GilbertElliott};
 
 /// How one chaos run ended.
@@ -169,6 +174,202 @@ pub fn run_chaos(cfg: &OpenMxConfig, profile: &FaultProfile, len: u64, msgs: u32
             _ => "chaos: transfers failed through the completion path",
         };
         openmx_core::obs::post_mortem_json(reason, None, cl.tracer(), m, 32)
+    });
+    ChaosOutcome {
+        verdict,
+        failures,
+        post_mortem,
+        retransmits: m.retransmits(),
+        dup_frames_rx: m.dup_frames_rx(),
+        faults_injected: m.faults_injected(),
+        frames_burst_lost: s.frames_burst_lost,
+        frames_duplicated: s.frames_duplicated,
+        frames_reordered: s.frames_reordered,
+    }
+}
+
+/// The crash-column axis: a receiver crash/restart mid-stream, alone and
+/// crossed with the hostile-fabric behaviors (loss, duplication, both).
+pub fn crash_profiles() -> Vec<(&'static str, FaultProfile)> {
+    let loss = FaultProfile {
+        loss: 0.03,
+        ..FaultProfile::default()
+    };
+    let duplicate = FaultProfile {
+        duplicate: 0.10,
+        ..FaultProfile::default()
+    };
+    let both = FaultProfile {
+        loss: 0.02,
+        duplicate: 0.05,
+        reorder: 0.05,
+        reorder_jitter: SimDuration::from_micros(100),
+        ..FaultProfile::default()
+    };
+    vec![
+        ("crash", FaultProfile::default()),
+        ("crash+loss", loss),
+        ("crash+dup", duplicate),
+        ("crash+loss+dup", both),
+    ]
+}
+
+/// Sender for the crash column: streams `msgs` messages and records how
+/// each one settled — the liveness bar is that every send either
+/// completes or fails through the completion path, crash or no crash.
+struct CrashSender {
+    peer: ProcId,
+    len: u64,
+    msgs_left: u32,
+    buf: VirtAddr,
+    failures: Rc<RefCell<Vec<&'static str>>>,
+    clean: Rc<Cell<u32>>,
+    done: Rc<Cell<bool>>,
+}
+
+impl Process for CrashSender {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.buf = ctx.malloc(self.len);
+        let pat: Vec<u8> = (0..self.len).map(|i| (i as u8) ^ 0x6b).collect();
+        ctx.write_buf(self.buf, &pat);
+        ctx.isend(self.peer, 7, self.buf, self.len);
+    }
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::SendDone(_) => self.clean.set(self.clean.get() + 1),
+            AppEvent::Failed(_, reason) => self.failures.borrow_mut().push(reason),
+            other => panic!("crash sender: unexpected event {other:?}"),
+        }
+        self.msgs_left -= 1;
+        if self.msgs_left == 0 {
+            self.done.set(true);
+            ctx.stop();
+        } else {
+            ctx.isend(self.peer, 7, self.buf, self.len);
+        }
+    }
+}
+
+/// Reposting receiver for the crash column; counts the completions its
+/// own incarnation observed.
+struct CrashSink {
+    len: u64,
+    buf: VirtAddr,
+    buf_out: Rc<Cell<VirtAddr>>,
+    recvs: Rc<Cell<u32>>,
+}
+
+impl Process for CrashSink {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.buf = ctx.malloc(self.len);
+        self.buf_out.set(self.buf);
+        ctx.irecv(7, !0, self.buf, self.len);
+    }
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: AppEvent) {
+        match ev {
+            AppEvent::RecvDone(..) => self.recvs.set(self.recvs.get() + 1),
+            AppEvent::Failed(..) => {}
+            other => panic!("crash sink: unexpected event {other:?}"),
+        }
+        ctx.irecv(7, !0, self.buf, self.len);
+    }
+}
+
+/// Like [`run_chaos`], but the receiving rank is crashed mid-stream and
+/// restarted with a bumped incarnation while the sender keeps posting.
+/// The liveness bar is identical: every send settles (done or failed);
+/// a sender stuck waiting on a dead or reborn peer is a hang. Messages
+/// completed by the restarted incarnation are verified byte-for-byte.
+pub fn run_chaos_crash(
+    cfg: &OpenMxConfig,
+    profile: &FaultProfile,
+    len: u64,
+    msgs: u32,
+) -> ChaosOutcome {
+    let mut cfg = cfg.clone();
+    let mut faults = FaultConfig::clean();
+    faults.set_link(0, 1, *profile);
+    faults.set_link(1, 0, *profile);
+    cfg.net.faults = faults;
+
+    let failures: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+    let clean = Rc::new(Cell::new(0u32));
+    let done = Rc::new(Cell::new(false));
+    let buf_out = Rc::new(Cell::new(VirtAddr(0)));
+    let recvs = Rc::new(Cell::new(0u32));
+
+    let mut cl = Cluster::new(cfg, 2);
+    cl.add_process(
+        0,
+        Box::new(CrashSender {
+            peer: ProcId(1),
+            len,
+            msgs_left: msgs,
+            buf: VirtAddr(0),
+            failures: failures.clone(),
+            clean: clean.clone(),
+            done: done.clone(),
+        }),
+    );
+    cl.add_process(
+        1,
+        Box::new(CrashSink {
+            len,
+            buf: VirtAddr(0),
+            buf_out: buf_out.clone(),
+            recvs: recvs.clone(),
+        }),
+    );
+
+    // Let the stream get going, kill the receiver mid-flight, leave it
+    // down long enough for in-flight traffic to hit the fence, restart.
+    cl.run(Some(SimTime::from_nanos(300_000)));
+    cl.crash_proc(ProcId(1));
+    cl.run(Some(SimTime::from_nanos(800_000)));
+    let reborn_recvs = Rc::new(Cell::new(0u32));
+    cl.restart_proc(
+        ProcId(1),
+        Box::new(CrashSink {
+            len,
+            buf: VirtAddr(0),
+            buf_out: buf_out.clone(),
+            recvs: reborn_recvs.clone(),
+        }),
+    );
+    cl.run(Some(SimTime::from_nanos(120_000_000_000)));
+
+    let failures: Vec<&'static str> = failures.borrow().clone();
+    let verdict = if !done.get() {
+        // The sender never settled all its messages: liveness lost.
+        Verdict::Hung
+    } else if failures.is_empty() && clean.get() == msgs {
+        // Every send completed. If the reborn incarnation finished a
+        // receive, its buffer must hold the verified pattern.
+        let intact = if reborn_recvs.get() > 0 {
+            let got = cl.read_proc(ProcId(1), buf_out.get(), len);
+            got.iter().enumerate().all(|(i, &v)| v == (i as u8) ^ 0x6b)
+        } else {
+            true
+        };
+        if intact {
+            Verdict::Intact
+        } else {
+            Verdict::Hung
+        }
+    } else {
+        Verdict::FailedCleanly
+    };
+
+    let m = cl.metrics();
+    let s = cl.net_stats();
+    let post_mortem = (verdict == Verdict::Hung).then(|| {
+        openmx_core::obs::post_mortem_json(
+            "chaos crash column: liveness lost across a crash/restart",
+            None,
+            cl.tracer(),
+            m,
+            32,
+        )
     });
     ChaosOutcome {
         verdict,

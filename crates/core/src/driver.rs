@@ -238,6 +238,41 @@ impl Driver {
         pages
     }
 
+    /// Reap every trace of a dead tenant after a process crash: undeclare
+    /// all regions it owns (a crashed process has no communications worth
+    /// honoring, so non-zero use counts do not block the sweep), drop
+    /// their deferred-unpin queue entries and interval-index spans, and
+    /// remove the tenant's quota/accounting row. Each region's pages are
+    /// unpinned in one batch and debited against the tenant before the
+    /// row is dropped, so the pin ledger (`pin == unpin + pressure +
+    /// still-pinned`) stays exact across the crash. Returns total pages
+    /// unpinned.
+    pub fn teardown_proc(&mut self, mem: &mut Memory, proc: ProcId) -> u64 {
+        let dead: Vec<u32> = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().filter(|r| r.owner == proc).map(|_| i as u32))
+            .collect();
+        let mut total = 0u64;
+        for id in dead {
+            let mut region = self.regions[id as usize].take().expect("listed above");
+            if let Some(idx) = self.index.get_mut(&region.space) {
+                for seg in region.layout.segments() {
+                    idx.remove(seg.page_range().start.0, id);
+                }
+            }
+            self.pending.remove(&id);
+            self.free_slots.push(Reverse(id));
+            self.live_regions -= 1;
+            let pages = region.unpin_all(mem);
+            self.debit(proc, pages);
+            total += pages;
+        }
+        self.tenants.remove(&proc);
+        total
+    }
+
     /// Borrow a declared region.
     ///
     /// # Panics

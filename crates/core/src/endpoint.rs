@@ -14,10 +14,19 @@ use crate::engine::ProcId;
 use crate::wire::{MsgId, XferId};
 
 /// Network-visible address of an endpoint (one per process).
+///
+/// The address carries the process's *incarnation*: a counter bumped on
+/// every crash/restart cycle. Every wire frame is stamped with the
+/// incarnations its sender knew at transmit time, and the receive path
+/// fences any frame whose stamps disagree with the live endpoints — a
+/// restarted process never interprets pre-crash traffic, and peers never
+/// interpret traffic from a previous incarnation of a restarted process.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EndpointAddr {
     /// The owning process.
     pub proc: ProcId,
+    /// The process incarnation this address names (0 until first restart).
+    pub incarnation: u32,
 }
 
 /// Application-visible handle of a posted operation.
@@ -246,6 +255,22 @@ impl Endpoint {
     pub fn depths(&self) -> (usize, usize) {
         (self.posted.len(), self.unexpected.len())
     }
+
+    /// Fence the unexpected queue after a peer crash: drop every parked
+    /// message sent by `src` (all of it predates the crash — the dead
+    /// incarnation must never match a future receive). Returns how many
+    /// messages were dropped.
+    pub fn purge_unexpected_from(&mut self, src: ProcId) -> usize {
+        let before = self.unexpected.len();
+        self.unexpected.retain(|u| {
+            let from = match u {
+                Unexpected::Eager(e) => e.src,
+                Unexpected::Rndv { src, .. } | Unexpected::Shm { src, .. } => *src,
+            };
+            from.proc != src
+        });
+        before - self.unexpected.len()
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +278,10 @@ mod tests {
     use super::*;
 
     fn addr(p: u32) -> EndpointAddr {
-        EndpointAddr { proc: ProcId(p) }
+        EndpointAddr {
+            proc: ProcId(p),
+            incarnation: 0,
+        }
     }
 
     fn recv(req: u64, match_info: u64, mask: u64) -> PostedRecv {

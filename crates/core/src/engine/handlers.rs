@@ -56,8 +56,9 @@ impl Cluster {
             Work::UnpinRegion {
                 node,
                 region,
+                owner,
                 undeclare,
-            } => self.on_unpin_region(node, region, undeclare),
+            } => self.on_unpin_region(node, region, owner, undeclare),
             Work::BhFrame(frame) => self.on_bh_frame(frame),
             Work::Compute {
                 proc,
@@ -81,7 +82,7 @@ impl Cluster {
             }
             Work::EagerCopyOut { owner, msg, req } => self.on_eager_copy_out(owner, msg, req),
             Work::EagerDeliver { msg, .. } => self.on_eager_deliver(msg),
-            Work::ShmSend { msg, req, .. } => self.on_shm_send(msg, req),
+            Work::ShmSend { owner, msg, req } => self.on_shm_send(owner, msg, req),
             Work::ShmDeliver { msg, .. } => self.on_shm_deliver(msg),
             Work::Slice { then, remaining } => {
                 if remaining.is_zero() {
@@ -105,6 +106,11 @@ impl Cluster {
     // ================== syscalls ==================
 
     fn on_syscall(&mut self, proc: ProcId, action: SyscallAction) {
+        // A syscall queued behind other work when its issuer crashed dies
+        // with the process — the kernel entry path checks the task state.
+        if self.procs[proc.0 as usize].crashed {
+            return;
+        }
         match action {
             SyscallAction::Isend {
                 req,
@@ -195,7 +201,7 @@ impl Cluster {
             ShmParked {
                 src: self.addr_of(proc),
                 xfer,
-                peer,
+                peer: self.addr_of(peer),
                 match_info,
                 data,
                 dst: None,
@@ -214,18 +220,40 @@ impl Cluster {
         self.nodes[node].counters.bump("shm_msgs_tx");
     }
 
-    fn on_shm_send(&mut self, msg: MsgId, req: RequestId) {
-        let parked = self.xfers.shm.get_mut(&msg).expect("shm xfer");
+    fn on_shm_send(&mut self, owner: ProcId, msg: MsgId, req: RequestId) {
+        let Some(parked) = self.xfers.shm.get_mut(&msg) else {
+            // The crash sweep dropped the parked copy while this copy-out
+            // sat on the sender's core: either side may have died. A live
+            // sender gets a clean failure; a dead one gets silence.
+            if !self.procs[owner.0 as usize].crashed {
+                let node = self.procs[owner.0 as usize].node;
+                self.nodes[node].counters.bump("requests_failed");
+                self.notify_app(owner, AppEvent::Failed(req, "peer crashed"));
+            }
+            return;
+        };
         let (src, peer, match_info, xfer) =
             (parked.src, parked.peer, parked.match_info, parked.xfer);
         let total = parked.data.len() as u64;
+        if self.endpoint_gone(peer) {
+            // The destination died (or came back as a new incarnation)
+            // since the send was posted. Shm has no watchdog to catch
+            // this later, so fail the sender cleanly now instead of
+            // parking bytes on a dead endpoint.
+            self.xfers.shm.remove(&msg);
+            let node = self.procs[owner.0 as usize].node;
+            self.nodes[node].counters.bump("requests_failed");
+            self.nodes[node].counters.bump("peer_dead_aborts");
+            self.notify_app(owner, AppEvent::Failed(req, "peer crashed"));
+            return;
+        }
         self.notify_app(src.proc, AppEvent::SendDone(req));
         // Deliver to the peer endpoint (receiver-side copy still pending).
-        let pidx = peer.0 as usize;
+        let pidx = peer.proc.0 as usize;
         match self.procs[pidx].endpoint.match_incoming(match_info) {
             Some(posted) => {
                 self.xfers.recv_hints.remove(&posted.req);
-                self.shm_matched(msg, peer, posted, total)
+                self.shm_matched(msg, peer.proc, posted, total)
             }
             None => {
                 let parked = self.xfers.shm.remove(&msg).expect("shm xfer");
@@ -256,7 +284,9 @@ impl Cluster {
     }
 
     fn on_shm_deliver(&mut self, msg: MsgId) {
-        let parked = self.xfers.shm.remove(&msg).expect("shm xfer");
+        let Some(parked) = self.xfers.shm.remove(&msg) else {
+            return; // crash sweep already failed/settled this transfer
+        };
         let (req, proc, addr, copy_len) = parked.dst.expect("matched");
         let idx = proc.0 as usize;
         let node = self.procs[idx].node;
@@ -348,12 +378,13 @@ impl Cluster {
     fn transmit_eager_frames(&mut self, msg: MsgId) {
         let chunk = self.frame_payload();
         let mtu = self.cfg.net.mtu;
-        let src = |proc| EndpointAddr { proc };
         let Some(tx) = self.xfers.eager_tx.get(&msg) else {
             return; // acked and reclaimed while this work was queued
         };
         let (proc, peer, match_info, total, xfer) =
             (tx.proc, tx.peer, tx.match_info, tx.total_len, tx.xfer);
+        let src = self.addr_of(proc);
+        let tx = &self.xfers.eager_tx[&msg];
         let frag_count = simnet::frame::frame_count(total, mtu) as u32;
         let mut frames = Vec::new();
         for frag in 0..frag_count {
@@ -361,7 +392,7 @@ impl Cluster {
             let flen = chunk.min(total - offset);
             let data = tx.data[offset as usize..(offset + flen) as usize].to_vec();
             frames.push(Frame {
-                src: src(proc),
+                src,
                 dst: peer,
                 msg: WireMsg::Eager {
                     msg,
@@ -456,7 +487,9 @@ impl Cluster {
     }
 
     fn on_eager_deliver(&mut self, msg: MsgId) {
-        let m = self.xfers.eager_rx.remove(&msg).expect("matched eager rx");
+        let Some(m) = self.xfers.eager_rx.remove(&msg) else {
+            return; // crash sweep already failed/settled this transfer
+        };
         let idx = m.proc.0 as usize;
         let node = self.procs[idx].node;
         let space = self.procs[idx].space;
@@ -820,7 +853,7 @@ impl Cluster {
                     ShmParked {
                         src,
                         xfer,
-                        peer: proc,
+                        peer: self.addr_of(proc),
                         match_info,
                         data,
                         dst: None,
@@ -1330,8 +1363,16 @@ impl Cluster {
     fn on_frame_arrival(&mut self, frame: Frame) {
         let dst = frame.dst.proc;
         let node = self.procs[dst.0 as usize].node;
-        let duration = self.bh_duration(node, &frame.msg);
         self.nodes[node].counters.bump("frames_rx");
+        // Incarnation fence: a frame from or to an endpoint that no longer
+        // exists (crashed, or restarted under a newer incarnation) dies at
+        // the NIC, before any bottom-half cost is charged. Stale traffic
+        // must never resurrect protocol state in the new incarnation.
+        if self.endpoint_gone(frame.src) || self.endpoint_gone(frame.dst) {
+            self.fence_frame(node, &frame);
+            return;
+        }
+        let duration = self.bh_duration(node, &frame.msg);
         let bh = self.nodes[node].bh_core;
         self.submit_work(
             node,
@@ -1358,9 +1399,31 @@ impl Cluster {
         }
     }
 
+    /// Drop a frame at the incarnation fence: count it, attribute it to
+    /// its transfer in the trace, and charge nothing further.
+    fn fence_frame(&mut self, node: usize, frame: &Frame) {
+        self.nodes[node].counters.bump("frames_fenced");
+        self.emit(
+            node,
+            Some(frame.dst.proc),
+            TraceEvent::FencedDrop {
+                src: frame.src.proc,
+                dst: frame.dst.proc,
+                xfer: frame.msg.xfer(),
+            },
+        );
+    }
+
     fn on_bh_frame(&mut self, frame: Frame) {
         let src = frame.src;
         let dst = frame.dst.proc;
+        // Re-check the fence: the endpoint may have died between the
+        // frame's arrival and its bottom half running.
+        if self.endpoint_gone(frame.src) || self.endpoint_gone(frame.dst) {
+            let node = self.procs[dst.0 as usize].node;
+            self.fence_frame(node, &frame);
+            return;
+        }
         match frame.msg {
             WireMsg::Eager {
                 msg,
@@ -1487,6 +1550,7 @@ impl Cluster {
                 Work::UnpinRegion {
                     node,
                     region: victim,
+                    owner: proc,
                     undeclare: true,
                 },
             );
@@ -1520,14 +1584,21 @@ impl Cluster {
                 Work::UnpinRegion {
                     node,
                     region,
+                    owner: proc,
                     undeclare: true,
                 },
             );
         }
     }
 
-    fn on_unpin_region(&mut self, node: usize, region: RegionId, undeclare: bool) {
+    fn on_unpin_region(&mut self, node: usize, region: RegionId, owner: ProcId, undeclare: bool) {
         if !self.nodes[node].driver.is_declared(region) {
+            return;
+        }
+        // A crash reap may have freed this region id and a later declare
+        // recycled it: a stale queued unpin must not touch the new owner's
+        // region.
+        if self.nodes[node].driver.region(region).owner != owner {
             return;
         }
         // A late communication may have re-acquired the region (cached
@@ -2088,8 +2159,18 @@ impl Cluster {
                     return;
                 };
                 x.retries += 1;
-                let (retries, pull_seen, node, proc, xfer) =
-                    (x.retries, x.pull_seen, x.node, x.proc, x.xfer);
+                let (retries, pull_seen, node, proc, xfer, peer) =
+                    (x.retries, x.pull_seen, x.node, x.proc, x.xfer, x.peer);
+                if self.procs[proc.0 as usize].crashed {
+                    return; // zombie entry (leaky fault injection): let it rot
+                }
+                if self.endpoint_gone(peer) {
+                    // The peer died: burning the whole retry budget against
+                    // a dead endpoint only delays the inevitable. Fail now.
+                    self.nodes[node].counters.bump("peer_dead_aborts");
+                    self.fail_send(msg, "peer crashed");
+                    return;
+                }
                 if retries > self.cfg.max_retries {
                     self.emit(
                         node,
@@ -2146,8 +2227,21 @@ impl Cluster {
                     return;
                 };
                 tx.retries += 1;
-                let (retries, proc, req, xfer) = (tx.retries, tx.proc, tx.req, tx.xfer);
+                let (retries, proc, req, xfer, peer) =
+                    (tx.retries, tx.proc, tx.req, tx.xfer, tx.peer);
                 let node = self.procs[proc.0 as usize].node;
+                if self.procs[proc.0 as usize].crashed {
+                    return; // zombie entry (leaky fault injection): let it rot
+                }
+                if self.endpoint_gone(peer) {
+                    self.xfers.eager_tx.remove(&msg);
+                    self.nodes[node].counters.bump("peer_dead_aborts");
+                    self.nodes[node].counters.bump("requests_failed");
+                    // SendDone already fired at copy-out (MX semantics);
+                    // the handle still reports the late, clean error.
+                    self.notify_app(proc, AppEvent::Failed(req, "peer crashed"));
+                    return;
+                }
                 if retries > self.cfg.max_retries {
                     self.xfers.eager_tx.remove(&msg);
                     self.counters.bump("eager_abandoned");
@@ -2193,7 +2287,15 @@ impl Cluster {
                     return;
                 };
                 x.retries += 1;
-                let (retries, node, proc, xfer) = (x.retries, x.node, x.proc, x.xfer);
+                let (retries, node, proc, xfer, peer) = (x.retries, x.node, x.proc, x.xfer, x.peer);
+                if self.procs[proc.0 as usize].crashed {
+                    return; // zombie entry (leaky fault injection): let it rot
+                }
+                if self.endpoint_gone(peer) {
+                    self.nodes[node].counters.bump("peer_dead_aborts");
+                    self.fail_recv(pull, "peer crashed");
+                    return;
+                }
                 if retries > self.cfg.max_retries {
                     self.emit(
                         node,
@@ -2255,6 +2357,16 @@ impl Cluster {
                 p.retries += 1;
                 let (retries, proc, peer, xfer) = (p.retries, p.proc, p.peer, p.xfer);
                 let node = self.procs[proc.0 as usize].node;
+                if self.procs[proc.0 as usize].crashed {
+                    return; // zombie entry (leaky fault injection): let it rot
+                }
+                if self.endpoint_gone(peer) {
+                    // The receive already completed locally; the dead
+                    // sender will never ack, so just drop the state.
+                    self.xfers.notify_pending.remove(&msg);
+                    self.nodes[node].counters.bump("peer_dead_aborts");
+                    return;
+                }
                 if retries > self.cfg.max_retries {
                     self.xfers.notify_pending.remove(&msg);
                     self.counters.bump("notify_abandoned");

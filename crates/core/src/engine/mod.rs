@@ -127,10 +127,14 @@ pub(crate) enum Work {
     Syscall { proc: ProcId, action: SyscallAction },
     /// Pin the next chunk of a region (on-demand pinning).
     PinChunk { node: usize, region: RegionId },
-    /// Unpin (and maybe undeclare) a region at transfer end.
+    /// Unpin (and maybe undeclare) a region at transfer end. `owner`
+    /// guards against slot reuse: a crash reap may free the region id
+    /// while this work is queued, and a recycled id must not be unpinned
+    /// under its new owner.
     UnpinRegion {
         node: usize,
         region: RegionId,
+        owner: ProcId,
         undeclare: bool,
     },
     /// Bottom-half processing of one received frame.
@@ -211,6 +215,12 @@ pub(crate) struct ProcSlot {
     pub cache: RegionCache,
     pub app: Option<Box<dyn Process>>,
     pub stopped: bool,
+    /// Crash/restart cycle counter; stamped into every frame the process
+    /// sends so stale-incarnation traffic is fenced at arrival.
+    pub incarnation: u32,
+    /// The process is dead (crashed, not yet restarted): its endpoint is
+    /// fenced and no application events are delivered.
+    pub crashed: bool,
 }
 
 /// The simulation engine. See the module docs.
@@ -316,6 +326,8 @@ impl Cluster {
             }),
             app: Some(app),
             stopped: false,
+            incarnation: 0,
+            crashed: false,
         };
         self.procs.push(slot);
         ProcId(self.procs.len() as u32 - 1)
@@ -351,6 +363,9 @@ impl Cluster {
         }
         self.started = true;
         for p in 0..self.procs.len() {
+            if self.procs[p].crashed {
+                continue;
+            }
             let proc = ProcId(p as u32);
             let mut app = self.procs[p].app.take().expect("app present");
             let mut ctx = Ctx::new(self, proc);
@@ -669,6 +684,283 @@ impl Cluster {
         moved
     }
 
+    // ---- crash/restart fault domain ----------------------------------
+
+    /// Crash a process at the current instant. Its endpoint closes (all
+    /// queued matching state is dropped), every protocol-table entry it
+    /// owned is torn down without completions — nobody is listening — and
+    /// the kernel exit path reaps the dead tenant synchronously: all its
+    /// regions are undeclared, their pages unpinned in one batch with
+    /// exact ledger credit, its in-flight pin passes unwound, and its
+    /// address space destroyed. Surviving peers are *not* notified; their
+    /// transfers aimed at the dead endpoint discover the death through
+    /// their retransmission watchdogs, which short-circuit to a clean
+    /// `Failed` completion. Bring the process back with
+    /// [`Cluster::restart_proc`].
+    pub fn crash_proc(&mut self, proc: ProcId) {
+        self.crash_proc_inner(proc, false);
+    }
+
+    /// Fault-injection variant of [`Cluster::crash_proc`]: the process is
+    /// marked dead (its endpoint fences and its app falls silent) but the
+    /// kernel-side reap is skipped wholesale — transfers stay parked in
+    /// the tables and every pin the dead tenant owned leaks. Exists so
+    /// harness mutation self-tests can prove an orphan-pin oracle fires.
+    /// Not for applications.
+    pub fn crash_proc_leaky_for_test(&mut self, proc: ProcId) {
+        self.crash_proc_inner(proc, true);
+    }
+
+    fn crash_proc_inner(&mut self, proc: ProcId, leaky: bool) {
+        let idx = proc.0 as usize;
+        assert!(
+            !self.procs[idx].crashed,
+            "crash of already-crashed {proc:?}"
+        );
+        let node = self.procs[idx].node;
+        let incarnation = self.procs[idx].incarnation;
+        self.procs[idx].crashed = true;
+        self.nodes[node].counters.bump("proc_crashes");
+        if leaky {
+            self.emit(
+                node,
+                Some(proc),
+                TraceEvent::ProcCrash {
+                    proc,
+                    incarnation,
+                    reaped_pages: 0,
+                },
+            );
+            return;
+        }
+        self.reap_crashed_xfers(proc);
+        // User-space state dies with the process: matching queues and the
+        // region cache. (The cached descriptors themselves are reaped
+        // below with everything else the dead tenant declared.)
+        self.procs[idx].endpoint = Endpoint::new();
+        self.procs[idx].cache = RegionCache::new(0);
+        // Kernel exit path: reap every region the dead tenant owned (one
+        // batched unpin per region, debited against its quota row before
+        // the row is dropped), then tear down the address space. The reap
+        // runs first so the teardown's Release notifier event finds no
+        // remaining region to double-release.
+        let reaped = {
+            let n = &mut self.nodes[node];
+            n.driver.teardown_proc(&mut n.mem, proc)
+        };
+        if reaped > 0 {
+            self.nodes[node].counters.add("unpin_pages", reaped);
+            self.nodes[node].counters.add("crash_reaped_pages", reaped);
+        }
+        let space = self.procs[idx].space;
+        let events = self.nodes[node]
+            .mem
+            .destroy_space(space)
+            .expect("crashed proc had a live space");
+        self.dispatch_notifier_events(node, &events);
+        self.emit(
+            node,
+            Some(proc),
+            TraceEvent::ProcCrash {
+                proc,
+                incarnation,
+                reaped_pages: reaped,
+            },
+        );
+    }
+
+    /// Restart a crashed process with a bumped incarnation: fresh address
+    /// space (MMU notifier re-registered), heap, endpoint, region cache,
+    /// and application. Pre-crash frames still in flight carry the old
+    /// incarnation stamp and are fenced at arrival, on both sides. If the
+    /// cluster is already running, the new application's `start` callback
+    /// runs immediately.
+    pub fn restart_proc(&mut self, proc: ProcId, app: Box<dyn Process>) {
+        let idx = proc.0 as usize;
+        assert!(self.procs[idx].crashed, "restart of live {proc:?}");
+        let node = self.procs[idx].node;
+        let cache_capacity = if self.cfg.pinning.caches() {
+            self.cfg.cache_capacity
+        } else {
+            0
+        };
+        let n = &mut self.nodes[node];
+        let space = n.mem.create_space();
+        if self.cfg.use_mmu_notifiers {
+            n.mem.register_notifier(space).expect("fresh space");
+        }
+        let slot = &mut self.procs[idx];
+        slot.space = space;
+        slot.heap = SimHeap::new(space);
+        slot.endpoint = Endpoint::new();
+        slot.cache = RegionCache::new(cache_capacity);
+        slot.app = Some(app);
+        slot.stopped = false;
+        slot.crashed = false;
+        slot.incarnation += 1;
+        let incarnation = slot.incarnation;
+        self.nodes[node].counters.bump("proc_restarts");
+        self.emit(
+            node,
+            Some(proc),
+            TraceEvent::ProcRestart { proc, incarnation },
+        );
+        if self.started {
+            let mut app = self.procs[idx].app.take().expect("just installed");
+            let mut ctx = Ctx::new(self, proc);
+            app.start(&mut ctx);
+            self.procs[idx].app = Some(app);
+        }
+    }
+
+    /// True while `proc` is crashed (awaiting restart).
+    pub fn is_crashed(&self, proc: ProcId) -> bool {
+        self.procs[proc.0 as usize].crashed
+    }
+
+    /// Current incarnation of `proc` (0 until its first restart).
+    pub fn incarnation_of(&self, proc: ProcId) -> u32 {
+        self.procs[proc.0 as usize].incarnation
+    }
+
+    /// Tear down every protocol-table entry touching a dead process. The
+    /// dead side is dropped without completions; live counterparts of
+    /// *timerless* states (matched eager reassembly, shm rendezvous)
+    /// fail immediately — everything with a watchdog keeps its entry and
+    /// short-circuits when the timer fires.
+    fn reap_crashed_xfers(&mut self, proc: ProcId) {
+        let node = self.procs[proc.0 as usize].node;
+        // Sender-side eager retransmission state.
+        let dead: Vec<MsgId> = self
+            .xfers
+            .eager_tx
+            .iter()
+            .filter(|(_, t)| t.proc == proc)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            let t = self.xfers.eager_tx.remove(&k).expect("listed");
+            self.cancel_timer(t.timer);
+        }
+        // Matched eager reassembly: the dead side is dropped; a live
+        // receiver mid-reassembly from the dead sender fails now — the
+        // missing fragments will never arrive and no timer guards it.
+        let dead: Vec<(MsgId, bool)> = self
+            .xfers
+            .eager_rx
+            .iter()
+            .filter(|(_, m)| m.proc == proc || m.rx.src.proc == proc)
+            .map(|(k, m)| (*k, m.proc != proc))
+            .collect();
+        for (k, live_receiver) in dead {
+            let m = self.xfers.eager_rx.remove(&k).expect("listed");
+            if live_receiver {
+                self.nodes[self.procs[m.proc.0 as usize].node]
+                    .counters
+                    .bump("requests_failed");
+                self.notify_app(m.proc, AppEvent::Failed(m.req, "peer crashed"));
+            }
+        }
+        // Rendezvous sender state.
+        let dead: Vec<MsgId> = self
+            .xfers
+            .send
+            .iter()
+            .filter(|(_, x)| x.proc == proc)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            let x = self.xfers.send.remove(&k).expect("listed");
+            self.cancel_timer(x.rndv_timer);
+        }
+        // Receiver pull state.
+        let dead: Vec<PullId> = self
+            .xfers
+            .recv
+            .iter()
+            .filter(|(_, x)| x.proc == proc)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            let x = self.xfers.recv.remove(&k).expect("listed");
+            self.xfers.recv_by_msg.remove(&x.msg);
+            self.cancel_timer(x.stall_timer);
+        }
+        // Completion notifies awaiting their ack.
+        let dead: Vec<MsgId> = self
+            .xfers
+            .notify_pending
+            .iter()
+            .filter(|(_, p)| p.proc == proc)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            let p = self.xfers.notify_pending.remove(&k).expect("listed");
+            self.cancel_timer(Some(p.timer));
+        }
+        // Intra-node messages touching the dead process on either side.
+        // A live receiver already matched to a dead sender's parked copy
+        // fails now (timerless); a live sender's queued copy-out finds
+        // its entry gone and fails on its own core (see `on_shm_send`).
+        let dead: Vec<MsgId> = self
+            .xfers
+            .shm
+            .iter()
+            .filter(|(_, s)| {
+                s.src.proc == proc
+                    || s.peer.proc == proc
+                    || s.dst.is_some_and(|(_, dp, _, _)| dp == proc)
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            let s = self.xfers.shm.remove(&k).expect("listed");
+            if s.src.proc == proc {
+                if let Some((req, dp, _, _)) = s.dst {
+                    if dp != proc {
+                        self.nodes[self.procs[dp.0 as usize].node]
+                            .counters
+                            .bump("requests_failed");
+                        self.notify_app(dp, AppEvent::Failed(req, "peer crashed"));
+                    }
+                }
+            }
+        }
+        // In-flight pin passes charged to the dead process; their regions
+        // are undeclared by the driver reap right after this sweep.
+        self.xfers.pin_plans.retain(|_, p| p.proc != proc);
+        // Cache-eviction undeclare intents for regions the reap covers.
+        let dead: Vec<(usize, u32)> = self
+            .xfers
+            .deferred_undeclare
+            .iter()
+            .filter(|(n, rid)| {
+                *n == node
+                    && self.nodes[*n]
+                        .driver
+                        .try_region(RegionId(*rid))
+                        .is_some_and(|r| r.owner == proc)
+            })
+            .copied()
+            .collect();
+        for k in dead {
+            self.xfers.deferred_undeclare.remove(&k);
+        }
+        // Fence every live endpoint's unexpected queue: parked messages
+        // from the dead incarnation must never match a future receive.
+        let mut purged = 0usize;
+        for (i, slot) in self.procs.iter_mut().enumerate() {
+            if i != proc.0 as usize {
+                purged += slot.endpoint.purge_unexpected_from(proc);
+            }
+        }
+        if purged > 0 {
+            self.nodes[node]
+                .counters
+                .add("unexpected_purged", purged as u64);
+        }
+    }
+
     // ---- internal helpers shared by ctx & handlers -------------------
 
     pub(crate) fn alloc_req(&mut self) -> RequestId {
@@ -884,7 +1176,7 @@ impl Cluster {
     /// Deliver an application event, letting the process issue new calls.
     pub(crate) fn notify_app(&mut self, proc: ProcId, event: AppEvent) {
         let idx = proc.0 as usize;
-        if self.procs[idx].stopped {
+        if self.procs[idx].stopped || self.procs[idx].crashed {
             return;
         }
         let mut app = self.procs[idx].app.take().expect("app present");
@@ -951,9 +1243,23 @@ impl Cluster {
         }
     }
 
-    /// The endpoint address of a process.
+    /// The endpoint address of a process, stamped with its *current*
+    /// incarnation. Addresses stored in protocol state across a peer's
+    /// crash keep the old stamp, which is exactly what lets the receive
+    /// path fence pre-crash traffic.
     pub(crate) fn addr_of(&self, proc: ProcId) -> EndpointAddr {
-        EndpointAddr { proc }
+        EndpointAddr {
+            proc,
+            incarnation: self.procs[proc.0 as usize].incarnation,
+        }
+    }
+
+    /// True when the endpoint this address names no longer exists: the
+    /// process is dead, or it restarted and the address carries a stale
+    /// incarnation.
+    pub(crate) fn endpoint_gone(&self, addr: EndpointAddr) -> bool {
+        let s = &self.procs[addr.proc.0 as usize];
+        s.crashed || s.incarnation != addr.incarnation
     }
 
     /// Frame payload capacity of the fabric.

@@ -225,8 +225,9 @@ pub(crate) struct ShmParked {
     pub src: EndpointAddr,
     /// Causal-trace id of the transfer.
     pub xfer: XferId,
-    /// Destination process.
-    pub peer: ProcId,
+    /// Destination endpoint, incarnation-stamped at post time: shm has no
+    /// watchdog, so the fence check happens when the copy-out lands.
+    pub peer: EndpointAddr,
     pub match_info: u64,
     pub data: Vec<u8>,
     /// Set when matched: (receiver request, receiver proc, dst, copy_len).

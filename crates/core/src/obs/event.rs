@@ -306,6 +306,33 @@ pub enum TraceEvent {
         /// Caller-chosen label.
         label: &'static str,
     },
+    /// A process crashed: its endpoint closed, its transfers were torn
+    /// down, and the driver reaped every pin it owned.
+    ProcCrash {
+        /// The process that died.
+        proc: ProcId,
+        /// The incarnation that died.
+        incarnation: u32,
+        /// Pages the driver unpinned while reaping the dead tenant.
+        reaped_pages: u64,
+    },
+    /// A process came back from a crash with a bumped incarnation.
+    ProcRestart {
+        /// The restarted process.
+        proc: ProcId,
+        /// The new (post-bump) incarnation.
+        incarnation: u32,
+    },
+    /// A frame stamped with a stale incarnation (or addressed to a dead
+    /// endpoint) was fenced at arrival instead of being interpreted.
+    FencedDrop {
+        /// The frame's source process.
+        src: ProcId,
+        /// The frame's destination process.
+        dst: ProcId,
+        /// Causal-trace id of the transfer the frame belonged to.
+        xfer: XferId,
+    },
 }
 
 impl TraceEvent {
@@ -344,6 +371,9 @@ impl TraceEvent {
             TraceEvent::PinWaitStart { .. } => "pin_wait_start",
             TraceEvent::PinWaitEnd { .. } => "pin_wait_end",
             TraceEvent::AppMark { .. } => "app_mark",
+            TraceEvent::ProcCrash { .. } => "proc_crash",
+            TraceEvent::ProcRestart { .. } => "proc_restart",
+            TraceEvent::FencedDrop { .. } => "fenced_drop",
         }
     }
 
@@ -435,6 +465,22 @@ impl TraceEvent {
                 format!("xfer {} region {}", xfer.0, region.0)
             }
             TraceEvent::AppMark { label } => (*label).to_string(),
+            TraceEvent::ProcCrash {
+                proc,
+                incarnation,
+                reaped_pages,
+            } => {
+                format!(
+                    "proc {} incarnation {incarnation} reaped {reaped_pages} pages",
+                    proc.0
+                )
+            }
+            TraceEvent::ProcRestart { proc, incarnation } => {
+                format!("proc {} incarnation {incarnation}", proc.0)
+            }
+            TraceEvent::FencedDrop { src, dst, .. } => {
+                format!("src proc {} dst proc {}", src.0, dst.0)
+            }
         }
     }
 
@@ -481,7 +527,8 @@ impl TraceEvent {
             | TraceEvent::SendDone { xfer, .. }
             | TraceEvent::RecvDone { xfer, .. }
             | TraceEvent::PinWaitStart { xfer, .. }
-            | TraceEvent::PinWaitEnd { xfer, .. } => Some(*xfer),
+            | TraceEvent::PinWaitEnd { xfer, .. }
+            | TraceEvent::FencedDrop { xfer, .. } => Some(*xfer),
             _ => None,
         }
     }

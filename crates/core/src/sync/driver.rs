@@ -124,6 +124,12 @@ pub enum DriverMutation {
     /// `handle_invalidate` marks pages stale but forgets to park the
     /// region in the deferred queue — the stale suffix never drains.
     SkipDeferredQueue,
+    /// `teardown_space` "frees" swept regions in place: the liveness word
+    /// is poisoned while the slot is still published, skipping the unlink,
+    /// the batched unpin and the collector's graveyard entirely. The next
+    /// guarded reader observes the poisoned word (`uaf_observed`) and the
+    /// dead tenant's pages stay pinned — both oracles must fire.
+    TeardownDirectFree,
 }
 
 /// RAII wrapper for slot allocation parity with the single-threaded
@@ -307,8 +313,17 @@ impl ConcurrentDriver {
         if ptr.is_null() {
             return None;
         }
-        // Safety: we won the unlink race; the pointer stays valid until
-        // retired below, and our guard spans the whole window.
+        Some(self.reap_unlinked(mem, id, ptr))
+    }
+
+    /// Finish tearing down a slot the caller just unlinked (and therefore
+    /// exclusively owns the teardown of): index removal, batched unpin,
+    /// deferred-queue removal, slot free, retirement through the
+    /// collector's graveyard. Caller must hold an epoch guard spanning the
+    /// unlink and this call. Returns pages released.
+    fn reap_unlinked(&self, mem: &mut Memory, id: RegionId, ptr: *mut ConcRegion) -> u64 {
+        // Safety: the caller won the unlink race; the pointer stays valid
+        // until retired below, under the caller's epoch guard.
         let r = unsafe { &*ptr };
         {
             match self.shard_of(r.space).write() {
@@ -347,7 +362,58 @@ impl ConcurrentDriver {
         self.declared.fetch_sub(1, SeqCst);
         self.epoch
             .retire(NonNull::new(ptr).expect("non-null checked"));
-        Some(released)
+        released
+    }
+
+    /// Crash-teardown of one tenant: undeclare every region belonging to
+    /// `space` in one sweep — the concurrent twin of the single-threaded
+    /// driver's `teardown_proc`. Each swept region goes through the exact
+    /// undeclare sequence (unlink won by compare-exchange so a recycled
+    /// slot is never reaped by mistake, index removal, batched unpin,
+    /// deferred-queue removal, slot free, retirement through the
+    /// collector's graveyard — never a direct free). Returns
+    /// `(regions, pages)` reaped.
+    pub fn teardown_space(
+        &self,
+        h: &EpochHandle<'_, ConcRegion>,
+        mem: &mut Memory,
+        space: AsId,
+    ) -> (u64, u64) {
+        let _g = h.pin();
+        let mut regions = 0u64;
+        let mut pages = 0u64;
+        for i in 0..self.slots.len() {
+            let ptr = self.slots[i].load(SeqCst);
+            if ptr.is_null() {
+                continue;
+            }
+            // Safety: non-null slot pointers stay valid until retired, and
+            // the epoch guard spans the whole sweep.
+            let r = unsafe { &*ptr };
+            if !r.is_live() || r.space != space {
+                continue;
+            }
+            if self.mutation == Some(DriverMutation::TeardownDirectFree) {
+                // Injected bug: free the region in place — poisoned while
+                // still published, with no unlink, no unpin, no grace
+                // period. (The allocation itself is reclaimed by `Drop`,
+                // keeping the self-test sound.)
+                r.poison();
+                continue;
+            }
+            // The compare-exchange guards against slot recycling: if a
+            // racing undeclare-and-redeclare swapped in a different
+            // region since the load above, leave it alone.
+            if self.slots[i]
+                .compare_exchange(ptr, std::ptr::null_mut(), SeqCst, SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            pages += self.reap_unlinked(mem, RegionId(i as u32), ptr);
+            regions += 1;
+        }
+        (regions, pages)
     }
 
     /// Advance a region's pin pass by up to `max_pages`. Returns `None`

@@ -144,6 +144,21 @@ impl WireMsg {
     pub fn is_control(&self) -> bool {
         self.payload_len() == 0
     }
+
+    /// The causal-trace id — carried by every message variant, which is
+    /// what lets the incarnation fence attribute a dropped stale frame to
+    /// its transfer.
+    pub fn xfer(&self) -> XferId {
+        match self {
+            WireMsg::Eager { xfer, .. }
+            | WireMsg::EagerAck { xfer, .. }
+            | WireMsg::Rndv { xfer, .. }
+            | WireMsg::PullReq { xfer, .. }
+            | WireMsg::PullReply { xfer, .. }
+            | WireMsg::Notify { xfer, .. }
+            | WireMsg::NotifyAck { xfer, .. } => *xfer,
+        }
+    }
 }
 
 /// A frame in flight: source, destination, and the message.
@@ -164,6 +179,7 @@ mod tests {
     fn addr(p: u32) -> EndpointAddr {
         EndpointAddr {
             proc: crate::engine::ProcId(p),
+            incarnation: 0,
         }
     }
 

@@ -186,9 +186,18 @@ fn storm_run(seed: u64, ops_per_mutator: usize) {
                                 driver.undeclare(&h, &mut guard, id);
                             }
                         }
-                        85..=92 => {
+                        85..=91 => {
                             let mut guard = mem.lock().unwrap();
                             driver.drain_deferred(&h, &mut guard);
+                        }
+                        92 => {
+                            // Crash-reap this tenant: one sweep undeclares
+                            // every region of the space through the
+                            // graveyard path.
+                            let mut guard = mem.lock().unwrap();
+                            driver.teardown_space(&h, &mut guard, arena.space);
+                            drop(guard);
+                            mine.clear();
                         }
                         _ => {
                             // Reader ops from a mutator thread: reentrancy
@@ -777,6 +786,77 @@ fn mutation_skip_deferred_queue_is_caught() {
     let h2 = clean.register_thread();
     clean.drain_deferred(&h2, &mut mem2);
     assert_eq!(clean.stale_pages_total(&h2), 0);
+}
+
+/// Mutation: crash teardown "frees" a mid-epoch region in place — the
+/// liveness word is poisoned while the slot is still published, skipping
+/// the unlink, the batched unpin and the collector's graveyard. The
+/// reader-side poison check catches it on the very next guarded load
+/// (`uaf_observed`), and the dead tenant's pages stay pinned.
+#[test]
+fn mutation_teardown_direct_free_is_caught() {
+    let (mut mem, arenas) = setup(1);
+    let driver = ConcurrentDriver::with_mutation(
+        TABLE_CAP,
+        SHARDS,
+        Some(DriverMutation::TeardownDirectFree),
+    );
+    let h = driver.register_thread();
+    let arena = &arenas[0];
+    let id = driver
+        .declare(&h, arena.space, &template_segments(arena.base, 0))
+        .unwrap();
+    while let Some(Ok(p)) = driver.pin_next_chunk(&h, &mut mem, id, 4) {
+        if p.complete {
+            break;
+        }
+    }
+    let (regions, pages) = driver.teardown_space(&h, &mut mem, arena.space);
+    assert_eq!(
+        (regions, pages),
+        (0, 0),
+        "mutated teardown must not reap properly"
+    );
+    // The slot still points at the poisoned region: the next lock-free
+    // probe observes the freed liveness word and trips the uaf oracle.
+    assert!(driver.probe(&h, id).is_none());
+    let violations = driver.epoch_collector().quiescent_violations();
+    assert!(
+        violations.iter().any(|v| v.contains("poisoned")),
+        "uaf oracle failed to catch the direct free: {violations:?}"
+    );
+    // And the dead tenant's pages were never unpinned: orphan pins.
+    assert!(mem.frames().pinned_pages() > 0);
+
+    // Control: the clean driver's teardown goes through the graveyard and
+    // leaves every oracle silent.
+    let (mut mem2, arenas2) = setup(1);
+    let clean = ConcurrentDriver::new(TABLE_CAP, SHARDS);
+    let h2 = clean.register_thread();
+    let arena2 = &arenas2[0];
+    let id2 = clean
+        .declare(&h2, arena2.space, &template_segments(arena2.base, 0))
+        .unwrap();
+    while let Some(Ok(p)) = clean.pin_next_chunk(&h2, &mut mem2, id2, 4) {
+        if p.complete {
+            break;
+        }
+    }
+    let (regions, pages) = clean.teardown_space(&h2, &mut mem2, arena2.space);
+    assert_eq!(regions, 1);
+    assert!(pages > 0);
+    assert!(clean.probe(&h2, id2).is_none());
+    assert_eq!(clean.pinned_pages_total(&h2), 0);
+    assert_eq!(mem2.frames().pinned_pages(), 0);
+    drop(h2);
+    for _ in 0..8 {
+        clean.epoch_collector().collect();
+    }
+    let violations = clean.epoch_collector().quiescent_violations();
+    assert!(
+        violations.is_empty(),
+        "clean teardown violated epoch oracles: {violations:?}"
+    );
 }
 
 // ---------------------------------------------------------------------------

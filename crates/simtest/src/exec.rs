@@ -175,6 +175,24 @@ pub enum Violation {
         /// The driver's global pinned count.
         pinned: u64,
     },
+    /// A crashed process still owns driver state — its kernel exit path
+    /// failed to reap a region (and whatever pins it held).
+    OrphanPins {
+        /// Node whose driver kept the dead tenant's state.
+        node: usize,
+        /// The crashed owner.
+        proc: u32,
+        /// The region that survived the crash.
+        region: u32,
+        /// Pages the orphaned region still holds pinned.
+        pages: u64,
+    },
+    /// A completion was delivered for a request posted by a process
+    /// incarnation that has since crashed.
+    GhostCompletion {
+        /// The request.
+        req: u64,
+    },
     /// Posted operations never completed although the engine went quiet
     /// (or never went quiet within the budget).
     Hang {
@@ -264,6 +282,19 @@ impl fmt::Display for Violation {
                 f,
                 "tenant accounting: node {node} attributes {attributed} pages across tenants but {pinned} are pinned"
             ),
+            Violation::OrphanPins {
+                node,
+                proc,
+                region,
+                pages,
+            } => write!(
+                f,
+                "orphan pins: node {node} region {region} (owner proc {proc}, {pages} pages pinned) survived its owner's crash"
+            ),
+            Violation::GhostCompletion { req } => write!(
+                f,
+                "ghost completion: request {req} completed after its owner crashed"
+            ),
             Violation::Hang {
                 outstanding,
                 inflight,
@@ -305,6 +336,11 @@ pub enum Mutation {
     /// profile still advertises a quota — tenants sail past their hard
     /// cap and the per-tick quota oracle must notice.
     SkipQuota,
+    /// Crash ops mark the process dead but skip the kernel exit path's
+    /// reap wholesale — every pin the dead tenant owned leaks and its
+    /// transfer-table entries rot. The per-tick orphan-pin oracle must
+    /// notice on the very next tick.
+    LeakOnCrash,
 }
 
 /// What one executed schedule produced.
@@ -326,6 +362,10 @@ pub struct RunOutcome {
     /// really parked, a drain really cancelled) instead of passing
     /// vacuously. Empty when the run panicked before completion.
     pub driver_stats: Vec<openmx_core::obs::DriverStats>,
+    /// Final merged engine counters (fence drops, dead-peer aborts, crash
+    /// reaps, restarts …) — the crash-path equivalent of `driver_stats`
+    /// for pinned-repro signatures. Empty when the run panicked.
+    pub counters: simcore::Counters,
 }
 
 /// A process that does nothing but record its completions for the harness.
@@ -365,16 +405,26 @@ struct Pair {
     send_failed: bool,
     recv_done: bool,
     recv_failed: bool,
+    /// The sender crashed with this side unsettled: no completion will
+    /// ever come, and one arriving anyway is a ghost.
+    send_excused: bool,
+    /// Same for the receiver side (also set when the receive was never
+    /// posted because its target was already dead).
+    recv_excused: bool,
 }
 
 impl Pair {
     fn send_settled(&self) -> bool {
-        self.send_done || self.send_failed
+        self.send_done || self.send_failed || self.send_excused
     }
-    /// A receive whose partner failed may legitimately never complete
-    /// (nothing will ever match it).
+    /// A receive whose partner failed — or died with its send unsettled —
+    /// may legitimately never complete (nothing will ever match it).
     fn recv_settled(&self) -> bool {
-        self.recv_done || self.recv_failed || self.send_failed
+        self.recv_done
+            || self.recv_failed
+            || self.recv_excused
+            || self.send_failed
+            || self.send_excused
     }
     fn settled(&self) -> bool {
         self.send_settled() && self.recv_settled()
@@ -403,6 +453,11 @@ struct Harness {
     pending_recvs: Vec<PendingRecv>,
     children: BTreeMap<usize, AsId>,
     events: Rc<RefCell<Vec<(ProcId, AppEvent)>>>,
+    /// Which processes are currently crashed (awaiting restart).
+    crashed: Vec<bool>,
+    /// Requests whose owning incarnation crashed before they settled: any
+    /// completion delivered for one of these is a ghost.
+    ghost_reqs: BTreeSet<u64>,
     rng: SimRng,
     /// The profile's per-tenant hard cap, sourced from the schedule (not
     /// the driver) so a mutation that blinds enforcement cannot also
@@ -468,6 +523,45 @@ impl Harness {
                 let sb = *sbuf as usize % BUFS_PER_PROC;
                 let rb = *rbuf as usize % BUFS_PER_PROC;
                 let len = (*len as u64).clamp(1, BUF_LEN);
+                if self.crashed[sp] {
+                    return; // dead sender: nothing to drive
+                }
+                if self.crashed[dp] {
+                    // Send into a dead peer: post only the send. It must
+                    // settle with a clean failure through the dead-peer
+                    // short-circuits — never hang, never SendDone.
+                    self.ensure_mapped(cl, sp, sb);
+                    self.taint_touching(sp, sb);
+                    let mut data = vec![0u8; len as usize];
+                    self.rng.fill_bytes(&mut data);
+                    let saddr = self.bufs[sp][sb];
+                    cl.drive(ProcId(sp as u32), |ctx| ctx.write_buf(saddr, &data));
+                    let pair = self.pairs.len();
+                    let tag = 0x5e5e_0000 + pair as u64;
+                    let sreq = cl.drive(ProcId(sp as u32), |ctx| {
+                        ctx.isend(ProcId(dp as u32), tag, saddr, len)
+                    });
+                    self.pairs.push(Pair {
+                        send_req: sreq.0,
+                        recv_req: None,
+                        sender: sp,
+                        receiver: dp,
+                        sbuf: sb,
+                        rbuf: rb,
+                        raddr: self.bufs[dp][rb],
+                        len,
+                        snapshot: data,
+                        tainted: true,
+                        send_done: false,
+                        send_failed: false,
+                        recv_done: false,
+                        recv_failed: false,
+                        send_excused: false,
+                        recv_excused: true,
+                    });
+                    self.by_req.insert(sreq.0, (pair, Side::Send));
+                    return;
+                }
                 self.ensure_mapped(cl, sp, sb);
                 self.ensure_mapped(cl, dp, rb);
 
@@ -508,6 +602,8 @@ impl Harness {
                         send_failed: false,
                         recv_done: false,
                         recv_failed: false,
+                        send_excused: false,
+                        recv_excused: false,
                     });
                     self.post_recv(cl, pair, tag);
                     let sreq = cl.drive(ProcId(sp as u32), |ctx| {
@@ -534,6 +630,8 @@ impl Harness {
                         send_failed: false,
                         recv_done: false,
                         recv_failed: false,
+                        send_excused: false,
+                        recv_excused: false,
                     });
                     self.by_req.insert(sreq.0, (pair, Side::Send));
                     // Post the receive a few ticks late: the message (or
@@ -550,6 +648,9 @@ impl Harness {
             }
             Op::Churn { proc, buf, kind } => {
                 let p = *proc as usize % self.nprocs;
+                if self.crashed[p] {
+                    return; // no address space to churn
+                }
                 let b = *buf as usize % BUFS_PER_PROC;
                 let pid = ProcId(p as u32);
                 let addr = self.bufs[p][b];
@@ -611,6 +712,66 @@ impl Harness {
                     }
                 }
             }
+            Op::Crash { proc } => {
+                let p = *proc as usize % self.nprocs;
+                if self.crashed[p] {
+                    return;
+                }
+                // Excuse both sides owned by the dying incarnation:
+                // nothing will ever complete them, and any completion
+                // that arrives anyway is a ghost. Taint waives the data
+                // checks for surviving partners; a live partner must
+                // still settle on its own (watchdog or reap failure).
+                for pr in self.pairs.iter_mut() {
+                    if pr.sender == p {
+                        if !(pr.send_done || pr.send_failed) {
+                            pr.send_excused = true;
+                            self.ghost_reqs.insert(pr.send_req);
+                        }
+                        if !(pr.recv_done || pr.recv_failed) {
+                            // Even an acked send's bytes die with the
+                            // sender (the crash purges unexpected data);
+                            // a tag-only posted receive has no protocol
+                            // state the engine could fail.
+                            pr.recv_excused = true;
+                        }
+                        pr.tainted = true;
+                    }
+                    if pr.receiver == p && !(pr.recv_done || pr.recv_failed) {
+                        pr.recv_excused = true;
+                        pr.tainted = true;
+                        if let Some(r) = pr.recv_req {
+                            self.ghost_reqs.insert(r);
+                        }
+                    }
+                }
+                // Unposted receives die with the process.
+                self.pending_recvs.retain(|pr| pr.receiver != p);
+                for b in 0..BUFS_PER_PROC {
+                    self.mapped[p][b] = false;
+                }
+                self.crashed[p] = true;
+                if matches!(self.mutation, Some(Mutation::LeakOnCrash)) {
+                    cl.crash_proc_leaky_for_test(ProcId(p as u32));
+                } else {
+                    cl.crash_proc(ProcId(p as u32));
+                }
+            }
+            Op::Restart { proc } => {
+                let p = *proc as usize % self.nprocs;
+                if !self.crashed[p] {
+                    return;
+                }
+                cl.restart_proc(
+                    ProcId(p as u32),
+                    Box::new(Collector {
+                        events: self.events.clone(),
+                    }),
+                );
+                self.crashed[p] = false;
+                // Buffers keep their old virtual addresses; `ensure_mapped`
+                // remaps them into the fresh space as ops touch them.
+            }
         }
     }
 
@@ -655,6 +816,10 @@ impl Harness {
             let idx = self.completions;
             self.completions += 1;
             if matches!(self.mutation, Some(Mutation::SwallowCompletion { nth }) if nth == idx) {
+                continue;
+            }
+            if self.ghost_reqs.contains(&req) {
+                self.violations.push(Violation::GhostCompletion { req });
                 continue;
             }
             let Some(&(pi, side)) = self.by_req.get(&req) else {
@@ -750,6 +915,19 @@ impl Harness {
                 }
             }
             for (rid, r) in cl.driver(node).iter_regions() {
+                // Crash fault domain: a dead tenant must leave nothing
+                // behind — the kernel exit path reaps every region it
+                // owned, pinned or not, before the tick ends.
+                let owner = r.owner.0 as usize;
+                if owner < self.nprocs && self.crashed[owner] {
+                    self.violations.push(Violation::OrphanPins {
+                        node,
+                        proc: r.owner.0,
+                        region: rid.0,
+                        pages: r.pinned_pages(),
+                    });
+                    continue;
+                }
                 if r.pinned_pages() > 0 && !cl.memory(node).space_exists(r.space) {
                     self.violations.push(Violation::DeadSpacePin {
                         node,
@@ -935,6 +1113,8 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
         pending_recvs: Vec::new(),
         children: BTreeMap::new(),
         events,
+        crashed: vec![false; nprocs],
+        ghost_reqs: BTreeSet::new(),
         rng: SimRng::new(s.seed).derive_stream("harness"),
         quota_cap: profile.pin_quota.map(|q| q.hard_cap),
         mutation,
@@ -1066,6 +1246,7 @@ pub fn run_schedule(s: &Schedule, mutation: Option<Mutation>) -> RunOutcome {
         completions: h.completions,
         post_mortem,
         driver_stats,
+        counters: cl.counters(),
     }
 }
 
@@ -1291,6 +1472,100 @@ mod tests {
                 .any(|v| matches!(v, Violation::QuotaExceeded { .. })),
             "skipped quota not caught: {:?}",
             out.violations
+        );
+    }
+
+    fn crash_cycle() -> Schedule {
+        // Pin a rendezvous transfer to completion (the send region stays
+        // pinned in the registration cache), crash the sender, then
+        // restart it and run a fresh transfer through the new
+        // incarnation.
+        Schedule {
+            seed: 41,
+            profile: "crashstorm".into(),
+            nodes: 2,
+            procs_per_node: 1,
+            ops: vec![
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 0,
+                    dst: 1,
+                    rbuf: 0,
+                    len: 262_144,
+                    recv_first: true,
+                },
+                Op::Advance { ticks: 30 },
+                Op::Crash { proc: 0 },
+                Op::Advance { ticks: 3 },
+                Op::Restart { proc: 0 },
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 1,
+                    dst: 1,
+                    rbuf: 1,
+                    len: 262_144,
+                    recv_first: true,
+                },
+                Op::Advance { ticks: 10 },
+            ],
+        }
+    }
+
+    #[test]
+    fn crash_restart_cycle_is_clean_and_reuses_the_proc() {
+        let out = run_schedule(&crash_cycle(), None);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.xfers, 2);
+        assert!(out.completions >= 4, "both transfers must complete");
+        assert_eq!(out.counters.get("proc_crashes"), 1);
+        assert_eq!(out.counters.get("proc_restarts"), 1);
+        assert!(
+            out.counters.get("crash_reaped_pages") > 0,
+            "the cached pinned region must be reaped at crash"
+        );
+    }
+
+    #[test]
+    fn leak_on_crash_trips_orphan_pins() {
+        let out = run_schedule(&crash_cycle(), Some(Mutation::LeakOnCrash));
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OrphanPins { proc: 0, .. })),
+            "leaky crash not caught: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn crash_mid_transfer_fails_the_survivor_cleanly() {
+        // Sender dies while the pull is in flight: the surviving receiver
+        // must get a clean failure (no hang), and the run stays free of
+        // orphan pins and ghost completions.
+        let s = Schedule {
+            seed: 43,
+            profile: "crashstorm".into(),
+            nodes: 2,
+            procs_per_node: 1,
+            ops: vec![
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 0,
+                    dst: 1,
+                    rbuf: 0,
+                    len: 262_144,
+                    recv_first: true,
+                },
+                Op::Crash { proc: 0 },
+                Op::Advance { ticks: 40 },
+            ],
+        };
+        let out = run_schedule(&s, None);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(
+            out.counters.get("peer_dead_aborts") > 0 || out.counters.get("requests_failed") > 0,
+            "survivor must observe a clean failure, got counters {:?}",
+            out.counters.iter().collect::<Vec<_>>()
         );
     }
 

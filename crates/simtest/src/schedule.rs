@@ -78,6 +78,19 @@ pub enum Op {
         /// Which hostile move.
         kind: ChurnKind,
     },
+    /// Crash one process mid-whatever: endpoint fenced, kernel exit path
+    /// reaps every pin and transfer it owned, address space destroyed.
+    /// Applied to an already-crashed process, a no-op.
+    Crash {
+        /// Target process index (mod process count).
+        proc: u8,
+    },
+    /// Restart a crashed process with a bumped incarnation (fresh address
+    /// space, heap, endpoint, cache). Applied to a live process, a no-op.
+    Restart {
+        /// Target process index (mod process count).
+        proc: u8,
+    },
     /// Let the engine run for `ticks` extra ticks with no new work.
     Advance {
         /// Ticks to advance (≥ 1).
@@ -122,9 +135,9 @@ pub struct Profile {
     pub pinned_pages_limit: Option<usize>,
     /// Per-tenant pin quota (soft share + hard cap) when `Some`.
     pub pin_quota: Option<PinQuota>,
-    /// Generation weights, indexed
-    /// `[xfer, unmap, remap, cow, swapout, swapin, migrate, rewrite, advance]`.
-    pub weights: [u32; 9],
+    /// Generation weights, indexed `[xfer, unmap, remap, cow, swapout,
+    /// swapin, migrate, rewrite, crash, restart, advance]`.
+    pub weights: [u32; 11],
     /// Transfer sizes the generator draws from.
     pub sizes: &'static [u32],
 }
@@ -150,7 +163,7 @@ pub fn profiles() -> Vec<Profile> {
             swap_per_node: 8 * 1024,
             pinned_pages_limit: None,
             pin_quota: None,
-            weights: [30, 8, 8, 6, 8, 6, 6, 8, 20],
+            weights: [30, 8, 8, 6, 8, 6, 6, 8, 0, 0, 20],
             sizes: &[2048, 16384, 49152, 131072, 262144],
         },
         Profile {
@@ -160,7 +173,7 @@ pub fn profiles() -> Vec<Profile> {
             swap_per_node: 8 * 1024,
             pinned_pages_limit: None,
             pin_quota: None,
-            weights: [45, 4, 4, 2, 3, 2, 3, 4, 33],
+            weights: [45, 4, 4, 2, 3, 2, 3, 4, 0, 0, 33],
             sizes: &[2048, 16384, 49152, 131072, 262144],
         },
         Profile {
@@ -170,7 +183,7 @@ pub fn profiles() -> Vec<Profile> {
             swap_per_node: 8 * 1024,
             pinned_pages_limit: Some(96),
             pin_quota: None,
-            weights: [40, 4, 4, 2, 10, 6, 4, 4, 26],
+            weights: [40, 4, 4, 2, 10, 6, 4, 4, 0, 0, 26],
             sizes: &[49152, 131072, 262144, 327680],
         },
         // Glibc-style malloc-trim storm: heavy unmap/remap churn against
@@ -184,7 +197,7 @@ pub fn profiles() -> Vec<Profile> {
             swap_per_node: 8 * 1024,
             pinned_pages_limit: None,
             pin_quota: None,
-            weights: [32, 12, 20, 4, 0, 0, 0, 8, 24],
+            weights: [32, 12, 20, 4, 0, 0, 0, 8, 0, 0, 24],
             sizes: &[16384, 49152, 131072, 262144],
         },
         // Multi-tenant quota mix: no global pin ceiling, but every process
@@ -202,8 +215,31 @@ pub fn profiles() -> Vec<Profile> {
                 soft_share: 64,
                 hard_cap: 96,
             }),
-            weights: [42, 6, 10, 2, 0, 0, 0, 6, 24],
+            weights: [42, 6, 10, 2, 0, 0, 0, 6, 0, 0, 24],
             sizes: &[131072, 262144, 327680],
+        },
+        // Crash/restart storm: processes die under in-flight eager and
+        // rendezvous traffic and come back with bumped incarnations while
+        // a mildly hostile fabric keeps stale pre-crash frames arriving
+        // late. Exercises incarnation fencing, the watchdog's
+        // dead-peer short-circuits, and the kernel exit path's orphan-pin
+        // reap; restarts re-run traffic over reused buffer addresses in
+        // fresh address spaces.
+        Profile {
+            name: "crashstorm",
+            faults: FaultProfile {
+                loss: 0.005,
+                reorder: 0.03,
+                reorder_jitter: SimDuration::from_micros(100),
+                duplicate: 0.03,
+                ..FaultProfile::default()
+            },
+            frames_per_node: 16 * 1024,
+            swap_per_node: 8 * 1024,
+            pinned_pages_limit: None,
+            pin_quota: None,
+            weights: [40, 5, 5, 2, 0, 0, 0, 4, 6, 9, 29],
+            sizes: &[2048, 16384, 131072, 262144],
         },
     ]
 }
@@ -294,6 +330,12 @@ pub fn generate(seed: u64, profile: &Profile) -> Schedule {
             5 => churn(&mut rng, ChurnKind::SwapIn),
             6 => churn(&mut rng, ChurnKind::Migrate),
             7 => churn(&mut rng, ChurnKind::Rewrite),
+            8 => Op::Crash {
+                proc: rng.below(nprocs) as u8,
+            },
+            9 => Op::Restart {
+                proc: rng.below(nprocs) as u8,
+            },
             _ => Op::Advance {
                 ticks: rng.range_inclusive(1, 5) as u8,
             },
@@ -338,6 +380,8 @@ fn encode_op(op: &Op, out: &mut String) {
             };
             write!(out, "{c}{proc}.{buf}").unwrap();
         }
+        Op::Crash { proc } => write!(out, "C{proc}").unwrap(),
+        Op::Restart { proc } => write!(out, "B{proc}").unwrap(),
         Op::Advance { ticks } => write!(out, "A{ticks}").unwrap(),
     }
 }
@@ -401,6 +445,12 @@ fn decode_op(tok: &str) -> Result<Op, String> {
         }
         "A" => Ok(Op::Advance {
             ticks: body.parse::<u8>().map_err(|e| format!("advance: {e}"))?,
+        }),
+        "C" => Ok(Op::Crash {
+            proc: body.parse::<u8>().map_err(|e| format!("crash: {e}"))?,
+        }),
+        "B" => Ok(Op::Restart {
+            proc: body.parse::<u8>().map_err(|e| format!("restart: {e}"))?,
         }),
         c => {
             let kind = match c {
@@ -542,6 +592,34 @@ mod tests {
             };
             assert_eq!(decode(&encode(&s)).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn crash_and_restart_ops_round_trip() {
+        let s = Schedule {
+            seed: 7,
+            profile: "crashstorm".into(),
+            nodes: 2,
+            procs_per_node: 2,
+            ops: vec![
+                Op::Xfer {
+                    src: 0,
+                    sbuf: 0,
+                    dst: 2,
+                    rbuf: 0,
+                    len: 2048,
+                    recv_first: false,
+                },
+                Op::Crash { proc: 0 },
+                Op::Advance { ticks: 3 },
+                Op::Restart { proc: 0 },
+                Op::Crash { proc: 3 },
+            ],
+        };
+        let line = encode(&s);
+        assert!(line.contains("C0"), "{line}");
+        assert!(line.contains("B0"), "{line}");
+        assert_eq!(decode(&line).expect("decode"), s);
     }
 
     #[test]

@@ -152,6 +152,113 @@ fn deferred_unpin_edge_repros_hit_their_paths() {
     assert_eq!(n0.notifier_region_unpins, 0);
 }
 
+/// Crash-at-every-phase pinned corpus: one hand-minimized schedule per
+/// protocol phase a crash can land in. Each entry must stay violation
+/// free *and* reproduce its pinned counter signature, so a regression
+/// that silently stops exercising the phase (or stops reaping) fails
+/// loudly here rather than in a soak.
+#[test]
+fn crash_phase_corpus_signatures() {
+    // Phase 1: eager message in flight, receiver dies before the ack
+    // returns — the eager watchdog must short-circuit the sender.
+    let out = run("EXPL1;seed=0x20;profile=crashstorm;nodes=2;ppn=1;ops=X0.0>1.0:16384s,C1,A40");
+    assert_eq!(out.counters.get("proc_crashes"), 1);
+    assert!(out.counters.get("peer_dead_aborts") >= 1, "eager watchdog");
+    assert!(out.counters.get("requests_failed") >= 1);
+
+    // Phase 2: rendezvous sent but no pull ever starts (recv never
+    // posted, receiver dies) — the rndv watchdog aborts before any pull
+    // traffic exists.
+    let out = run("EXPL1;seed=0x21;profile=crashstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144s,C1,A60");
+    assert_eq!(out.counters.get("rndv_msgs_tx"), 1);
+    assert_eq!(
+        out.counters.get("frames_rx"),
+        1,
+        "only the rndv frame may ever land — no pull traffic pre-crash"
+    );
+    assert!(out.counters.get("peer_dead_aborts") >= 1, "rndv watchdog");
+    assert!(out.counters.get("requests_failed") >= 1);
+
+    // Phase 3: pull mid-block, sender dies — in-flight pull replies are
+    // fenced at the dead endpoint and the sender's pinned region is
+    // reaped by the crash, not by protocol completion.
+    let out =
+        run("EXPL1;seed=0x22;profile=crashstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A1,C0,A80");
+    assert!(out.counters.get("frames_fenced") >= 1, "mid-pull fencing");
+    assert_eq!(out.counters.get("crash_reaped_pages"), 64);
+    assert!(out.counters.get("peer_dead_aborts") >= 1);
+
+    // Phase 4: deferred unpin parked, owner dies — the crash teardown
+    // must reap the parked entry before any drain batch runs (signature:
+    // a deferral counted, zero drains, pages reaped by the crash).
+    let out =
+        run("EXPL1;seed=0x23;profile=trimstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A30,U0.0,C0,A5");
+    let n0 = &out.driver_stats[0];
+    assert_eq!(n0.notifier_deferred, 1, "unmap must park a deferral");
+    assert_eq!(
+        n0.notifier_drain_batches, 0,
+        "the crash must beat every drain to the parked entry"
+    );
+    assert_eq!(out.counters.get("crash_reaped_pages"), 64);
+
+    // Phase 5: pin pass racing budget pressure, owner dies — the second
+    // transfer's pin self-evicts the first region (128 pages of pressure
+    // unpins), then the crash reaps the survivor's 80 pinned pages and
+    // the in-flight plan without tripping pin accounting.
+    let out = run("EXPL1;seed=0x24;profile=pressure;nodes=2;ppn=1;ops=\
+         X0.0>1.0:262144r,A10,X0.1>1.1:327680r,C0,A80");
+    assert_eq!(out.counters.get("pressure_unpinned_pages"), 128);
+    assert_eq!(out.counters.get("crash_reaped_pages"), 80);
+    assert!(out.counters.get("frames_fenced") >= 1);
+    assert!(out.counters.get("peer_dead_aborts") >= 1);
+
+    // Phase 6: full cycle — crash, restart with a bumped incarnation,
+    // and a fresh transfer through the reborn endpoint.
+    let out = run("EXPL1;seed=0x25;profile=crashstorm;nodes=2;ppn=1;ops=\
+         X0.0>1.0:2048r,A10,C0,A3,B0,X0.1>1.1:2048r,A20");
+    assert_eq!(out.counters.get("proc_crashes"), 1);
+    assert_eq!(out.counters.get("proc_restarts"), 1);
+    assert_eq!(out.xfers, 2);
+    assert!(
+        out.completions >= 4,
+        "the post-restart transfer must complete"
+    );
+}
+
+fn run(repro: &str) -> simtest::RunOutcome {
+    let s = decode(repro).unwrap_or_else(|e| panic!("bad corpus entry: {e}\n  {repro}"));
+    assert_eq!(encode(&s), repro.replace(['\n', ' '], ""));
+    let out = run_schedule_catching(&s, None);
+    assert!(
+        out.violations.is_empty(),
+        "corpus repro violated: {:?}\n  {repro}",
+        out.violations
+    );
+    out
+}
+
+/// A crash that leaks its pins (teardown skipped) must be caught by the
+/// per-tick orphan-pin oracle and replay deterministically.
+#[test]
+fn leak_on_crash_is_caught_and_replays() {
+    let s =
+        decode("EXPL1;seed=0x26;profile=crashstorm;nodes=2;ppn=1;ops=X0.0>1.0:262144r,A30,C0,A5")
+            .unwrap();
+    let clean = run_schedule_catching(&s, None);
+    assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+    let m = Some(Mutation::LeakOnCrash);
+    let out = run_schedule_catching(&s, m);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| matches!(v, Violation::OrphanPins { .. })),
+        "leaky crash not caught: {:?}",
+        out.violations
+    );
+    let again = run_schedule_catching(&s, m);
+    assert_eq!(out.violations, again.violations);
+}
+
 /// Acceptance mutation: a deliberately leaked page pin must be caught by
 /// the pin-accounting invariant, shrink to a handful of ops, and replay
 /// deterministically from the printed repro string.
